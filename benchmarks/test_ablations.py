@@ -1,0 +1,166 @@
+"""Ablation benches for the design decisions DESIGN.md calls out.
+
+Each ablation flips one modelling decision of Section 3 and measures
+its effect on detection, demonstrating *why* the paper's model makes
+that choice:
+
+1. total event order per looper (the conventional baseline) hides the
+   intra-thread and inter-thread violations;
+2. unlock->lock happens-before edges hide true races behind incidental
+   lock operations (the model uses lockset checking instead);
+3. dropping the event-queue rules (a WebRacer-style model) fabricates
+   races between events the queue demonstrably orders;
+4. disabling the two commutativity heuristics floods the report list
+   with the Figure 5 false positives;
+5. the online vector-clock algorithm under-approximates the graph
+   ordering exactly on traces that need the atomicity/queue rules.
+"""
+
+import pytest
+
+from repro import CAFA_MODEL, CONVENTIONAL_MODEL, NO_QUEUE_MODEL, build_happens_before
+from repro.analysis import bench_scale
+from repro.apps import FBReaderApp, MyTracksApp
+from repro.detect import DetectorOptions, UseFreeDetector
+from repro.hb import ModelConfig, VectorClockAnalysis
+from repro.testing import TraceBuilder
+
+SCALE = bench_scale(default=0.05)
+
+
+def test_ablation_sequential_events_misses_races(benchmark):
+    """Conventional total event order: only column (c) races survive."""
+    run = MyTracksApp(scale=SCALE, seed=1).run()
+
+    def detect_both():
+        cafa = UseFreeDetector(run.trace).detect()
+        conventional = UseFreeDetector(
+            run.trace, DetectorOptions(model=CONVENTIONAL_MODEL)
+        ).detect()
+        return cafa, conventional
+
+    cafa, conventional = benchmark.pedantic(detect_both, rounds=1, iterations=1)
+    # MyTracks: 1 intra-thread + 3 inter-thread harmful races exist;
+    # the conventional model cannot see any of them.
+    assert cafa.report_count() == 8
+    assert conventional.report_count() < cafa.report_count()
+    missed = cafa.report_count() - conventional.report_count()
+    assert missed >= 4
+
+
+def test_ablation_lock_edges_hide_true_race(benchmark):
+    """An unlock->lock edge orders an unrelated use before a free."""
+    b = TraceBuilder()
+    b.thread("t1")
+    b.thread("t2")
+    b.begin("t1")
+    b.begin("t2")
+    b.acquire("t1", "L")
+    use_read = b.ptr_read("t1", ("obj", 1, "p"), object_id=5, method="worker", pc=0)
+    b.deref("t1", object_id=5, method="worker", pc=1)
+    b.release("t1", "L")
+    b.acquire("t2", "L")
+    b.release("t2", "L")
+    free = b.ptr_write("t2", ("obj", 1, "p"), value=None, container=1, method="cleanup", pc=0)
+    b.end("t1")
+    b.end("t2")
+    trace = b.build()
+
+    def detect_both():
+        with_edges = UseFreeDetector(
+            trace, DetectorOptions(model=ModelConfig(lock_edges=True))
+        ).detect()
+        without_edges = UseFreeDetector(trace).detect()
+        return with_edges, without_edges
+
+    with_edges, without_edges = benchmark.pedantic(detect_both, rounds=1, iterations=1)
+    assert without_edges.report_count() == 1  # CAFA finds the race
+    assert with_edges.report_count() == 0  # lock edges hide it
+
+
+def test_ablation_no_queue_rules_fabricates_races(benchmark):
+    """Without the queue rules, rule-1-ordered events look racy."""
+    b = TraceBuilder()
+    b.looper("L")
+    b.thread("T")
+    b.event("E_use", looper="L")
+    b.event("E_free", looper="L")
+    b.begin("T")
+    b.send("T", "E_use", delay=1)
+    b.send("T", "E_free", delay=1)
+    b.end("T")
+    b.begin("E_use")
+    b.ptr_read("E_use", ("obj", 1, "p"), object_id=5, method="onUse", pc=0)
+    b.deref("E_use", object_id=5, method="onUse", pc=1)
+    b.end("E_use")
+    b.begin("E_free")
+    b.ptr_write("E_free", ("obj", 1, "p"), value=None, container=1, method="onFree", pc=0)
+    b.end("E_free")
+    trace = b.build()
+
+    def detect_both():
+        cafa = UseFreeDetector(trace).detect()
+        no_queue = UseFreeDetector(
+            trace, DetectorOptions(model=NO_QUEUE_MODEL)
+        ).detect()
+        return cafa, no_queue
+
+    cafa, no_queue = benchmark.pedantic(detect_both, rounds=1, iterations=1)
+    assert cafa.report_count() == 0  # queue rule 1 orders use before free
+    assert no_queue.report_count() == 1  # WebRacer-style model reports it
+
+
+def test_ablation_heuristics_off_adds_false_positives(benchmark):
+    """Disabling if-guard + intra-event-allocation floods the output."""
+    run = FBReaderApp(scale=SCALE, seed=1).run()
+
+    def detect_both():
+        full = UseFreeDetector(run.trace).detect()
+        raw = UseFreeDetector(
+            run.trace,
+            DetectorOptions(if_guard=False, intra_event_allocation=False),
+        ).detect()
+        return full, raw
+
+    full, raw = benchmark.pedantic(detect_both, rounds=1, iterations=1)
+    # Every app carries the two Figure 5 commutative patterns; without
+    # the heuristics both become (false) reports.
+    assert raw.report_count() == full.report_count() + 2
+    assert len(full.filtered_reports) == 2
+
+
+def test_ablation_vector_clocks_underapproximate(benchmark):
+    """§4.2's argument, made executable: VC ordering misses exactly the
+    atomicity/queue-derived orderings."""
+    b = TraceBuilder()
+    b.looper("L")
+    b.thread("S1")
+    b.thread("S2")
+    b.thread("T")
+    b.event("A", looper="L")
+    b.event("B", looper="L")
+    b.begin("S1"); b.send("S1", "A"); b.end("S1")
+    b.begin("S2"); b.send("S2", "B"); b.end("S2")
+    b.begin("A"); b.fork("A", "T"); b.end("A")
+    b.begin("T"); b.register("T", "Lst"); b.end("T")
+    b.begin("B"); b.perform("B", "Lst"); b.end("B")
+    trace = b.build()
+
+    def analyze():
+        hb = build_happens_before(trace, CAFA_MODEL)
+        vc = VectorClockAnalysis(trace)
+        return hb, vc
+
+    hb, vc = benchmark.pedantic(analyze, rounds=1, iterations=1)
+    n = len(trace)
+    graph_pairs = {(i, j) for i in range(n) for j in range(n) if hb.ordered(i, j)}
+    vc_pairs = {(i, j) for i in range(n) for j in range(n) if vc.ordered(i, j)}
+    # Soundness: everything the VC derives, the graph derives.
+    assert vc_pairs <= graph_pairs
+    # Strictness: the atomicity conclusion (end(A) < begin(B)) is
+    # invisible to the online algorithm.
+    assert vc_pairs != graph_pairs
+    end_a = hb.task_bounds("A")[1]
+    begin_b = hb.task_bounds("B")[0]
+    assert (end_a, begin_b) in graph_pairs
+    assert (end_a, begin_b) not in vc_pairs

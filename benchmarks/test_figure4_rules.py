@@ -1,0 +1,100 @@
+"""Experiment F4 — Figure 4: the derived causal relations.
+
+Benchmarks happens-before construction on each Figure 4 scenario and
+asserts the derived event orderings match the paper's panels.
+"""
+
+import pytest
+
+from repro import build_happens_before
+from repro.testing import TraceBuilder
+
+
+def fig4a():
+    b = TraceBuilder()
+    b.looper("L"); b.thread("S1"); b.thread("S2"); b.thread("T")
+    b.event("A", looper="L"); b.event("B", looper="L")
+    b.begin("S1"); b.send("S1", "A"); b.end("S1")
+    b.begin("S2"); b.send("S2", "B"); b.end("S2")
+    b.begin("A"); b.fork("A", "T"); b.end("A")
+    b.begin("T"); b.register("T", "Lst"); b.end("T")
+    b.begin("B"); b.perform("B", "Lst"); b.end("B")
+    return b.build()
+
+
+def fig4b():
+    b = TraceBuilder()
+    b.looper("L"); b.thread("T")
+    b.event("A", looper="L"); b.event("B", looper="L")
+    b.begin("T"); b.send("T", "A", delay=1); b.send("T", "B", delay=1); b.end("T")
+    b.begin("A"); b.end("A")
+    b.begin("B"); b.end("B")
+    return b.build()
+
+
+def fig4c():
+    b = TraceBuilder()
+    b.looper("L"); b.thread("T")
+    b.event("A", looper="L"); b.event("B", looper="L")
+    b.begin("T"); b.send("T", "A", delay=5); b.send("T", "B", delay=0); b.end("T")
+    b.begin("B"); b.end("B")
+    b.begin("A"); b.end("A")
+    return b.build()
+
+
+def fig4d():
+    b = TraceBuilder()
+    b.looper("L"); b.thread("S")
+    b.event("C", looper="L"); b.event("A", looper="L"); b.event("B", looper="L")
+    b.begin("S"); b.send("S", "C"); b.end("S")
+    b.begin("C"); b.send("C", "A"); b.send_at_front("C", "B"); b.end("C")
+    b.begin("B"); b.end("B")
+    b.begin("A"); b.end("A")
+    return b.build()
+
+
+def fig4e():
+    b = TraceBuilder()
+    b.looper("L"); b.thread("T")
+    b.event("A", looper="L"); b.event("B", looper="L")
+    b.begin("T"); b.send("T", "A"); b.send_at_front("T", "B"); b.end("T")
+    b.begin("B"); b.end("B")
+    b.begin("A"); b.end("A")
+    return b.build()
+
+
+def fig4f():
+    b = TraceBuilder()
+    b.looper("L"); b.thread("T"); b.thread("U")
+    b.event("E", looper="L"); b.event("A", looper="L"); b.event("B", looper="L")
+    b.begin("U"); b.send("U", "E"); b.end("U")
+    b.begin("T"); b.send("T", "A"); b.end("T")
+    b.begin("E"); b.send_at_front("E", "B"); b.end("E")
+    b.begin("B"); b.end("B")
+    b.begin("A"); b.end("A")
+    return b.build()
+
+
+SCENARIOS = {
+    "fig4a": (fig4a, "A<B"),
+    "fig4b": (fig4b, "A<B"),
+    "fig4c": (fig4c, "concurrent"),
+    "fig4d": (fig4d, "B<A"),
+    "fig4e": (fig4e, "concurrent"),
+    "fig4f": (fig4f, "concurrent"),
+}
+
+
+@pytest.mark.parametrize("name", list(SCENARIOS))
+def test_figure4_scenario(benchmark, name):
+    make, expectation = SCENARIOS[name]
+    trace = make()
+    hb = benchmark(lambda: build_happens_before(trace))
+    a_before_b = hb.event_ordered("A", "B")
+    b_before_a = hb.event_ordered("B", "A")
+    if expectation == "A<B":
+        assert a_before_b and not b_before_a
+    elif expectation == "B<A":
+        assert b_before_a and not a_before_b
+    else:
+        assert not a_before_b and not b_before_a

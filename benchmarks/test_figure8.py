@@ -1,0 +1,48 @@
+"""Experiment F8 — Figure 8: the slowdown of trace collection.
+
+Each application runs twice — instrumented (tracer enabled) and stock
+(tracer disabled) — and the slowdown is the ratio of total virtual CPU
+time.  The paper reports 2x–6x across the ten apps; the per-app value
+emerges from the app's density of instrumented operations relative to
+its plain computation, so the *shape* (which apps are cheap/expensive
+to trace) is the assertion target, not exact figures.
+"""
+
+import pytest
+
+from repro.analysis import bench_scale, measure_slowdown
+from repro.apps import ALL_APPS, FirefoxApp, MusicApp
+
+SCALE = bench_scale()
+
+
+@pytest.mark.parametrize("app_cls", ALL_APPS, ids=[a.name for a in ALL_APPS])
+def test_tracing_slowdown(benchmark, app_cls):
+    result = benchmark.pedantic(
+        lambda: measure_slowdown(app_cls, scale=SCALE, seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    # Paper: "The slowdown is between 2x to 6x".
+    assert 2.0 <= result.slowdown <= 6.0, (
+        f"{app_cls.name}: slowdown {result.slowdown:.2f}x outside the "
+        "paper's 2x-6x envelope"
+    )
+    # Within the envelope, track the paper's per-app shape loosely.
+    assert abs(result.slowdown - app_cls.paper_slowdown) <= 1.0, (
+        f"{app_cls.name}: slowdown {result.slowdown:.2f}x too far from "
+        f"the paper's ~{app_cls.paper_slowdown}x"
+    )
+
+
+def test_slowdown_ordering_music_heaviest(benchmark):
+    """Music is the most instrumentation-dense app, Firefox the least."""
+
+    def measure_extremes():
+        return (
+            measure_slowdown(MusicApp, scale=SCALE, seed=1).slowdown,
+            measure_slowdown(FirefoxApp, scale=SCALE, seed=1).slowdown,
+        )
+
+    music, firefox = benchmark.pedantic(measure_extremes, rounds=1, iterations=1)
+    assert music > firefox

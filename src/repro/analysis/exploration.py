@@ -1,0 +1,74 @@
+"""Schedule exploration: detector stability across interleavings.
+
+CAFA is predictive — it reports races from *one* observed execution,
+including races that did not manifest in it.  A practical consequence
+the paper relies on implicitly is schedule robustness: traces of the
+same session under different thread interleavings should yield the
+same reports (the causal structure, not the accidental timing, drives
+detection).  This module runs a workload under many scheduler seeds
+and aggregates the reports, quantifying that stability.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Type
+
+from ..apps.base import AppModel
+from ..detect import RaceSiteKey, detect_use_free_races
+
+
+@dataclass
+class ExplorationResult:
+    """Aggregated detection over several scheduler seeds."""
+
+    app: str
+    seeds: List[int]
+    #: race key -> number of seeds in which it was reported
+    occurrences: Dict[RaceSiteKey, int] = field(default_factory=dict)
+    #: per-seed report counts
+    reports_per_seed: List[int] = field(default_factory=list)
+
+    @property
+    def stable_races(self) -> List[RaceSiteKey]:
+        """Races reported under every explored seed."""
+        total = len(self.seeds)
+        return sorted(
+            (k for k, n in self.occurrences.items() if n == total), key=str
+        )
+
+    @property
+    def flaky_races(self) -> List[RaceSiteKey]:
+        """Races reported under some but not all seeds."""
+        total = len(self.seeds)
+        return sorted(
+            (k for k, n in self.occurrences.items() if 0 < n < total), key=str
+        )
+
+    @property
+    def stability(self) -> float:
+        """Fraction of distinct races that are seed-stable."""
+        if not self.occurrences:
+            return 1.0
+        return len(self.stable_races) / len(self.occurrences)
+
+
+def explore_seeds(
+    app_cls: Type[AppModel], seeds: Sequence[int], scale: float = 0.05
+) -> ExplorationResult:
+    """Run the workload once per seed; aggregate the race reports."""
+    counter: Counter = Counter()
+    per_seed: List[int] = []
+    for seed in seeds:
+        run = app_cls(scale=scale, seed=seed).run()
+        result = detect_use_free_races(run.trace)
+        per_seed.append(result.report_count())
+        for report in result.reports:
+            counter[report.key] += 1
+    return ExplorationResult(
+        app=app_cls.name,
+        seeds=list(seeds),
+        occurrences=dict(counter),
+        reports_per_seed=per_seed,
+    )

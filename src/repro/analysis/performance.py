@@ -1,0 +1,97 @@
+"""Performance evaluation — Figure 8 and the §6.4 analysis-time study.
+
+Figure 8 reports the CPU-time slowdown of running each application on
+the instrumented ROM versus the stock system (2x–6x).  Here the same
+application workload is executed twice on the simulator — once with
+the tracer enabled, once disabled — and the slowdown is the ratio of
+total virtual CPU time, which emerges from each app's density of
+instrumented operations relative to its plain computation.
+
+Section 6.4 also notes that the offline analysis time grows with the
+number of events in the trace (30 minutes to a day on the paper's
+traces); :func:`analysis_scaling` measures our analyzer's wall-clock
+time across a sweep of event counts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Type
+
+from ..apps.base import AppModel
+from ..detect import detect_use_free_races
+from ..hb import build_happens_before
+
+
+@dataclass
+class SlowdownResult:
+    """One Figure 8 bar."""
+
+    name: str
+    traced_cpu: int
+    untraced_cpu: int
+    trace_records: int
+    paper_slowdown: Optional[float] = None
+
+    @property
+    def slowdown(self) -> float:
+        if self.untraced_cpu == 0:
+            return float("nan")
+        return self.traced_cpu / self.untraced_cpu
+
+
+def measure_slowdown(
+    app_cls: Type[AppModel], scale: float = 0.1, seed: int = 0
+) -> SlowdownResult:
+    """Run one workload with and without tracing; compare CPU time."""
+    traced = app_cls(scale=scale, seed=seed).run(tracing=True)
+    untraced = app_cls(scale=scale, seed=seed).run(tracing=False)
+    return SlowdownResult(
+        name=app_cls.name,
+        traced_cpu=traced.system.total_cpu_time,
+        untraced_cpu=untraced.system.total_cpu_time,
+        trace_records=len(traced.trace) if traced.trace is not None else 0,
+        paper_slowdown=getattr(app_cls, "paper_slowdown", None),
+    )
+
+
+@dataclass
+class ScalingPoint:
+    """One point of the §6.4 analysis-time scaling sweep."""
+
+    events: int
+    trace_ops: int
+    hb_seconds: float
+    detect_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.hb_seconds + self.detect_seconds
+
+
+def analysis_scaling(
+    app_cls: Type[AppModel],
+    scales: List[float],
+    seed: int = 0,
+) -> List[ScalingPoint]:
+    """Offline-analysis wall-clock time across event-count scales."""
+    points: List[ScalingPoint] = []
+    for scale in scales:
+        run = app_cls(scale=scale, seed=seed).run(tracing=True)
+        assert run.trace is not None
+        start = time.perf_counter()
+        hb = build_happens_before(run.trace)
+        hb_elapsed = time.perf_counter() - start
+        start = time.perf_counter()
+        detect_use_free_races(run.trace)
+        detect_elapsed = time.perf_counter() - start
+        points.append(
+            ScalingPoint(
+                events=run.event_count,
+                trace_ops=len(run.trace),
+                hb_seconds=hb_elapsed,
+                detect_seconds=detect_elapsed,
+            )
+        )
+    return points

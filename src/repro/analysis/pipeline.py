@@ -1,0 +1,70 @@
+"""The end-to-end evaluation pipeline.
+
+``reproduce_table1`` runs every §6.1 workload through simulate → trace
+→ detect → classify → tabulate; ``reproduce_figure8`` measures the
+per-app tracing slowdown.  Both accept a ``scale`` factor controlling
+the background event load (1.0 approximates the paper's event counts;
+benchmarks default to a smaller scale via the ``REPRO_BENCH_SCALE``
+environment variable).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence, Type
+
+from ..apps.base import AppModel, Table1Row
+from ..apps.catalog import ALL_APPS
+from ..detect import DetectorOptions
+from .performance import SlowdownResult, measure_slowdown
+from .precision import Table1, evaluate_run
+
+#: environment variable overriding the default benchmark scale
+SCALE_ENV_VAR = "REPRO_BENCH_SCALE"
+
+
+def bench_scale(default: float = 0.1) -> float:
+    """The workload scale benchmarks should use."""
+    raw = os.environ.get(SCALE_ENV_VAR)
+    if not raw:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(f"{SCALE_ENV_VAR} must be a float, got {raw!r}") from None
+    if value <= 0:
+        raise ValueError(f"{SCALE_ENV_VAR} must be positive, got {value}")
+    return value
+
+
+def reproduce_table1(
+    apps: Optional[Sequence[Type[AppModel]]] = None,
+    scale: float = 0.1,
+    seed: int = 0,
+    options: Optional[DetectorOptions] = None,
+) -> Table1:
+    """Run the precision evaluation over the given apps (default: all ten)."""
+    table = Table1()
+    for app_cls in apps if apps is not None else ALL_APPS:
+        run = app_cls(scale=scale, seed=seed).run()
+        table.evaluations.append(evaluate_run(run, options))
+    return table
+
+
+def paper_table1_rows(
+    apps: Optional[Sequence[Type[AppModel]]] = None,
+) -> List[Table1Row]:
+    """The published Table 1 rows, in the same order."""
+    return [app.paper_row for app in (apps if apps is not None else ALL_APPS)]
+
+
+def reproduce_figure8(
+    apps: Optional[Sequence[Type[AppModel]]] = None,
+    scale: float = 0.1,
+    seed: int = 0,
+) -> List[SlowdownResult]:
+    """Measure the tracing slowdown for the given apps (default: all ten)."""
+    return [
+        measure_slowdown(app_cls, scale=scale, seed=seed)
+        for app_cls in (apps if apps is not None else ALL_APPS)
+    ]

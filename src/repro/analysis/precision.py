@@ -1,0 +1,147 @@
+"""Precision evaluation — the machinery behind Table 1.
+
+For one application run: detect use-free races, join each static
+report against the workload's ground-truth annotations, and tabulate
+the row exactly as the paper does — races reported; true races split
+into intra-thread (a) / inter-thread (b) / conventional (c); false
+positives split into Types I / II / III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..apps.base import AppRun, Table1Row
+from ..detect import (
+    DetectionResult,
+    DetectorOptions,
+    ExpectedRace,
+    RaceClass,
+    RaceReport,
+    Verdict,
+    detect_use_free_races,
+)
+
+
+@dataclass
+class AppEvaluation:
+    """Detector output for one app joined with its ground truth."""
+
+    name: str
+    events: int
+    result: DetectionResult
+    #: reports with a matched ground-truth verdict
+    matched: List[RaceReport] = field(default_factory=list)
+    #: reports with no ground-truth annotation (should be empty)
+    unmatched: List[RaceReport] = field(default_factory=list)
+    #: annotations no report matched (should be empty)
+    missed: List[ExpectedRace] = field(default_factory=list)
+
+    # -- Table 1 cells ----------------------------------------------------
+
+    @property
+    def reported(self) -> int:
+        return len(self.result.reports)
+
+    def _true_of_class(self, race_class: RaceClass) -> int:
+        return sum(
+            1
+            for r in self.matched
+            if r.verdict is Verdict.HARMFUL and r.race_class is race_class
+        )
+
+    @property
+    def a(self) -> int:
+        return self._true_of_class(RaceClass.INTRA_THREAD)
+
+    @property
+    def b(self) -> int:
+        return self._true_of_class(RaceClass.INTER_THREAD)
+
+    @property
+    def c(self) -> int:
+        return self._true_of_class(RaceClass.CONVENTIONAL)
+
+    def _fp_of(self, verdict: Verdict) -> int:
+        return sum(1 for r in self.matched if r.verdict is verdict)
+
+    @property
+    def fp1(self) -> int:
+        return self._fp_of(Verdict.FP_TYPE_I)
+
+    @property
+    def fp2(self) -> int:
+        return self._fp_of(Verdict.FP_TYPE_II)
+
+    @property
+    def fp3(self) -> int:
+        return self._fp_of(Verdict.FP_TYPE_III)
+
+    @property
+    def true_races(self) -> int:
+        return self.a + self.b + self.c
+
+    @property
+    def precision(self) -> float:
+        return self.true_races / self.reported if self.reported else 0.0
+
+    def row(self) -> Table1Row:
+        """This run's measured Table 1 row."""
+        return Table1Row(
+            events=self.events,
+            reported=self.reported,
+            a=self.a,
+            b=self.b,
+            c=self.c,
+            fp1=self.fp1,
+            fp2=self.fp2,
+            fp3=self.fp3,
+        )
+
+
+def evaluate_run(
+    run: AppRun, options: Optional[DetectorOptions] = None
+) -> AppEvaluation:
+    """Detect races on a finished run and join with its ground truth."""
+    if run.trace is None:
+        raise ValueError(f"run of {run.name!r} collected no trace")
+    result = detect_use_free_races(run.trace, options)
+    evaluation = AppEvaluation(
+        name=run.name, events=run.event_count, result=result
+    )
+    remaining = list(run.expected)
+    for report in result.reports:
+        match = next((e for e in remaining if e.matches(report.key)), None)
+        if match is None:
+            evaluation.unmatched.append(report)
+            continue
+        report.verdict = match.verdict
+        remaining.remove(match)
+        evaluation.matched.append(report)
+    evaluation.missed = remaining
+    return evaluation
+
+
+@dataclass
+class Table1:
+    """The full reproduced table: one evaluation per app + totals."""
+
+    evaluations: List[AppEvaluation] = field(default_factory=list)
+
+    def totals(self) -> Table1Row:
+        return Table1Row(
+            events=sum(e.events for e in self.evaluations),
+            reported=sum(e.reported for e in self.evaluations),
+            a=sum(e.a for e in self.evaluations),
+            b=sum(e.b for e in self.evaluations),
+            c=sum(e.c for e in self.evaluations),
+            fp1=sum(e.fp1 for e in self.evaluations),
+            fp2=sum(e.fp2 for e in self.evaluations),
+            fp3=sum(e.fp3 for e in self.evaluations),
+        )
+
+    @property
+    def overall_precision(self) -> float:
+        totals = self.totals()
+        return totals.true_races / totals.reported if totals.reported else 0.0

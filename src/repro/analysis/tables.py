@@ -1,0 +1,73 @@
+"""Plain-text rendering of the evaluation artifacts.
+
+The formats mirror the paper: Table 1's columns (events, races
+reported, true races (a)/(b)/(c), false positives I/II/III) and
+Figure 8's per-app slowdown bars.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..apps.base import Table1Row
+from .performance import ScalingPoint, SlowdownResult
+from .precision import Table1
+
+_T1_HEADER = (
+    f"{'Application':<12} {'Events':>7} {'Reported':>9} "
+    f"{'(a)':>4} {'(b)':>4} {'(c)':>4} {'I':>4} {'II':>4} {'III':>4}"
+)
+
+
+def _t1_line(name: str, row: Table1Row) -> str:
+    return (
+        f"{name:<12} {row.events:>7} {row.reported:>9} "
+        f"{row.a:>4} {row.b:>4} {row.c:>4} "
+        f"{row.fp1:>4} {row.fp2:>4} {row.fp3:>4}"
+    )
+
+
+def format_table1(
+    table: Table1, paper_rows: Optional[Sequence[Table1Row]] = None
+) -> str:
+    """Render the reproduced Table 1 (optionally beside paper numbers)."""
+    lines = ["Table 1: races reported by CAFA", _T1_HEADER, "-" * len(_T1_HEADER)]
+    for i, evaluation in enumerate(table.evaluations):
+        lines.append(_t1_line(evaluation.name, evaluation.row()))
+        if paper_rows is not None:
+            lines.append(_t1_line("  (paper)", paper_rows[i]))
+    totals = table.totals()
+    lines.append("-" * len(_T1_HEADER))
+    lines.append(_t1_line("Overall", totals))
+    lines.append(
+        f"precision: {table.overall_precision:.0%} of reported races are "
+        f"harmful (paper: 60%)"
+    )
+    return "\n".join(lines)
+
+
+def format_slowdowns(results: Sequence[SlowdownResult]) -> str:
+    """Render Figure 8 as text bars."""
+    lines = [
+        "Figure 8: CPU-time slowdown of trace collection",
+        f"{'Application':<12} {'Slowdown':>9}  {'Paper':>6}  bar",
+    ]
+    for r in results:
+        bar = "#" * int(round(r.slowdown * 4))
+        paper = f"~{r.paper_slowdown:.1f}x" if r.paper_slowdown else "?"
+        lines.append(f"{r.name:<12} {r.slowdown:>8.2f}x  {paper:>6}  {bar}")
+    return "\n".join(lines)
+
+
+def format_scaling(points: Sequence[ScalingPoint]) -> str:
+    """Render the §6.4 analysis-time sweep."""
+    lines = [
+        "Offline analysis time vs. trace size (Section 6.4)",
+        f"{'Events':>8} {'Ops':>9} {'HB build':>10} {'Detect':>9} {'Total':>9}",
+    ]
+    for p in points:
+        lines.append(
+            f"{p.events:>8} {p.trace_ops:>9} {p.hb_seconds:>9.2f}s "
+            f"{p.detect_seconds:>8.2f}s {p.total_seconds:>8.2f}s"
+        )
+    return "\n".join(lines)

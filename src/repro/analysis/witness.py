@@ -1,0 +1,201 @@
+"""Violation witnesses: alternate schedules that manifest a race.
+
+CAFA is a *predictive* detector (Section 7.1.3): it reports a use-free
+race when no happens-before edge orders the use and the free, claiming
+some other execution runs the free first.  This module makes that claim
+constructive — given a report, it builds an alternate total order of
+the trace's operations that
+
+* respects every happens-before edge of the causality model,
+* keeps each looper's events atomic (no event of a looper interleaves
+  another event of the same looper), and
+* executes the free **before** the use,
+
+i.e. a concrete schedule in which the use-after-free manifests (the
+Figure 1b interleaving for the MyTracks report).  If no such order
+exists the race claim would be refuted; for races the model certifies
+as unordered one always exists at event granularity.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from ..detect import RaceReport
+from ..hb import HappensBefore
+from ..trace import Begin, End, TaskKind, Trace
+
+
+@dataclass
+class ViolationWitness:
+    """An alternate schedule manifesting a use-free race."""
+
+    trace: Trace
+    report: RaceReport
+    #: trace operation indices in the alternate execution order
+    order: List[int]
+
+    def position(self, op_index: int) -> int:
+        return self.order.index(op_index)
+
+    @property
+    def free_position(self) -> int:
+        return self.position(self.report.witness().free.index)
+
+    @property
+    def use_position(self) -> int:
+        return self.position(self.report.witness().use.read_index)
+
+    def event_order(self) -> List[str]:
+        """Task dispatch order (first operation of each task)."""
+        seen: Set[str] = set()
+        out: List[str] = []
+        for op_index in self.order:
+            task = self.trace[op_index].task
+            if task not in seen:
+                seen.add(task)
+                out.append(task)
+        return out
+
+    def format(self, limit: int = 30) -> str:
+        """Human-readable schedule (task switches; the use and free
+        operations are always shown, eliding the middle if needed)."""
+        witness = self.report.witness()
+        entries = []  # (is_marked, text)
+        previous = None
+        for op_index in self.order:
+            op = self.trace[op_index]
+            marker = ""
+            if op_index == witness.free.index:
+                marker = "   <-- the FREE"
+            elif op_index == witness.use.read_index:
+                marker = "   <-- the USE (after the free: violation!)"
+            if op.task != previous or marker:
+                entries.append((bool(marker), f"  {op.task}: {op.kind.value}{marker}"))
+                previous = op.task
+        lines = [f"alternate schedule manifesting: {self.report.key}"]
+        if len(entries) <= limit:
+            lines.extend(text for _, text in entries)
+            return "\n".join(lines)
+        # keep a prefix, every marked line, and some context around them
+        marked = [i for i, (m, _) in enumerate(entries) if m]
+        keep = set(range(min(limit // 2, len(entries))))
+        for m in marked:
+            keep.update(range(max(0, m - 2), min(len(entries), m + 2)))
+        previous_kept = -1
+        for i in sorted(keep):
+            if i != previous_kept + 1:
+                lines.append("  ...")
+            lines.append(entries[i][1])
+            previous_kept = i
+        if previous_kept != len(entries) - 1:
+            lines.append("  ...")
+        return "\n".join(lines)
+
+
+class WitnessError(Exception):
+    """No alternate schedule exists (the race claim is infeasible)."""
+
+
+def build_witness(
+    trace: Trace, hb: HappensBefore, report: RaceReport
+) -> ViolationWitness:
+    """Construct an alternate schedule running the free before the use.
+
+    A greedy topological sort over the operations: happens-before edges
+    and per-task program order are hard constraints; each looper may
+    have only one open event at a time; the begin of the use's task is
+    held back until the free has executed.
+    """
+    race = report.witness()
+    use_index = race.use.read_index
+    free_index = race.free.index
+    use_task = trace[use_index].task
+    n = len(trace)
+
+    # Dependency edges: program order within each task + key-graph edges.
+    successors: Dict[int, List[int]] = defaultdict(list)
+    indegree = [0] * n
+    previous_of_task: Dict[str, int] = {}
+    for i, op in enumerate(trace.ops):
+        prev = previous_of_task.get(op.task)
+        if prev is not None:
+            successors[prev].append(i)
+            indegree[i] += 1
+        previous_of_task[op.task] = i
+    graph = hb.graph
+    for u, v, _rule in graph.edges():
+        op_u, op_v = graph.op_of(u), graph.op_of(v)
+        if trace[op_u].task != trace[op_v].task:
+            successors[op_u].append(op_v)
+            indegree[op_v] += 1
+
+    ready: Set[int] = {i for i in range(n) if indegree[i] == 0}
+    order: List[int] = []
+    open_event: Dict[str, str] = {}  # looper -> open event task
+    free_done = False
+
+    def eligible(i: int) -> bool:
+        op = trace[i]
+        info = trace.tasks.get(op.task)
+        if info is not None and info.task_kind is TaskKind.EVENT and info.looper:
+            current = open_event.get(info.looper)
+            if current is not None and current != op.task:
+                return False  # another event of this looper is open
+            if (
+                not free_done
+                and op.task == use_task
+                and isinstance(op, Begin)
+            ):
+                return False  # hold the use's event back until the free ran
+        return True
+
+    def priority(i: int) -> tuple:
+        op = trace[i]
+        # run the free's task as early as possible, the use's as late
+        # as possible, everything else in original order
+        if op.task == trace[free_index].task:
+            rank = 0
+        elif op.task == use_task:
+            rank = 2
+        else:
+            rank = 1
+        return (rank, i)
+
+    while ready:
+        candidates = [i for i in ready if eligible(i)]
+        if not candidates:
+            raise WitnessError(
+                f"no alternate schedule exists for {report.key} "
+                "(the race claim is infeasible)"
+            )
+        chosen = min(candidates, key=priority)
+        ready.remove(chosen)
+        order.append(chosen)
+        op = trace[chosen]
+        info = trace.tasks.get(op.task)
+        if info is not None and info.task_kind is TaskKind.EVENT and info.looper:
+            if isinstance(op, Begin):
+                open_event[info.looper] = op.task
+            elif isinstance(op, End):
+                open_event.pop(info.looper, None)
+        if chosen == free_index:
+            free_done = True
+        for succ in successors[chosen]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                ready.add(succ)
+
+    if len(order) != n:
+        raise WitnessError(
+            f"no alternate schedule exists for {report.key} "
+            "(dependency cycle under the atomicity constraints)"
+        )
+    witness = ViolationWitness(trace=trace, report=report, order=order)
+    if witness.free_position > witness.use_position:
+        raise WitnessError(
+            f"could not schedule the free before the use for {report.key}"
+        )
+    return witness

@@ -1,0 +1,38 @@
+"""Workload models of the ten applications of the evaluation
+(Section 6.1), with ground-truth race annotations."""
+
+from .base import AppModel, AppRun, NoiseProfile, RaceMix, Table1Row
+from .browser import BrowserApp
+from .camera import CameraApp
+from .catalog import ALL_APPS, APPS_BY_NAME, make_app
+from .connectbot import ConnectBotApp
+from .fbreader import FBReaderApp
+from .firefox import FirefoxApp
+from .music import MusicApp
+from .mytracks import MyTracksApp
+from .sites import SitePlan
+from .todolist import ToDoListApp
+from .vlc import VlcApp
+from .zxing import ZXingApp
+
+__all__ = [
+    "ALL_APPS",
+    "APPS_BY_NAME",
+    "AppModel",
+    "AppRun",
+    "BrowserApp",
+    "CameraApp",
+    "ConnectBotApp",
+    "FBReaderApp",
+    "FirefoxApp",
+    "MusicApp",
+    "MyTracksApp",
+    "NoiseProfile",
+    "RaceMix",
+    "SitePlan",
+    "Table1Row",
+    "ToDoListApp",
+    "VlcApp",
+    "ZXingApp",
+    "make_app",
+]

@@ -1,0 +1,108 @@
+"""Browser — the AOSP built-in browser (Section 6.1).
+
+Session modeled: visit the Google home page, search for "cse", click
+the University of Michigan CSE link, press back once the page loads.
+The browser is the most race-dense app of the evaluation (35 reports):
+its tab/webview state is shared between the UI looper and the HTTP and
+renderer worker threads, producing mostly cross-thread violations —
+19 conventional plus 8 that only the relaxed event order exposes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..detect import ExpectedRace, Verdict
+from ..runtime import AndroidSystem, AsyncTask, ExternalSource, Handler, Process
+from .base import AppModel, NoiseProfile, Table1Row
+from .sites import SitePlan
+
+
+class BrowserApp(AppModel):
+    name = "browser"
+    description = "The built-in browser of the Android Open Source Project."
+    session = (
+        "Visit the Google homepage, search for 'cse', click the UMich "
+        "CSE link, press back after the page loads."
+    )
+    paper_row = Table1Row(
+        events=3965, reported=35, a=0, b=8, c=19, fp1=1, fp2=7, fp3=0
+    )
+    paper_slowdown = 3.1
+    noise = NoiseProfile(
+        worker_threads=4,
+        events_per_worker=870,
+        external_events=400,
+        handler_pool=20,
+        var_pool=16,
+        reads_per_event=3,
+        writes_per_event=1,
+        compute_ticks=8,
+    )
+    label_pool = [
+        "onPageStarted",
+        "onPageFinished",
+        "onProgressChanged",
+        "loadUrl",
+        "onReceivedTitle",
+        "updateTabList",
+    ]
+
+    def install_scenarios(
+        self, system: AndroidSystem, proc: Process, main: str
+    ) -> List[SitePlan]:
+        """The page-load pipeline, written like the real browser:
+        ``loadUrl`` kicks off an AsyncTask whose worker thread renders
+        into the tab's webview snapshot while the back-navigation
+        lifecycle event frees the tab — a conventional cross-thread
+        use-after-free (two of the 19 column-(c) sites)."""
+        plans = []
+        ui = Handler(main, name="browserUi")
+        for k, field in enumerate(("webview", "pageSnapshot")):
+            plans.append(self._page_load_race(system, proc, main, ui, k, field))
+        return plans
+
+    def _page_load_race(
+        self,
+        system: AndroidSystem,
+        proc: Process,
+        main: str,
+        ui: Handler,
+        k: int,
+        field: str,
+    ) -> SitePlan:
+        tab = proc.heap.new(f"Tab{k}")
+        tab.fields[field] = proc.heap.new(f"WebView{k}")
+        worker_label = None
+
+        def render_page(ctx):
+            yield from ctx.sleep(8 + 4 * k)  # network + parse
+            ctx.use_field(tab, field)        # paint into the tab state
+            return "rendered"
+
+        task = AsyncTask(f"loadUrl{k}", render_page)
+        worker_name = f"renderWorker{k}"
+
+        def on_load(ctx):
+            task.execute(ctx, ui, thread_name=worker_name)
+
+        proc.thread(f"loadStarter{k}", on_load)
+
+        def on_back(ctx):
+            ctx.put_field(tab, field, None)  # tear the tab down
+
+        nav = ExternalSource(f"browser_nav{k}")
+        nav.at(60 + 10 * k, main, on_back, f"destroyTab{k}")
+        nav.attach(system, proc)
+        # The use's static site is the worker thread's synthetic method
+        # (its thread id), which thread_name pins deterministically.
+        expected = ExpectedRace(
+            field=field,
+            use_method=f"{self.name}/{worker_name}",
+            free_method=f"destroyTab{k}",
+            verdict=Verdict.HARMFUL,
+            note="AsyncTask renders into a tab freed by back-navigation",
+        )
+        return SitePlan(
+            "conventional", field, expected.use_method, expected.free_method, expected
+        )

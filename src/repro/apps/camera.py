@@ -1,0 +1,94 @@
+"""Camera — the AOSP built-in camera (Section 6.1).
+
+Session modeled: take a picture, switch to the home screen, switch
+back, take another picture.  The capture pipeline shares the camera
+device proxy between the UI looper and the capture/storage threads;
+pausing releases it, which races in-flight capture callbacks.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..detect import ExpectedRace, Verdict
+from ..runtime import AndroidSystem, ExternalSource, Process
+from .base import AppModel, NoiseProfile, Table1Row
+from .sites import SitePlan
+
+
+class CameraApp(AppModel):
+    name = "camera"
+    description = "The built-in camera of the Android Open Source Project."
+    session = (
+        "Take a picture, switch to the home screen, switch back and "
+        "take another picture."
+    )
+    paper_row = Table1Row(
+        events=7287, reported=9, a=1, b=1, c=0, fp1=0, fp2=5, fp3=2
+    )
+    paper_slowdown = 3.0
+    noise = NoiseProfile(
+        worker_threads=4,
+        events_per_worker=1640,
+        external_events=730,
+        handler_pool=16,
+        var_pool=18,
+        compute_ticks=9,
+    )
+    label_pool = [
+        "onPictureTaken",
+        "onShutter",
+        "updateThumbnail",
+        "onAutoFocus",
+        "startPreview",
+    ]
+
+    def install_scenarios(
+        self, system: AndroidSystem, proc: Process, main: str
+    ) -> List[SitePlan]:
+        """The capture callback through a real Binder service: taking a
+        picture RPCs into the media server, whose binder thread posts
+        ``onPictureTaken`` back to the UI looper; the pause lifecycle
+        event releases the camera device — the (a) cell, with the same
+        cross-process chain as MyTracks' Figure 1."""
+        activity = proc.heap.new("CameraActivity")
+        activity.fields["cameraDevice"] = proc.heap.new("CameraDevice")
+        media_server = system.process("mediaserver")
+
+        def on_picture_taken(ctx):
+            ctx.use_field(activity, "cameraDevice")  # addCallbackBuffer
+
+        def take_picture(ctx, reply_looper):
+            yield from ctx.sleep(5)  # exposure + encode
+            ctx.post(reply_looper, on_picture_taken, label="onPictureTaken")
+            return "jpeg"
+
+        system.add_service("media.camera", media_server, {"takePicture": take_picture})
+
+        def on_shutter(ctx):
+            yield from ctx.binder_call("media.camera", "takePicture", main)
+
+        def on_pause_release(ctx):
+            ctx.put_field(activity, "cameraDevice", None)
+
+        user = ExternalSource("camera_user")
+        user.at(30, main, on_shutter, "onShutter")
+        user.at(80, main, on_pause_release, "onPauseRelease")
+        user.attach(system, proc)
+
+        expected = ExpectedRace(
+            field="cameraDevice",
+            use_method="onPictureTaken",
+            free_method="onPauseRelease",
+            verdict=Verdict.HARMFUL,
+            note="capture callback races the pause-time camera release",
+        )
+        return [
+            SitePlan(
+                "intra-thread",
+                "cameraDevice",
+                "onPictureTaken",
+                "onPauseRelease",
+                expected,
+            )
+        ]

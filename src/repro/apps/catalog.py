@@ -1,0 +1,44 @@
+"""The application catalog: the ten workloads of Section 6.1."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from .base import AppModel
+from .browser import BrowserApp
+from .camera import CameraApp
+from .connectbot import ConnectBotApp
+from .fbreader import FBReaderApp
+from .firefox import FirefoxApp
+from .music import MusicApp
+from .mytracks import MyTracksApp
+from .todolist import ToDoListApp
+from .vlc import VlcApp
+from .zxing import ZXingApp
+
+#: in the paper's Table 1 / Figure 8 order
+ALL_APPS: List[Type[AppModel]] = [
+    ConnectBotApp,
+    MyTracksApp,
+    ZXingApp,
+    ToDoListApp,
+    BrowserApp,
+    FirefoxApp,
+    VlcApp,
+    FBReaderApp,
+    CameraApp,
+    MusicApp,
+]
+
+APPS_BY_NAME: Dict[str, Type[AppModel]] = {app.name: app for app in ALL_APPS}
+
+
+def make_app(name: str, scale: float = 1.0, seed: int = 0) -> AppModel:
+    """Instantiate a workload by its app name."""
+    try:
+        cls = APPS_BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown app {name!r}; available: {sorted(APPS_BY_NAME)}"
+        ) from None
+    return cls(scale=scale, seed=seed)

@@ -1,0 +1,82 @@
+"""ConnectBot — an SSH client (Section 6.1, Figure 2).
+
+Session modeled: click a host in the host list, enter the password at
+the prompt, stop after login succeeds.  Version 1.7 contains a known
+use-free bug between the connection bridge teardown and the relay
+thread (the paper detects 2 inter-thread violations plus one Type I
+false positive).
+
+The Figure 2 pattern — ``onPause`` writing ``resizeAllowed`` while
+``onLayout`` reads it — is installed verbatim; it is the paper's
+canonical *commutative* read-write race: the low-level baseline reports
+it (among its 1,664 ConnectBot races) and CAFA must not.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..runtime import AndroidSystem, Process
+from .base import AppModel, NoiseProfile, Table1Row
+from . import sites
+from .sites import SitePlan
+
+
+class ConnectBotApp(AppModel):
+    name = "connectbot"
+    description = "An SSH client for Android (version 1.7, known bug r90632bd)."
+    session = (
+        "Click a remote host in the host list, enter the password at the "
+        "prompt, stop after login succeeds."
+    )
+    paper_row = Table1Row(
+        events=3058, reported=3, a=0, b=2, c=0, fp1=1, fp2=0, fp3=0
+    )
+    #: §4.1: the conventional low-level definition yields 1,664 races here
+    paper_low_level_races = 1664
+    paper_slowdown = 3.5
+    noise = NoiseProfile(
+        worker_threads=4,
+        events_per_worker=690,
+        external_events=300,
+        handler_pool=18,
+        var_pool=12,
+        reads_per_event=3,
+        writes_per_event=2,
+        compute_ticks=6,
+    )
+    label_pool = ["onKey", "redraw", "bufferUpdated", "promptPassword"]
+
+    def install_scenarios(
+        self, system: AndroidSystem, proc: Process, main: str
+    ) -> List[SitePlan]:
+        plans = [
+            # The known bug: the terminal bridge is torn down by the
+            # relay thread when the connection drops, racing the UI
+            # events still using it.  Invisible to a conventional
+            # detector — the teardown is triggered by a later UI event.
+            sites.inter_thread_race(
+                system, proc, main, "cb_bridge",
+                use_label="onTerminalViewKey", free_thread="relay",
+                at_ms=150, field="bridge",
+            ),
+            sites.inter_thread_race(
+                system, proc, main, "cb_prompt",
+                use_label="updatePromptVisible", free_thread="connection",
+                at_ms=180, field="promptHelper",
+            ),
+            sites.fp_untraced_listener(
+                system, proc, main, "cb_listener",
+                use_label="onHostStatusChanged", free_label="onServiceDisconnect",
+                at_ms=210, field="hostdb",
+            ),
+        ]
+        # Figure 2, literally: commutative resizeAllowed read-write.
+        plans.append(
+            sites.commutative_read_write(
+                system, proc, main, "cb_fig2",
+                read_label="onLayout", write_label="onPause",
+                at_ms=240, var="resizeAllowed",
+            )
+        )
+        return plans

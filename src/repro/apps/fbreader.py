@@ -1,0 +1,95 @@
+"""FBReader — a free e-book reader (Section 6.1).
+
+Session modeled: read the tutorial from the first page to the last,
+rotate the phone, move back to the first page.  The rotation restarts
+the activity, so the book model is freed and rebuilt while page-turn
+events and the prefetch thread still reference it — the classic
+rotation use-after-free mix.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..detect import ExpectedRace, Verdict
+from ..runtime import AndroidSystem, ExternalSource, Process
+from .base import AppModel, NoiseProfile, Table1Row
+from .sites import SitePlan
+
+
+class FBReaderApp(AppModel):
+    name = "fbreader"
+    description = "FBReaderJ e-book reader (version 1.9.6.1)."
+    session = (
+        "Read the tutorial from first to last page, rotate the phone, "
+        "then move back to the first page."
+    )
+    paper_row = Table1Row(
+        events=3528, reported=9, a=1, b=3, c=1, fp1=2, fp2=2, fp3=0
+    )
+    paper_slowdown = 4.7
+    noise = NoiseProfile(
+        worker_threads=4,
+        events_per_worker=795,
+        external_events=350,
+        handler_pool=15,
+        var_pool=14,
+        compute_ticks=2,
+    )
+    label_pool = [
+        "onPageTurn",
+        "repaintWidget",
+        "onPreferenceChange",
+        "rebuildModel",
+        "prefetchPage",
+    ]
+
+    def install_scenarios(
+        self, system: AndroidSystem, proc: Process, main: str
+    ) -> List[SitePlan]:
+        """The rotation bug, structurally: rotating the phone destroys
+        the book model and rebuilds it *in a later event*; a page-show
+        event posted by the prefetch thread races the teardown.  The
+        rebuild happens in a different event, so the
+        intra-event-allocation heuristic rightly does **not** save it —
+        the free is visible to the racing use (the (a) cell)."""
+        activity = proc.heap.new("FBReaderActivity")
+        activity.fields["bookModel"] = proc.heap.new("BookModel")
+
+        def show_page(ctx):
+            ctx.use_field(activity, "bookModel")
+
+        def prefetch(ctx):
+            yield from ctx.sleep(120)
+            ctx.post(main, show_page, label="showPage")
+
+        proc.thread("prefetch", prefetch)
+
+        def rebuild_model(ctx):
+            fresh = ctx.new_object("BookModel")
+            ctx.put_field(activity, "bookModel", fresh)
+
+        def on_configuration_changed(ctx):
+            ctx.put_field(activity, "bookModel", None)  # teardown
+            ctx.post(main, rebuild_model, label="rebuildModel")
+
+        rotation = ExternalSource("fb_rotation")
+        rotation.at(150, main, on_configuration_changed, "onConfigurationChanged")
+        rotation.attach(system, proc)
+
+        expected = ExpectedRace(
+            field="bookModel",
+            use_method="showPage",
+            free_method="onConfigurationChanged",
+            verdict=Verdict.HARMFUL,
+            note="rotation frees the model; the rebuild lands one event later",
+        )
+        return [
+            SitePlan(
+                "intra-thread",
+                "bookModel",
+                "showPage",
+                "onConfigurationChanged",
+                expected,
+            )
+        ]

@@ -1,0 +1,129 @@
+"""Firefox — Mozilla's browser for Android (Section 6.1).
+
+Session modeled: same page visits as the Browser workload (Google ->
+search 'cse' -> UMich CSE -> back).  Firefox 25 splits work between
+the Gecko thread and the UI looper, which yields mostly cross-thread
+violations plus a cluster of listener-related Type I false positives —
+Gecko registers its observers through JNI paths the instrumentation
+does not cover.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..detect import ExpectedRace, Verdict
+from ..runtime import AndroidSystem, ExternalSource, Process
+from .base import AppModel, NoiseProfile, Table1Row
+from .sites import SitePlan
+
+
+class FirefoxApp(AppModel):
+    name = "firefox"
+    description = "Mozilla Firefox for Android (version 25)."
+    session = (
+        "Visit the Google homepage, search for 'cse', click the UMich "
+        "CSE link, press back after the page loads."
+    )
+    paper_row = Table1Row(
+        events=5467, reported=25, a=0, b=6, c=10, fp1=4, fp2=5, fp3=0
+    )
+    paper_slowdown = 2.2
+    noise = NoiseProfile(
+        worker_threads=5,
+        events_per_worker=985,
+        external_events=550,
+        handler_pool=22,
+        var_pool=18,
+        reads_per_event=2,
+        writes_per_event=1,
+        compute_ticks=19,
+    )
+    label_pool = [
+        "onTabChanged",
+        "geckoEvent",
+        "onLocationChange",
+        "handleMessage",
+        "updateDisplayPort",
+    ]
+
+    def install_scenarios(
+        self, system: AndroidSystem, proc: Process, main: str
+    ) -> List[SitePlan]:
+        """The Gecko split, structurally: the long-lived Gecko thread
+        paints through the layer view while the UI looper's tab
+        teardown frees it.  Plus one of the Type I reports: Gecko
+        registers its observers through JNI, which the instrumentation
+        does not cover — the registration record is missing, so the
+        genuinely-ordered observer dispatch is reported as a race.
+        """
+        plans = []
+
+        # -- conventional (c): Gecko thread vs tab teardown -------------
+        tab = proc.heap.new("BrowserTab")
+        tab.fields["layerView"] = proc.heap.new("GeckoLayerView")
+
+        def gecko_thread(ctx):
+            yield from ctx.sleep(90)
+            ctx.use_field(tab, "layerView")  # composite the next frame
+
+        gecko_id = proc.thread("Gecko", gecko_thread)
+
+        def close_tab(ctx):
+            ctx.put_field(tab, "layerView", None)
+
+        user = ExternalSource("ff_user")
+        user.at(120, main, close_tab, "onTabClosed")
+        user.attach(system, proc)
+        plans.append(
+            SitePlan(
+                "conventional",
+                "layerView",
+                gecko_id,
+                "onTabClosed",
+                ExpectedRace(
+                    field="layerView",
+                    use_method=gecko_id,
+                    free_method="onTabClosed",
+                    verdict=Verdict.HARMFUL,
+                    note="Gecko compositor races the tab teardown",
+                ),
+            )
+        )
+
+        # -- Type I: JNI-registered observer -----------------------------
+        session = proc.heap.new("GeckoSession")
+        session.fields["observer"] = proc.heap.new("SessionObserver")
+
+        def notify_observers(ctx):
+            ctx.put_field(session, "observer", None)  # unregister-and-free
+
+        def register_via_jni(ctx):
+            # The registration crosses the JNI boundary: untraced.
+            ctx.register_listener("gecko:shutdown", notify_observers, traced=False)
+            ctx.use_field(session, "observer")
+
+        def starter(ctx):
+            yield from ctx.sleep_until(150)
+            ctx.post(main, register_via_jni, label="onGeckoReady")
+
+        proc.thread("jni_bridge", starter)
+        shutdown = ExternalSource("ff_shutdown")
+        shutdown.at_listener(170, main, "gecko:shutdown", label="onGeckoShutdown")
+        shutdown.attach(system, proc)
+        plans.append(
+            SitePlan(
+                "fp-listener",
+                "observer",
+                "onGeckoReady",
+                "onGeckoShutdown",
+                ExpectedRace(
+                    field="observer",
+                    use_method="onGeckoReady",
+                    free_method="onGeckoShutdown",
+                    verdict=Verdict.FP_TYPE_I,
+                    note="ordered via a JNI-registered observer the tracer misses",
+                ),
+            )
+        )
+        return plans

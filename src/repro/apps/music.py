@@ -1,0 +1,99 @@
+"""Music — the AOSP built-in audio player (Section 6.1).
+
+Session modeled: play an MP3 for a few seconds, pause and switch to
+the home screen, switch back and resume.  The playback service's
+cursor/album-art state yields two intra-thread violations; the app is
+also the heaviest tracing workload of Figure 8 (the paper reports its
+offline analysis alone took about a day, owing to its event density).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..detect import ExpectedRace, Verdict
+from ..dvm import MethodBuilder
+from ..runtime import AndroidSystem, ExternalSource, Process
+from .base import AppModel, NoiseProfile, Table1Row
+from .sites import SitePlan
+
+
+class MusicApp(AppModel):
+    name = "music"
+    description = "The built-in audio player of the Android Open Source Project."
+    session = (
+        "Play an MP3 for a few seconds, pause and switch to the home "
+        "screen, switch back and resume playback."
+    )
+    paper_row = Table1Row(
+        events=6684, reported=5, a=2, b=0, c=0, fp1=0, fp2=2, fp3=1
+    )
+    paper_slowdown = 5.6
+    noise = NoiseProfile(
+        worker_threads=4,
+        events_per_worker=1500,
+        external_events=670,
+        handler_pool=14,
+        var_pool=16,
+        reads_per_event=4,
+        writes_per_event=2,
+        compute_ticks=1,
+    )
+    label_pool = [
+        "onMetaChanged",
+        "refreshProgress",
+        "queueNextTrack",
+        "updateAlbumArt",
+    ]
+
+    def install_scenarios(
+        self, system: AndroidSystem, proc: Process, main: str
+    ) -> List[SitePlan]:
+        """One of the two intra-thread violations as real bytecode:
+        the progress refresher reads the track cursor and queries it;
+        the pause clean-up closes (nulls) the cursor.  No guard, no
+        catch — the crash the paper attributes to events scheduled
+        after the pause event."""
+        m = MethodBuilder("MediaPlayback.refreshNow", params=1)
+        m.iget_object(1, 0, "mCursor")            # pc 0: the racy read
+        m.invoke("Cursor.position", receiver=1)   # pc 1: the dereference
+        m.return_void()
+        proc.program.add_method(m.build())
+        proc.program.add_intrinsic("Cursor.position", lambda args: 0)
+
+        player = proc.heap.new("MediaPlaybackActivity")
+        player.fields["mCursor"] = proc.heap.new("TrackCursor")
+
+        def refresh_now(ctx):
+            ctx.compute(1)
+            ctx.call_method("MediaPlayback.refreshNow", [player])
+
+        def progress_timer(ctx):
+            yield from ctx.sleep(110)
+            ctx.post(main, refresh_now, label="refreshNow")
+
+        proc.thread("progressTimer", progress_timer)
+
+        def on_pause_cleanup(ctx):
+            ctx.put_field(player, "mCursor", None)
+
+        user = ExternalSource("music_user")
+        user.at(140, main, on_pause_cleanup, "onPauseCleanup")
+        user.attach(system, proc)
+
+        expected = ExpectedRace(
+            field="mCursor",
+            use_method="MediaPlayback.refreshNow",
+            free_method="onPauseCleanup",
+            verdict=Verdict.HARMFUL,
+            note="progress refresh queries a cursor closed by the pause",
+        )
+        return [
+            SitePlan(
+                "intra-thread",
+                "mCursor",
+                "MediaPlayback.refreshNow",
+                "onPauseCleanup",
+                expected,
+            )
+        ]

@@ -1,0 +1,140 @@
+"""MyTracks — Google's GPS track recorder (Section 6.1, Figures 1/2).
+
+Session modeled: record a short track, pause the app by switching to
+another application, switch back.  The signature bug is Figure 1: the
+``onServiceConnected`` event (posted by the TrackRecordingService's
+binder thread in a different process) uses ``providerUtils``, while the
+external ``onDestroy`` lifecycle event frees it; nothing orders them.
+
+The workload recreates that structure with a real simulated Binder
+service, plus the ``startRecordingNewTrack`` commutative pattern the
+paper quotes (a Type II false positive: the guard is program state the
+if-guard heuristic cannot see).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..detect import ExpectedRace, Verdict
+from ..runtime import AndroidSystem, ExternalSource, Process
+from .base import AppModel, NoiseProfile, Table1Row
+from .sites import SitePlan
+
+
+class MyTracksApp(AppModel):
+    name = "mytracks"
+    description = "Records GPS tracks using Google Maps (version 1.1.7)."
+    session = (
+        "Record a short track, pause it by switching to another "
+        "application, then switch back."
+    )
+    paper_row = Table1Row(
+        events=6628, reported=8, a=1, b=3, c=0, fp1=0, fp2=4, fp3=0
+    )
+    paper_slowdown = 4.2
+    noise = NoiseProfile(
+        worker_threads=4,
+        events_per_worker=1500,
+        external_events=600,
+        handler_pool=14,
+        var_pool=20,
+        compute_ticks=3,
+    )
+    label_pool = [
+        "onLocationChanged",
+        "updateTrackUi",
+        "onSharedPreferenceChanged",
+        "announceFrequency",
+    ]
+
+    def install_scenarios(
+        self, system: AndroidSystem, proc: Process, main: str
+    ) -> List[SitePlan]:
+        plans = [self._figure1_race(system, proc, main)]
+        plans.append(self._start_recording_flag_race(system, proc, main))
+        return plans
+
+    def _figure1_race(
+        self, system: AndroidSystem, proc: Process, main: str
+    ) -> SitePlan:
+        """The providerUtils use-after-free through a real RPC chain."""
+        activity = proc.heap.new("MyTracksActivity")
+        activity.fields["providerUtils"] = proc.heap.new("MyTracksProviderUtils")
+        service_proc = system.process("com.google.android.apps.mytracks.services")
+
+        def on_service_connected(ctx):
+            ctx.new_object("Track")
+            ctx.use_field(activity, "providerUtils")  # updateTrack(track)
+
+        def on_bind(ctx, reply_looper):
+            ctx.post(reply_looper, on_service_connected, label="onServiceConnected")
+            return "binder"
+
+        system.add_service(
+            "TrackRecordingService", service_proc, {"bind": on_bind}
+        )
+
+        def on_resume(ctx):
+            yield from ctx.binder_call("TrackRecordingService", "bind", main)
+
+        def on_destroy(ctx):
+            ctx.put_field(activity, "providerUtils", None)
+
+        user = ExternalSource("mytracks_user")
+        user.at(10, main, on_resume, "onResume")
+        user.at(60, main, on_destroy, "onDestroy")
+        user.attach(system, proc)
+        expected = ExpectedRace(
+            field="providerUtils",
+            use_method="onServiceConnected",
+            free_method="onDestroy",
+            verdict=Verdict.HARMFUL,
+            note="Figure 1: NPE when onDestroy precedes onServiceConnected",
+        )
+        return SitePlan(
+            "intra-thread", "providerUtils", "onServiceConnected", "onDestroy", expected
+        )
+
+    def _start_recording_flag_race(
+        self, system: AndroidSystem, proc: Process, main: str
+    ) -> SitePlan:
+        """startRecordingNewTrack: guarded by app state, not a null test.
+
+        The paper quotes the method's TODO comment and classifies the
+        resulting reports as benign — our Type II shape.
+        """
+        recorder = proc.heap.new("TrackRecorder")
+        recorder.fields["recordingTrack"] = proc.heap.new("Track")
+        proc.store["isRecording"] = True
+
+        def start_recording_new_track(ctx):
+            if ctx.read("isRecording"):
+                ctx.use_field(recorder, "recordingTrack")
+
+        def stop_recording(ctx):
+            ctx.write("isRecording", False)
+            ctx.put_field(recorder, "recordingTrack", None)
+
+        def poster(ctx):
+            yield from ctx.sleep_until(80)
+            ctx.post(main, start_recording_new_track, label="startRecordingNewTrack")
+
+        proc.thread("recording_poster", poster)
+        user = ExternalSource("mytracks_stop")
+        user.at(95, main, stop_recording, "stopRecording")
+        user.attach(system, proc)
+        expected = ExpectedRace(
+            field="recordingTrack",
+            use_method="startRecordingNewTrack",
+            free_method="stopRecording",
+            verdict=Verdict.FP_TYPE_II,
+            note="benign: guarded by isRecording app state (paper §6.2)",
+        )
+        return SitePlan(
+            "fp-boolean",
+            "recordingTrack",
+            "startRecordingNewTrack",
+            "stopRecording",
+            expected,
+        )

@@ -1,0 +1,421 @@
+"""Reusable race-site recipes for the application workloads.
+
+Each recipe installs, into a simulated app, the smallest program
+structure that produces one use-free race report of a given Table 1
+category — or a commutative pattern that the detector must *not*
+report.  The recipes are faithful to the bug shapes the paper
+describes:
+
+* :func:`intra_thread_race` — column (a): a use in an event posted by a
+  background thread races a free in an external lifecycle event on the
+  same looper (the MyTracks Figure 1 shape).
+* :func:`inter_thread_race` — column (b): a use in an event races a
+  free performed by a regular thread that was woken by a *later* event
+  of the same looper; a conventional detector orders the looper's
+  events totally and therefore misses it.
+* :func:`conventional_race` — column (c): a plain cross-thread use-free
+  race with no synchronization, visible to any detector.
+* :func:`fp_untraced_listener` — Type I: the real ordering goes through
+  an event listener registered in an *uninstrumented* package, so the
+  register record is missing and a false race is reported.
+* :func:`fp_boolean_guard` — Type II: the use is guarded by a boolean
+  flag rather than a pointer null-check; the events are commutative but
+  the if-guard heuristic cannot see it.
+* :func:`fp_deref_mismatch` — Type III: a dereference of a reference
+  obtained through an untraced path is matched to an unrelated pointer
+  read of the same object, fabricating a use.
+* :func:`commutative_guarded_use`, :func:`commutative_realloc_use` —
+  the two Figure 5 shapes the heuristics must filter.
+* :func:`commutative_read_write` — the Figure 2 shape: a read-write
+  conflict between commutative events (low-level baseline fodder;
+  never a use-free report).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..detect import ExpectedRace, Verdict
+from ..runtime import AndroidSystem, ExternalSource, Process
+
+
+@dataclass(frozen=True)
+class SitePlan:
+    """Bookkeeping for one installed site (used by tests/benchmarks)."""
+
+    kind: str
+    field: str
+    use_method: str
+    free_method: str
+    expected: Optional[ExpectedRace]
+
+
+def _holder(proc: Process, tag: str, field: str):
+    holder = proc.heap.new(f"Holder_{tag}")
+    holder.fields[field] = proc.heap.new(f"Target_{tag}")
+    return holder
+
+
+def _delayed_post(proc: Process, main: str, tag: str, at_ms: float, handler, label: str):
+    """A root thread that posts one (non-external) event at ``at_ms``."""
+
+    def poster(ctx):
+        yield from ctx.sleep_until(at_ms)
+        ctx.post(main, handler, label=label)
+
+    proc.thread(f"poster_{tag}", poster)
+
+
+# ---------------------------------------------------------------------------
+# true races
+# ---------------------------------------------------------------------------
+
+
+def intra_thread_race(
+    system: AndroidSystem,
+    proc: Process,
+    main: str,
+    tag: str,
+    use_label: str,
+    free_label: str,
+    at_ms: float,
+    field: str = "ptr",
+) -> SitePlan:
+    """Column (a): both endpoints are events of the same looper.
+
+    The use-event is posted by a background thread (so the external
+    chain cannot order it); the free arrives as an external lifecycle
+    event a little later.  Reversing their order in another execution
+    dereferences null — the Figure 1 bug.
+    """
+    holder = _holder(proc, tag, field)
+
+    def use_handler(ctx):
+        ctx.use_field(holder, field)
+
+    def free_handler(ctx):
+        ctx.put_field(holder, field, None)
+
+    _delayed_post(proc, main, tag, at_ms, use_handler, use_label)
+    source = ExternalSource(f"src_{tag}")
+    source.at(at_ms + 5, main, free_handler, free_label)
+    source.attach(system, proc)
+    expected = ExpectedRace(
+        field=field,
+        use_method=use_label,
+        free_method=free_label,
+        verdict=Verdict.HARMFUL,
+        note="intra-thread use-after-free (Figure 1 shape)",
+    )
+    return SitePlan("intra-thread", field, use_label, free_label, expected)
+
+
+def inter_thread_race(
+    system: AndroidSystem,
+    proc: Process,
+    main: str,
+    tag: str,
+    use_label: str,
+    free_thread: str,
+    at_ms: float,
+    field: str = "ptr",
+) -> SitePlan:
+    """Column (b): missed by the conventional detector.
+
+    The use runs in an event E_use; a *later* external event notifies a
+    monitor; a regular thread wakes and frees the pointer.  The
+    conventional model chains E_use before the trigger event (total
+    looper order) and hence before the free — but no real causality
+    orders them, so CAFA reports the race.
+    """
+    holder = _holder(proc, tag, field)
+    monitor = f"mon_{tag}"
+
+    def use_handler(ctx):
+        ctx.use_field(holder, field)
+
+    def trigger_handler(ctx):
+        ctx.notify(monitor)
+
+    def freer(ctx):
+        yield from ctx.wait(monitor)
+        ctx.put_field(holder, field, None)
+
+    _delayed_post(proc, main, tag, at_ms, use_handler, use_label)
+    source = ExternalSource(f"src_{tag}")
+    source.at(at_ms + 5, main, trigger_handler, f"{use_label}_trigger")
+    source.attach(system, proc)
+    thread_id = proc.thread(free_thread, freer)
+    expected = ExpectedRace(
+        field=field,
+        use_method=use_label,
+        free_method=thread_id,
+        verdict=Verdict.HARMFUL,
+        note="inter-thread violation invisible to the conventional model",
+    )
+    return SitePlan("inter-thread", field, use_label, thread_id, expected)
+
+
+def conventional_race(
+    system: AndroidSystem,
+    proc: Process,
+    main: str,
+    tag: str,
+    use_thread: str,
+    free_label: str,
+    at_ms: float,
+    field: str = "ptr",
+) -> SitePlan:
+    """Column (c): a cross-thread race any detector can see."""
+    holder = _holder(proc, tag, field)
+
+    def user(ctx):
+        yield from ctx.sleep_until(at_ms)
+        ctx.use_field(holder, field)
+
+    def free_handler(ctx):
+        ctx.put_field(holder, field, None)
+
+    thread_id = proc.thread(use_thread, user)
+    source = ExternalSource(f"src_{tag}")
+    source.at(at_ms + 5, main, free_handler, free_label)
+    source.attach(system, proc)
+    expected = ExpectedRace(
+        field=field,
+        use_method=thread_id,
+        free_method=free_label,
+        verdict=Verdict.HARMFUL,
+        note="conventional cross-thread use-after-free",
+    )
+    return SitePlan("conventional", field, thread_id, free_label, expected)
+
+
+# ---------------------------------------------------------------------------
+# false positives
+# ---------------------------------------------------------------------------
+
+
+def fp_untraced_listener(
+    system: AndroidSystem,
+    proc: Process,
+    main: str,
+    tag: str,
+    use_label: str,
+    free_label: str,
+    at_ms: float,
+    field: str = "ptr",
+) -> SitePlan:
+    """Type I: the ordering exists but its register record is missing.
+
+    An event registers a listener from an *uninstrumented* package
+    (``traced=False``) and uses the pointer; an external input later
+    performs the listener, which frees the pointer.  In reality the
+    perform cannot precede the registration, but without the register
+    record the analyzer cannot know that.
+    """
+    holder = _holder(proc, tag, field)
+    listener = f"listener_{tag}"
+
+    def free_handler(ctx):
+        ctx.put_field(holder, field, None)
+
+    def register_and_use(ctx):
+        ctx.register_listener(listener, free_handler, traced=False)
+        ctx.use_field(holder, field)
+
+    _delayed_post(proc, main, tag, at_ms, register_and_use, use_label)
+    source = ExternalSource(f"src_{tag}")
+    source.at_listener(at_ms + 5, main, listener, label=free_label)
+    source.attach(system, proc)
+    expected = ExpectedRace(
+        field=field,
+        use_method=use_label,
+        free_method=free_label,
+        verdict=Verdict.FP_TYPE_I,
+        note="ordered through an uninstrumented listener registration",
+    )
+    return SitePlan("fp-listener", field, use_label, free_label, expected)
+
+
+def fp_boolean_guard(
+    system: AndroidSystem,
+    proc: Process,
+    main: str,
+    tag: str,
+    use_label: str,
+    free_label: str,
+    at_ms: float,
+    field: str = "ptr",
+) -> SitePlan:
+    """Type II: commutative events guarded by a boolean flag.
+
+    The freeing event clears the flag before freeing, and the using
+    event checks the flag before using — a correct protocol the
+    if-guard heuristic (which only understands pointer null tests)
+    cannot recognize.
+    """
+    holder = _holder(proc, tag, field)
+    flag = f"flag_{tag}"
+    proc.store[flag] = True
+
+    def use_handler(ctx):
+        if ctx.read(flag):
+            ctx.use_field(holder, field)
+
+    def free_handler(ctx):
+        ctx.write(flag, False)
+        ctx.put_field(holder, field, None)
+
+    _delayed_post(proc, main, tag, at_ms, use_handler, use_label)
+    source = ExternalSource(f"src_{tag}")
+    source.at(at_ms + 5, main, free_handler, free_label)
+    source.attach(system, proc)
+    expected = ExpectedRace(
+        field=field,
+        use_method=use_label,
+        free_method=free_label,
+        verdict=Verdict.FP_TYPE_II,
+        note="benign: boolean-flag protocol invisible to if-guard",
+    )
+    return SitePlan("fp-boolean", field, use_label, free_label, expected)
+
+
+def fp_deref_mismatch(
+    system: AndroidSystem,
+    proc: Process,
+    main: str,
+    tag: str,
+    use_label: str,
+    free_label: str,
+    at_ms: float,
+    field: str = "cache",
+) -> SitePlan:
+    """Type III: the dereference is matched to the wrong pointer read.
+
+    The handler reads ``holder.cache`` (logging a pointer read of the
+    target object) but then dereferences a reference to the same object
+    held in an untraced local.  The matcher attributes the dereference
+    to the pointer read, fabricating a use of ``cache``; the racing
+    free is then reported although reversing the order is harmless.
+    """
+    holder = proc.heap.new(f"Holder_{tag}")
+    target = proc.heap.new(f"Target_{tag}")
+    holder.fields[field] = target
+
+    def read_then_deref_local(ctx):
+        ctx.get_field(holder, field)  # pointer read, logs target's id
+        ctx.compute(3)
+        ctx.invoke_on(target)  # dereference via the untraced local
+
+    def free_handler(ctx):
+        ctx.put_field(holder, field, None)
+
+    _delayed_post(proc, main, tag, at_ms, read_then_deref_local, use_label)
+    source = ExternalSource(f"src_{tag}")
+    source.at(at_ms + 5, main, free_handler, free_label)
+    source.attach(system, proc)
+    expected = ExpectedRace(
+        field=field,
+        use_method=use_label,
+        free_method=free_label,
+        verdict=Verdict.FP_TYPE_III,
+        note="dereference mismatched to an unrelated pointer read",
+    )
+    return SitePlan("fp-mismatch", field, use_label, free_label, expected)
+
+
+# ---------------------------------------------------------------------------
+# commutative patterns (must NOT be reported)
+# ---------------------------------------------------------------------------
+
+
+def commutative_guarded_use(
+    system: AndroidSystem,
+    proc: Process,
+    main: str,
+    tag: str,
+    use_label: str,
+    free_label: str,
+    at_ms: float,
+    field: str = "handler",
+) -> SitePlan:
+    """Figure 5 onFocus/onPause: a null-guarded use racing a free.
+
+    The if-guard heuristic must filter this pair.
+    """
+    holder = _holder(proc, tag, field)
+
+    def use_handler(ctx):
+        ctx.guarded_use(holder, field)
+
+    def free_handler(ctx):
+        ctx.put_field(holder, field, None)
+
+    _delayed_post(proc, main, tag, at_ms, use_handler, use_label)
+    source = ExternalSource(f"src_{tag}")
+    source.at(at_ms + 5, main, free_handler, free_label)
+    source.attach(system, proc)
+    return SitePlan("commutative-guarded", field, use_label, free_label, None)
+
+
+def commutative_realloc_use(
+    system: AndroidSystem,
+    proc: Process,
+    main: str,
+    tag: str,
+    use_label: str,
+    free_label: str,
+    at_ms: float,
+    field: str = "handler",
+) -> SitePlan:
+    """Figure 5 onResume/onPause: the using event allocates first.
+
+    The intra-event-allocation heuristic must filter this pair.
+    """
+    holder = _holder(proc, tag, field)
+
+    def use_handler(ctx):
+        fresh = ctx.new_object(f"Fresh_{tag}")
+        ctx.put_field(holder, field, fresh)  # allocation before the use
+        ctx.use_field(holder, field)
+
+    def free_handler(ctx):
+        ctx.put_field(holder, field, None)
+
+    _delayed_post(proc, main, tag, at_ms, use_handler, use_label)
+    source = ExternalSource(f"src_{tag}")
+    source.at(at_ms + 5, main, free_handler, free_label)
+    source.attach(system, proc)
+    return SitePlan("commutative-realloc", field, use_label, free_label, None)
+
+
+def commutative_read_write(
+    system: AndroidSystem,
+    proc: Process,
+    main: str,
+    tag: str,
+    read_label: str,
+    write_label: str,
+    at_ms: float,
+    var: Optional[str] = None,
+) -> SitePlan:
+    """Figure 2 onLayout/onPause: a read-write conflict between
+    commutative events.  The low-level baseline reports it; the
+    use-free detector must not."""
+    var = var or f"resizeAllowed_{tag}"
+    proc.store[var] = True
+
+    def layout_handler(ctx):
+        if ctx.read(var):
+            ctx.write(f"columns_{tag}", 80)
+            ctx.write(f"rows_{tag}", 24)
+
+    def pause_handler(ctx):
+        ctx.write(var, False)
+
+    _delayed_post(proc, main, tag, at_ms, layout_handler, read_label)
+    source = ExternalSource(f"src_{tag}")
+    source.at(at_ms + 5, main, pause_handler, write_label)
+    source.attach(system, proc)
+    return SitePlan("commutative-rw", var, read_label, write_label, None)

@@ -1,0 +1,125 @@
+"""ToDoList — a to-do widget (Section 6.1/6.2).
+
+Session modeled: add two notes to the widget, then delete them.  The
+paper highlights that the author "fixed" the use-after-free by catching
+the NullPointerException around ``db.updateNote`` — the crash is gone
+but the user's input is silently dropped.
+
+The widget's eight intra-thread races are modeled with real mini-DVM
+bytecode: each note-update handler runs a ``ToDoList.updateNote``-style
+method whose ``db`` pointer read races the external clean-up event, and
+the method body carries the catch-all NPE handler the paper quotes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..detect import ExpectedRace, Verdict
+from ..dvm import MethodBuilder
+from ..runtime import AndroidSystem, ExternalSource, Process
+from .base import AppModel, NoiseProfile, Table1Row
+from .sites import SitePlan
+
+
+class ToDoListApp(AppModel):
+    name = "todolist"
+    description = "A home-screen widget for notes and task check-off (1.1.7)."
+    session = "Add two notes to the widget, then delete them."
+    paper_row = Table1Row(
+        events=7122, reported=9, a=8, b=0, c=0, fp1=0, fp2=1, fp3=0
+    )
+    paper_slowdown = 4.4
+    noise = NoiseProfile(
+        worker_threads=4,
+        events_per_worker=1605,
+        external_events=700,
+        handler_pool=16,
+        var_pool=22,
+        compute_ticks=3,
+    )
+    label_pool = ["onNoteAdded", "onNoteChecked", "refreshWidget", "onDataChanged"]
+
+    #: the eight widget callbacks whose handlers race the clean-up —
+    #: eight distinct static sites, hence eight Table 1 reports
+    WIDGET_CALLBACKS = [
+        "updateNote",
+        "checkNote",
+        "addNote",
+        "removeNote",
+        "onUpdate",
+        "onDeleted",
+        "refreshList",
+        "renderRow",
+    ]
+
+    def install_scenarios(
+        self, system: AndroidSystem, proc: Process, main: str
+    ) -> List[SitePlan]:
+        for callback in self.WIDGET_CALLBACKS:
+            self._install_callback_bytecode(proc, callback)
+        plans: List[SitePlan] = []
+        widget = proc.heap.new("ToDoWidgetProvider")
+        widget.fields["db"] = proc.heap.new("NotesDbAdapter")
+
+        # The clean-up runs when the widget is removed (external event).
+        def on_disabled(ctx):
+            ctx.put_field(widget, "db", None)
+
+        removal = ExternalSource("todolist_remove")
+        removal.at(400, main, on_disabled, "onDisabled")
+        removal.attach(system, proc)
+
+        for slot, callback in enumerate(self.WIDGET_CALLBACKS):
+            plans.append(
+                self._note_update_race(system, proc, main, widget, slot, callback)
+            )
+        return plans
+
+    def _install_callback_bytecode(self, proc: Process, callback: str) -> None:
+        """One widget callback as bytecode, with the catch-NPE "fix".
+
+        Register 0 = the widget provider.  The method reads the ``db``
+        pointer (the racy use) and invokes a database method on it; an
+        NPE lands in the empty catch block, exactly like the quoted
+        ``try { db.updateNote(...) } catch (NullPointerException) {}``.
+        """
+        m = MethodBuilder(f"ToDoWidget.{callback}", params=1)
+        m.iget_object(1, 0, "db")                       # pc 0: the use's read
+        m.invoke("NotesDb.update", receiver=1)          # pc 1: the dereference
+        m.label("done")
+        m.return_void()                                 # pc 2 (catch target)
+        m.catch_npe("done")
+        proc.program.add_method(m.build())
+        if not proc.program.has("NotesDb.update"):
+            proc.program.add_intrinsic("NotesDb.update", lambda args: None)
+
+    def _note_update_race(
+        self,
+        system: AndroidSystem,
+        proc: Process,
+        main: str,
+        widget,
+        slot: int,
+        callback: str,
+    ) -> SitePlan:
+        """One widget callback's event, posted by the input thread."""
+        method = f"ToDoWidget.{callback}"
+
+        def update_handler(ctx):
+            ctx.compute(2)
+            ctx.call_method(method, [widget])
+
+        def poster(ctx):
+            yield from ctx.sleep_until(120 + slot * 9)
+            ctx.post(main, update_handler, label=callback)
+
+        proc.thread(f"input{slot}", poster)
+        expected = ExpectedRace(
+            field="db",
+            use_method=method,
+            free_method="onDisabled",
+            verdict=Verdict.HARMFUL,
+            note="intra-thread; the catch-NPE 'fix' silently drops the note",
+        )
+        return SitePlan("intra-thread", "db", method, "onDisabled", expected)

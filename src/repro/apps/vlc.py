@@ -1,0 +1,83 @@
+"""VLC — the media player (Section 6.1).
+
+Session modeled: play a video clip for a few seconds, pause and switch
+to the home screen, switch back and continue playing.  The player's
+surface/decoder state produces one conventional cross-thread violation
+and a cluster of benign Type II reports — playback state flags guard
+most of the surface accesses.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..detect import ExpectedRace, Verdict
+from ..runtime import AndroidSystem, ExternalSource, Process
+from .base import AppModel, NoiseProfile, Table1Row
+from .sites import SitePlan
+
+
+class VlcApp(AppModel):
+    name = "vlc"
+    description = "VLC media player for Android (version 0.2.0)."
+    session = (
+        "Play a video clip for a few seconds, pause and switch to the "
+        "home screen, switch back and continue playing."
+    )
+    paper_row = Table1Row(
+        events=2805, reported=7, a=0, b=0, c=1, fp1=0, fp2=5, fp3=1
+    )
+    paper_slowdown = 2.6
+    noise = NoiseProfile(
+        worker_threads=3,
+        events_per_worker=840,
+        external_events=280,
+        handler_pool=14,
+        var_pool=12,
+        compute_ticks=13,
+    )
+    label_pool = [
+        "onNewLayout",
+        "updateOverlay",
+        "onAudioTrack",
+        "surfaceChanged",
+        "showInfo",
+    ]
+
+    def install_scenarios(
+        self, system: AndroidSystem, proc: Process, main: str
+    ) -> List[SitePlan]:
+        """The single conventional violation, structurally: the native
+        decoder thread blits into the video surface while the pause
+        lifecycle event detaches (frees) the surface holder."""
+        player = proc.heap.new("VideoPlayerActivity")
+        player.fields["surfaceHolder"] = proc.heap.new("SurfaceHolder")
+
+        def decoder(ctx):
+            yield from ctx.sleep(95)
+            ctx.use_field(player, "surfaceHolder")  # render a frame
+
+        decoder_id = proc.thread("vlcDecoder", decoder)
+
+        def on_surface_destroyed(ctx):
+            ctx.put_field(player, "surfaceHolder", None)
+
+        user = ExternalSource("vlc_user")
+        user.at(130, main, on_surface_destroyed, "surfaceDestroyed")
+        user.attach(system, proc)
+        expected = ExpectedRace(
+            field="surfaceHolder",
+            use_method=decoder_id,
+            free_method="surfaceDestroyed",
+            verdict=Verdict.HARMFUL,
+            note="decoder renders into a surface detached by the pause",
+        )
+        return [
+            SitePlan(
+                "conventional",
+                "surfaceHolder",
+                decoder_id,
+                "surfaceDestroyed",
+                expected,
+            )
+        ]

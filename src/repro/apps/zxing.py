@@ -1,0 +1,127 @@
+"""ZXing — the barcode scanner (Section 6.1/6.2).
+
+Session modeled: scan a barcode, pause by switching to the home
+screen, switch back, scan again.  Section 6.2 singles ZXing out for the
+pause-time clean-up bug: the pause event frees the camera/decoder
+state, and any event scheduled after it — e.g. a decode result posted
+by the decode thread — crashes on the freed pointers.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..detect import ExpectedRace, Verdict
+from ..runtime import AndroidSystem, ExternalSource, Handler, Process
+from .base import AppModel, NoiseProfile, Table1Row
+from . import sites
+from .sites import SitePlan
+
+#: CaptureActivityHandler message codes (the real app uses these)
+MSG_DECODE_SUCCEEDED = 1
+MSG_DECODE_FAILED = 2
+
+
+class ZXingApp(AppModel):
+    name = "zxing"
+    description = "Scans barcodes with the built-in camera (version 4.5.1)."
+    session = (
+        "Scan a real barcode, pause by switching to the home screen, "
+        "switch back and scan another."
+    )
+    paper_row = Table1Row(
+        events=4554, reported=5, a=0, b=2, c=0, fp1=1, fp2=1, fp3=1
+    )
+    paper_slowdown = 2.8
+    noise = NoiseProfile(
+        worker_threads=4,
+        events_per_worker=1025,
+        external_events=450,
+        handler_pool=12,
+        var_pool=14,
+        compute_ticks=11,
+    )
+    label_pool = ["decodeFrame", "onPreviewFrame", "drawViewfinder", "handleDecode"]
+
+    def install_scenarios(
+        self, system: AndroidSystem, proc: Process, main: str
+    ) -> List[SitePlan]:
+        return [
+            # The pause clean-up bug (§6.2): the decode thread frees
+            # the camera manager when the activity pauses, racing the
+            # decode-succeeded message still in flight on the capture
+            # handler.
+            self._decode_message_race(system, proc, main),
+            sites.inter_thread_race(
+                system, proc, main, "zx_preview",
+                use_label="onPreviewReady", free_thread="preview",
+                at_ms=170, field="multiFormatReader",
+            ),
+            sites.fp_untraced_listener(
+                system, proc, main, "zx_listener",
+                use_label="initViewfinder", free_label="onViewfinderTap",
+                at_ms=200, field="viewfinderView",
+            ),
+            sites.fp_boolean_guard(
+                system, proc, main, "zx_flag",
+                use_label="restartPreview", free_label="pauseScanning",
+                at_ms=230, field="handler",
+            ),
+            sites.fp_deref_mismatch(
+                system, proc, main, "zx_mismatch",
+                use_label="decodeHistogram", free_label="clearHistogram",
+                at_ms=260, field="luminanceSource",
+            ),
+        ]
+
+    def _decode_message_race(
+        self, system: AndroidSystem, proc: Process, main: str
+    ) -> SitePlan:
+        """Column (b) through the real message-handler structure.
+
+        The decode thread sends MSG_DECODE_SUCCEEDED to the capture
+        activity's handler; the handler's dispatch uses the camera
+        manager.  When the user pauses (a *later* external event), the
+        decode thread wakes and frees the camera.  A conventional
+        detector orders the decode message before the pause event
+        (total looper order) and hence before the free — CAFA knows
+        better.
+        """
+        activity = proc.heap.new("CaptureActivity")
+        activity.fields["cameraManager"] = proc.heap.new("CameraManager")
+        monitor = "zx_pause_signal"
+
+        def handle_message(ctx, what, obj):
+            if what == MSG_DECODE_SUCCEEDED:
+                ctx.use_field(activity, "cameraManager")
+
+        capture_handler = Handler(
+            main, name="captureHandler", message_handler=handle_message
+        )
+
+        def decode_thread(ctx):
+            yield from ctx.sleep(140)
+            capture_handler.send_message(ctx, MSG_DECODE_SUCCEEDED, "QR:42")
+            yield from ctx.wait(monitor)  # parked until the pause
+            ctx.put_field(activity, "cameraManager", None)
+
+        thread_id = proc.thread("decode", decode_thread)
+
+        def on_pause(ctx):
+            ctx.notify(monitor)
+
+        user = ExternalSource("zx_user")
+        user.at(160, main, on_pause, "onPause")
+        user.attach(system, proc)
+
+        use_method = f"captureHandler.msg[{MSG_DECODE_SUCCEEDED}]"
+        expected = ExpectedRace(
+            field="cameraManager",
+            use_method=use_method,
+            free_method=thread_id,
+            verdict=Verdict.HARMFUL,
+            note="§6.2 pause clean-up: decode result races the camera release",
+        )
+        return SitePlan(
+            "inter-thread", "cameraManager", use_method, thread_id, expected
+        )

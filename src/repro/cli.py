@@ -1,0 +1,259 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``record <app> -o trace.jsonl`` — run a §6.1 workload on the
+  simulator and save its trace (the on-device collection step);
+* ``detect <trace.jsonl>`` — offline analysis of a saved trace: build
+  the happens-before relation, report use-free races;
+* ``evaluate`` — reproduce Table 1 across all ten apps;
+* ``slowdown`` — reproduce Figure 8;
+* ``witness <trace.jsonl>`` — print an alternate schedule manifesting
+  each reported race;
+* ``stats <trace.jsonl>`` — happens-before graph statistics (edges per
+  rule, fixpoint rounds);
+* ``dot <trace.jsonl>`` — Graphviz export of the happens-before graph;
+* ``explore <app>`` — run a workload under many scheduler seeds and
+  report detection stability;
+* ``report`` — a full Markdown evaluation report with witnesses;
+* ``apps`` — list the available application workloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import (
+    build_witness,
+    format_slowdowns,
+    format_table1,
+    paper_table1_rows,
+    reproduce_figure8,
+    reproduce_table1,
+)
+from .apps import ALL_APPS, make_app
+from .detect import LowLevelDetector, UseFreeDetector
+from .trace import load_trace_file, save_trace_file
+
+
+def _add_scale(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.1,
+        help="background event load scale (1.0 approximates the paper)",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="scheduler seed")
+
+
+def _cmd_apps(_args) -> int:
+    for app in ALL_APPS:
+        print(f"{app.name:<12} {app.description}")
+        print(f"{'':<12} session: {app.session}")
+    return 0
+
+
+def _cmd_record(args) -> int:
+    app = make_app(args.app, scale=args.scale, seed=args.seed)
+    run = app.run()
+    save_trace_file(run.trace, args.output)
+    print(
+        f"recorded {args.app}: {len(run.trace)} operations, "
+        f"{run.event_count} events -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_detect(args) -> int:
+    trace = load_trace_file(args.trace)
+    detector = UseFreeDetector(trace)
+    result = detector.detect()
+    print(
+        f"{len(trace)} operations, {len(trace.events())} events, "
+        f"{result.dynamic_candidates} racy (use, free) pairs"
+    )
+    print(f"use-free races reported: {result.report_count()}")
+    for report in result.reports:
+        print(f"  {report}")
+    if result.filtered_reports:
+        print(f"filtered as commutative: {len(result.filtered_reports)}")
+        for report in result.filtered_reports:
+            print(f"  {report.key}  [{report.witnesses[0].filtered_by}]")
+    if args.low_level:
+        low = LowLevelDetector(trace, hb=detector.hb).detect()
+        print(f"low-level baseline: {low.race_count()} conflicting-access races")
+    return 0
+
+
+def _cmd_witness(args) -> int:
+    trace = load_trace_file(args.trace)
+    detector = UseFreeDetector(trace)
+    result = detector.detect()
+    if not result.reports:
+        print("no use-free races to witness")
+        return 0
+    for report in result.reports:
+        witness = build_witness(trace, detector.hb, report)
+        print(witness.format())
+        print()
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from .hb import build_happens_before, hb_stats
+
+    trace = load_trace_file(args.trace)
+    hb = build_happens_before(trace)
+    print(hb_stats(trace, hb).format())
+    return 0
+
+
+def _cmd_dot(args) -> int:
+    from .hb import build_happens_before, to_dot
+
+    trace = load_trace_file(args.trace)
+    hb = build_happens_before(trace)
+    text = to_dot(trace, hb, collapse_tasks=not args.full)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fp:
+            fp.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    table = reproduce_table1(scale=args.scale, seed=args.seed)
+    print(format_table1(table, paper_table1_rows()))
+    return 0
+
+
+def _cmd_slowdown(args) -> int:
+    print(format_slowdowns(reproduce_figure8(scale=args.scale, seed=args.seed)))
+    return 0
+
+
+def _cmd_explore(args) -> int:
+    from .analysis import explore_seeds
+    from .apps import make_app
+
+    app_cls = type(make_app(args.app))
+    seeds = list(range(args.seeds))
+    result = explore_seeds(app_cls, seeds=seeds, scale=args.scale)
+    print(
+        f"{args.app}: {result.reports_per_seed} reports across seeds "
+        f"{seeds}; stability {result.stability:.0%}"
+    )
+    for key in result.stable_races:
+        print(f"  stable: {key}")
+    for key in result.flaky_races:
+        print(f"  FLAKY : {key} ({result.occurrences[key]}/{len(seeds)} seeds)")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .analysis.report_doc import generate_report
+
+    text = generate_report(
+        scale=args.scale,
+        seed=args.seed,
+        include_slowdowns=not args.no_slowdowns,
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fp:
+            fp.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CAFA: race detection for event-driven mobile applications",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("apps", help="list application workloads").set_defaults(
+        fn=_cmd_apps
+    )
+
+    record = sub.add_parser("record", help="run a workload and save its trace")
+    record.add_argument("app", help="application name (see `apps`)")
+    record.add_argument("-o", "--output", required=True, help="output .jsonl path")
+    _add_scale(record)
+    record.set_defaults(fn=_cmd_record)
+
+    detect = sub.add_parser("detect", help="offline analysis of a saved trace")
+    detect.add_argument("trace", help="trace .jsonl path")
+    detect.add_argument(
+        "--low-level",
+        action="store_true",
+        help="also run the conflicting-access baseline",
+    )
+    detect.set_defaults(fn=_cmd_detect)
+
+    witness = sub.add_parser(
+        "witness", help="print violating schedules for each reported race"
+    )
+    witness.add_argument("trace", help="trace .jsonl path")
+    witness.set_defaults(fn=_cmd_witness)
+
+    stats = sub.add_parser(
+        "stats", help="happens-before graph statistics for a saved trace"
+    )
+    stats.add_argument("trace", help="trace .jsonl path")
+    stats.set_defaults(fn=_cmd_stats)
+
+    dot = sub.add_parser(
+        "dot", help="export the happens-before graph as Graphviz"
+    )
+    dot.add_argument("trace", help="trace .jsonl path")
+    dot.add_argument("-o", "--output", help="write to a file instead of stdout")
+    dot.add_argument(
+        "--full", action="store_true", help="one node per key operation"
+    )
+    dot.set_defaults(fn=_cmd_dot)
+
+    evaluate = sub.add_parser("evaluate", help="reproduce Table 1")
+    _add_scale(evaluate)
+    evaluate.set_defaults(fn=_cmd_evaluate)
+
+    slowdown = sub.add_parser("slowdown", help="reproduce Figure 8")
+    _add_scale(slowdown)
+    slowdown.set_defaults(fn=_cmd_slowdown)
+
+    explore = sub.add_parser(
+        "explore", help="run one workload under many scheduler seeds"
+    )
+    explore.add_argument("app", help="application name (see `apps`)")
+    explore.add_argument("--seeds", type=int, default=5, help="number of seeds")
+    explore.add_argument("--scale", type=float, default=0.05)
+    explore.set_defaults(fn=_cmd_explore)
+
+    report = sub.add_parser(
+        "report", help="generate a full Markdown evaluation report"
+    )
+    report.add_argument("-o", "--output", help="write to a file instead of stdout")
+    report.add_argument(
+        "--no-slowdowns",
+        action="store_true",
+        help="skip the Figure 8 section (halves the runtime)",
+    )
+    _add_scale(report)
+    report.set_defaults(fn=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

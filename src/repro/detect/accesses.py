@@ -1,0 +1,198 @@
+"""Reconstruction of high-level accesses from low-level trace records.
+
+The instrumented interpreter logs pointer reads, pointer writes,
+dereferences, and guarded branches (Section 5.3).  The offline analyzer
+recovers from these:
+
+* **uses** — a pointer read whose value is later dereferenced.  A
+  dereference record is matched with its *nearest previous* pointer
+  read in the same task that yielded the same object id (the paper's
+  heuristic; it is neither sound nor complete, which is the source of
+  Type III false positives).
+* **frees** — pointer writes of null; **allocations** — pointer writes
+  of a reference.
+* **guards** — branch records, matched to the pointer they test with
+  the same nearest-previous-read heuristic.
+* **locksets** — the set of locks held at each operation, reconstructed
+  per task from acquire/release records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..trace import (
+    Acquire,
+    Address,
+    Branch,
+    Deref,
+    PtrRead,
+    PtrWrite,
+    Release,
+    Trace,
+)
+
+
+@dataclass
+class Use:
+    """A pointer read later dereferenced (Section 4.1)."""
+
+    read_index: int
+    address: Address
+    object_id: Optional[int]
+    method: str
+    read_pc: int
+    task: str
+    #: indices of the dereference records matched to this read
+    deref_indices: List[int] = field(default_factory=list)
+
+    @property
+    def site(self) -> Tuple[str, int]:
+        """Static location of the use (method, pc of the pointer read)."""
+        return (self.method, self.read_pc)
+
+
+@dataclass
+class PointerWrite:
+    """A free (null write) or allocation (reference write)."""
+
+    index: int
+    address: Address
+    value: Optional[int]
+    method: str
+    pc: int
+    task: str
+
+    @property
+    def is_free(self) -> bool:
+        return self.value is None
+
+    @property
+    def site(self) -> Tuple[str, int]:
+        return (self.method, self.pc)
+
+
+@dataclass
+class Guard:
+    """A logged branch certifying a pointer non-null, matched to the
+    pointer read it tests."""
+
+    index: int
+    address: Optional[Address]
+    method: str
+    pc: int
+    target: int
+    task: str
+
+
+@dataclass
+class AccessIndex:
+    """All recovered accesses of a trace, grouped for the detectors."""
+
+    trace: Trace
+    uses: List[Use] = field(default_factory=list)
+    frees: List[PointerWrite] = field(default_factory=list)
+    allocs: List[PointerWrite] = field(default_factory=list)
+    guards: List[Guard] = field(default_factory=list)
+    #: op index -> frozenset of held lock names
+    locksets: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+
+    def uses_of(self, address: Address) -> List[Use]:
+        return [u for u in self.uses if u.address == address]
+
+    def frees_of(self, address: Address) -> List[PointerWrite]:
+        return [f for f in self.frees if f.address == address]
+
+    def lockset(self, op_index: int) -> FrozenSet[str]:
+        return self.locksets.get(op_index, frozenset())
+
+
+#: how far back (in same-task pointer reads) the deref matcher looks
+MATCH_WINDOW = 64
+
+
+def extract_accesses(trace: Trace) -> AccessIndex:
+    """Recover uses, frees, allocations, guards, and locksets."""
+    index = AccessIndex(trace=trace)
+    # Per-task rolling history of pointer reads for the matcher, and the
+    # Use objects already created per read op index.
+    read_history: Dict[str, List[PtrRead]] = {}
+    read_op_index: Dict[str, List[int]] = {}
+    use_by_read: Dict[int, Use] = {}
+    held: Dict[str, set] = {}
+
+    for i, op in enumerate(trace.ops):
+        task = op.task
+        if isinstance(op, Acquire):
+            held.setdefault(task, set()).add(op.lock)
+        elif isinstance(op, Release):
+            held.setdefault(task, set()).discard(op.lock)
+        current_locks = held.get(task)
+        if current_locks:
+            index.locksets[i] = frozenset(current_locks)
+
+        if isinstance(op, PtrRead):
+            read_history.setdefault(task, []).append(op)
+            read_op_index.setdefault(task, []).append(i)
+            if len(read_history[task]) > MATCH_WINDOW:
+                read_history[task].pop(0)
+                read_op_index[task].pop(0)
+        elif isinstance(op, PtrWrite):
+            record = PointerWrite(
+                index=i,
+                address=op.address,
+                value=op.value,
+                method=op.method,
+                pc=op.pc,
+                task=task,
+            )
+            if record.is_free:
+                index.frees.append(record)
+            else:
+                index.allocs.append(record)
+        elif isinstance(op, Deref):
+            matched = _match_nearest_read(
+                read_history.get(task, ()), read_op_index.get(task, ()), op.object_id
+            )
+            if matched is None:
+                continue
+            read_op, read_idx = matched
+            use = use_by_read.get(read_idx)
+            if use is None:
+                use = Use(
+                    read_index=read_idx,
+                    address=read_op.address,
+                    object_id=read_op.object_id,
+                    method=read_op.method,
+                    read_pc=read_op.pc,
+                    task=task,
+                )
+                use_by_read[read_idx] = use
+                index.uses.append(use)
+            use.deref_indices.append(i)
+        elif isinstance(op, Branch):
+            matched = _match_nearest_read(
+                read_history.get(task, ()), read_op_index.get(task, ()), op.object_id
+            )
+            index.guards.append(
+                Guard(
+                    index=i,
+                    address=matched[0].address if matched else None,
+                    method=op.method,
+                    pc=op.pc,
+                    target=op.target,
+                    task=task,
+                )
+            )
+    return index
+
+
+def _match_nearest_read(history, indices, object_id):
+    """The nearest previous pointer read yielding ``object_id``."""
+    if object_id is None:
+        return None
+    for read_op, read_idx in zip(reversed(history), reversed(indices)):
+        if read_op.object_id == object_id:
+            return read_op, read_idx
+    return None

@@ -1,0 +1,138 @@
+"""Race report datatypes and ground-truth vocabulary.
+
+Table 1 of the paper classifies each reported use-free race as:
+
+* a **true race** leading to a use-after-free violation —
+  (a) *intra-thread*: between two events of the same looper thread;
+  (b) *inter-thread*: between threads but invisible to a conventional
+  detector (it orders the looper's events totally, hiding the race);
+  (c) *conventional*: between threads and detectable conventionally;
+* or a **false positive** —
+  Type I: a missing happens-before edge for an uninstrumented event
+  listener; Type II: a benign (commutative) race the two heuristics
+  fail to prove safe; Type III: a dereference matched to the wrong
+  pointer read.
+
+The (a)/(b)/(c) split is *computed* by the detector from the two
+happens-before models; harmfulness and false-positive type come from
+the workload's ground-truth annotations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..trace import Address
+from .accesses import PointerWrite, Use
+
+
+class RaceClass(enum.Enum):
+    """Which Table 1 true-race column a race falls into."""
+
+    INTRA_THREAD = "a"
+    INTER_THREAD = "b"
+    CONVENTIONAL = "c"
+
+
+class Verdict(enum.Enum):
+    """Ground-truth label of an expected race report."""
+
+    HARMFUL = "harmful"
+    FP_TYPE_I = "fp-1"
+    FP_TYPE_II = "fp-2"
+    FP_TYPE_III = "fp-3"
+
+
+@dataclass(frozen=True)
+class RaceSiteKey:
+    """The static identity of a use-free race (deduplication key)."""
+
+    use_method: str
+    use_pc: int
+    free_method: str
+    free_pc: int
+    field: str
+
+    def __str__(self) -> str:
+        return (
+            f"use {self.use_method}:{self.use_pc} / "
+            f"free {self.free_method}:{self.free_pc} on .{self.field}"
+        )
+
+
+@dataclass
+class UseFreeRace:
+    """One dynamic racy (use, free) pair."""
+
+    use: Use
+    free: PointerWrite
+    address: Address
+    #: name of the heuristic that filtered this pair, or None if racy
+    filtered_by: Optional[str] = None
+
+    @property
+    def key(self) -> RaceSiteKey:
+        return RaceSiteKey(
+            use_method=self.use.method,
+            use_pc=self.use.read_pc,
+            free_method=self.free.method,
+            free_pc=self.free.pc,
+            field=str(self.address[2]),
+        )
+
+
+@dataclass
+class RaceReport:
+    """A deduplicated static race report with its dynamic witnesses."""
+
+    key: RaceSiteKey
+    witnesses: List[UseFreeRace] = field(default_factory=list)
+    race_class: Optional[RaceClass] = None
+    #: ground-truth verdict, filled in by the evaluation pipeline
+    verdict: Optional[Verdict] = None
+
+    @property
+    def dynamic_count(self) -> int:
+        return len(self.witnesses)
+
+    def witness(self) -> UseFreeRace:
+        return self.witnesses[0]
+
+    def __str__(self) -> str:
+        cls = f" [{self.race_class.value}]" if self.race_class else ""
+        return f"use-free race{cls}: {self.key} ({self.dynamic_count} dynamic)"
+
+
+@dataclass(frozen=True)
+class ExpectedRace:
+    """A ground-truth annotation provided by a workload.
+
+    Matched against reports by (field, use method, free method); pcs
+    are implementation details of the synthetic handlers.
+    """
+
+    field: str
+    use_method: str
+    free_method: str
+    verdict: Verdict
+    note: str = ""
+
+    def matches(self, key: RaceSiteKey) -> bool:
+        return (
+            self.field == key.field
+            and self.use_method == key.use_method
+            and self.free_method == key.free_method
+        )
+
+
+@dataclass(frozen=True)
+class MemoryRace:
+    """A conventional read-write / write-write race (the low-level
+    baseline of Section 4.1)."""
+
+    var_class: str
+    site_a: str
+    site_b: str
+    write_write: bool

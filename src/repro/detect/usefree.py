@@ -1,0 +1,213 @@
+"""The CAFA use-free race detector (Section 4).
+
+A *use-free race* is a use and a free of the same pointer slot that are
+not ordered by the happens-before relation of the event-driven
+causality model.  The detector:
+
+1. recovers uses/frees/guards/locksets from the low-level records
+   (:mod:`repro.detect.accesses`);
+2. builds the happens-before relation (:mod:`repro.hb`);
+3. pairs up concurrent uses and frees of the same slot, dismissing
+   pairs protected by a common lock (the lockset check of Section 3.2);
+4. prunes pairs the if-guard or intra-event-allocation heuristics
+   prove commutative — only for pairs whose events run on the same
+   looper thread, where event atomicity makes the heuristics valid;
+5. deduplicates surviving pairs into static reports and classifies
+   each as intra-thread (a), inter-thread (b), or conventional (c)
+   using a second happens-before pass under the conventional model.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field as dataclass_field
+from typing import Dict, List, Optional
+
+from ..hb import (
+    CAFA_MODEL,
+    CONVENTIONAL_MODEL,
+    HappensBefore,
+    ModelConfig,
+    build_happens_before,
+)
+from ..trace import Address, TaskKind, Trace
+from .accesses import AccessIndex, PointerWrite, Use, extract_accesses
+from .heuristics import (
+    free_has_intra_event_realloc,
+    use_has_intra_event_alloc,
+    use_is_guarded,
+)
+from .report import RaceClass, RaceReport, RaceSiteKey, UseFreeRace
+
+
+@dataclass(frozen=True)
+class DetectorOptions:
+    """Switches for the detector's filters (ablation knobs)."""
+
+    if_guard: bool = True
+    intra_event_allocation: bool = True
+    lockset_filter: bool = True
+    model: ModelConfig = CAFA_MODEL
+    #: model used to decide column (b) vs (c); the Table 1 baseline
+    conventional_model: ModelConfig = CONVENTIONAL_MODEL
+
+
+@dataclass
+class DetectionResult:
+    """Everything the detector produced for one trace."""
+
+    trace: Trace
+    options: DetectorOptions
+    hb: HappensBefore
+    accesses: AccessIndex
+    #: surviving static reports (what CAFA prints)
+    reports: List[RaceReport] = dataclass_field(default_factory=list)
+    #: static reports whose every witness was pruned by a heuristic
+    filtered_reports: List[RaceReport] = dataclass_field(default_factory=list)
+    #: dynamic (use, free) pairs inspected (concurrent + lock-disjoint)
+    dynamic_candidates: int = 0
+
+    def report_count(self) -> int:
+        return len(self.reports)
+
+    def by_class(self, race_class: RaceClass) -> List[RaceReport]:
+        return [r for r in self.reports if r.race_class is race_class]
+
+    def find(self, field: str) -> List[RaceReport]:
+        """Reports on a pointer field name (convenience for tests)."""
+        return [r for r in self.reports if r.key.field == field]
+
+
+class UseFreeDetector:
+    """See the module docstring."""
+
+    def __init__(
+        self,
+        trace: Trace,
+        options: Optional[DetectorOptions] = None,
+        hb: Optional[HappensBefore] = None,
+        accesses: Optional[AccessIndex] = None,
+    ) -> None:
+        self.trace = trace
+        self.options = options or DetectorOptions()
+        self._hb = hb
+        self._accesses = accesses
+        self._conventional_hb: Optional[HappensBefore] = None
+
+    @property
+    def hb(self) -> HappensBefore:
+        if self._hb is None:
+            self._hb = build_happens_before(self.trace, self.options.model)
+        return self._hb
+
+    @property
+    def conventional_hb(self) -> HappensBefore:
+        if self._conventional_hb is None:
+            self._conventional_hb = build_happens_before(
+                self.trace, self.options.conventional_model
+            )
+        return self._conventional_hb
+
+    @property
+    def accesses(self) -> AccessIndex:
+        if self._accesses is None:
+            self._accesses = extract_accesses(self.trace)
+        return self._accesses
+
+    # ------------------------------------------------------------------
+
+    def detect(self) -> DetectionResult:
+        accesses = self.accesses
+        hb = self.hb
+        options = self.options
+        result = DetectionResult(
+            trace=self.trace, options=options, hb=hb, accesses=accesses
+        )
+
+        uses_by_address: Dict[Address, List[Use]] = defaultdict(list)
+        for use in accesses.uses:
+            uses_by_address[use.address].append(use)
+        frees_by_address: Dict[Address, List[PointerWrite]] = defaultdict(list)
+        for free in accesses.frees:
+            frees_by_address[free.address].append(free)
+
+        by_key: Dict[RaceSiteKey, RaceReport] = {}
+        for address, frees in frees_by_address.items():
+            uses = uses_by_address.get(address)
+            if not uses:
+                continue
+            for use in uses:
+                for free in frees:
+                    race = self._check_pair(use, free, address)
+                    if race is None:
+                        continue
+                    result.dynamic_candidates += 1
+                    report = by_key.get(race.key)
+                    if report is None:
+                        report = by_key[race.key] = RaceReport(key=race.key)
+                    report.witnesses.append(race)
+
+        for report in by_key.values():
+            live = [w for w in report.witnesses if w.filtered_by is None]
+            if live:
+                report.witnesses = live + [
+                    w for w in report.witnesses if w.filtered_by is not None
+                ]
+                report.race_class = self._classify(live[0])
+                result.reports.append(report)
+            else:
+                result.filtered_reports.append(report)
+        result.reports.sort(key=lambda r: str(r.key))
+        result.filtered_reports.sort(key=lambda r: str(r.key))
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _check_pair(
+        self, use: Use, free: PointerWrite, address: Address
+    ) -> Optional[UseFreeRace]:
+        """A :class:`UseFreeRace` if the pair is concurrent, else None."""
+        if use.task == free.task:
+            return None  # ordered by the task's program order
+        if not self.hb.concurrent(use.read_index, free.index):
+            return None
+        if self.options.lockset_filter:
+            accesses = self.accesses
+            if accesses.lockset(use.read_index) & accesses.lockset(free.index):
+                return None  # mutually excluded by a common lock
+        race = UseFreeRace(use=use, free=free, address=address)
+        if self._same_looper_events(use.task, free.task):
+            if self.options.if_guard and use_is_guarded(self.accesses, use):
+                race.filtered_by = "if-guard"
+            elif self.options.intra_event_allocation and (
+                free_has_intra_event_realloc(self.accesses, free)
+                or use_has_intra_event_alloc(self.accesses, use)
+            ):
+                race.filtered_by = "intra-event-allocation"
+        return race
+
+    def _same_looper_events(self, task_a: str, task_b: str) -> bool:
+        tasks = self.trace.tasks
+        info_a, info_b = tasks.get(task_a), tasks.get(task_b)
+        return (
+            info_a is not None
+            and info_b is not None
+            and info_a.task_kind is TaskKind.EVENT
+            and info_b.task_kind is TaskKind.EVENT
+            and info_a.looper is not None
+            and info_a.looper == info_b.looper
+        )
+
+    def _classify(self, race: UseFreeRace) -> RaceClass:
+        if self._same_looper_events(race.use.task, race.free.task):
+            return RaceClass.INTRA_THREAD
+        if self.conventional_hb.concurrent(race.use.read_index, race.free.index):
+            return RaceClass.CONVENTIONAL
+        return RaceClass.INTER_THREAD
+
+
+def detect_use_free_races(
+    trace: Trace, options: Optional[DetectorOptions] = None
+) -> DetectionResult:
+    """Convenience one-shot entry point."""
+    return UseFreeDetector(trace, options).detect()

@@ -1,0 +1,220 @@
+"""A small assembler: builds :class:`~repro.dvm.method.Method` objects
+with symbolic labels.
+
+Example — the guarded use of Figure 5's ``onFocus``::
+
+    m = MethodBuilder("onFocus", params=1)       # register 0 = this
+    m.iget_object(1, 0, "handler")               # pc 0: read pointer
+    m.if_eqz(1, "skip")                          # pc 1: null check
+    m.invoke(method="Handler.run", receiver=1)   # pc 2: the use
+    m.label("skip")
+    m.return_void()                              # pc 3
+    method = m.build()
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .instructions import (
+    AGet,
+    AGetObject,
+    APut,
+    APutObject,
+    BinOp,
+    Const,
+    ConstNull,
+    Goto,
+    IfEq,
+    IfEqz,
+    IfLt,
+    IfNez,
+    IGet,
+    IGetObject,
+    Instruction,
+    Invoke,
+    IPut,
+    IPutObject,
+    Move,
+    NewArray,
+    NewInstance,
+    Nop,
+    Return,
+    SGet,
+    SGetObject,
+    SPut,
+    SPutObject,
+)
+from .method import Method
+
+
+class AssemblyError(Exception):
+    """Raised for unresolved labels or malformed builder usage."""
+
+
+class MethodBuilder:
+    """Accumulates instructions and resolves labels to pcs."""
+
+    def __init__(self, name: str, params: int = 0) -> None:
+        self.name = name
+        self.params = params
+        self._code: List[Instruction] = []
+        self._labels: Dict[str, int] = {}
+        #: (pc, attribute, label) fixups applied at build time
+        self._fixups: List[Tuple[int, str, str]] = []
+        self._catch_npe: Optional[str] = None
+
+    # -- labels ------------------------------------------------------------
+
+    def label(self, name: str) -> "MethodBuilder":
+        """Bind ``name`` to the pc of the next instruction."""
+        if name in self._labels:
+            raise AssemblyError(f"duplicate label {name!r} in {self.name}")
+        self._labels[name] = len(self._code)
+        return self
+
+    def catch_npe(self, label: str) -> "MethodBuilder":
+        """Install a catch-all NullPointerException handler at ``label``."""
+        self._catch_npe = label
+        return self
+
+    def _emit(self, instr: Instruction) -> "MethodBuilder":
+        self._code.append(instr)
+        return self
+
+    def _emit_branch(self, instr: Instruction, attr: str, target: Any) -> "MethodBuilder":
+        if isinstance(target, str):
+            self._fixups.append((len(self._code), attr, target))
+            instr = replace(instr, **{attr: -1})
+        else:
+            instr = replace(instr, **{attr: int(target)})
+        self._code.append(instr)
+        return self
+
+    # -- data movement ---------------------------------------------------
+
+    def const(self, dst: int, value: Any) -> "MethodBuilder":
+        return self._emit(Const(dst, value))
+
+    def const_null(self, dst: int) -> "MethodBuilder":
+        return self._emit(ConstNull(dst))
+
+    def move(self, dst: int, src: int) -> "MethodBuilder":
+        return self._emit(Move(dst, src))
+
+    def new_instance(self, dst: int, cls: str) -> "MethodBuilder":
+        return self._emit(NewInstance(dst, cls))
+
+    # -- fields ------------------------------------------------------------
+
+    def iget(self, dst: int, obj: int, fld: str) -> "MethodBuilder":
+        return self._emit(IGet(dst, obj, fld))
+
+    def iput(self, src: int, obj: int, fld: str) -> "MethodBuilder":
+        return self._emit(IPut(src, obj, fld))
+
+    def iget_object(self, dst: int, obj: int, fld: str) -> "MethodBuilder":
+        return self._emit(IGetObject(dst, obj, fld))
+
+    def iput_object(self, src: int, obj: int, fld: str) -> "MethodBuilder":
+        return self._emit(IPutObject(src, obj, fld))
+
+    def sget(self, dst: int, cls: str, fld: str) -> "MethodBuilder":
+        return self._emit(SGet(dst, cls, fld))
+
+    def sput(self, src: int, cls: str, fld: str) -> "MethodBuilder":
+        return self._emit(SPut(src, cls, fld))
+
+    def sget_object(self, dst: int, cls: str, fld: str) -> "MethodBuilder":
+        return self._emit(SGetObject(dst, cls, fld))
+
+    def sput_object(self, src: int, cls: str, fld: str) -> "MethodBuilder":
+        return self._emit(SPutObject(src, cls, fld))
+
+    # -- arrays --------------------------------------------------------
+
+    def new_array(self, dst: int, size: int) -> "MethodBuilder":
+        return self._emit(NewArray(dst, size))
+
+    def aget(self, dst: int, arr: int, idx: int) -> "MethodBuilder":
+        return self._emit(AGet(dst, arr, idx))
+
+    def aput(self, src: int, arr: int, idx: int) -> "MethodBuilder":
+        return self._emit(APut(src, arr, idx))
+
+    def aget_object(self, dst: int, arr: int, idx: int) -> "MethodBuilder":
+        return self._emit(AGetObject(dst, arr, idx))
+
+    def aput_object(self, src: int, arr: int, idx: int) -> "MethodBuilder":
+        return self._emit(APutObject(src, arr, idx))
+
+    # -- invocation ----------------------------------------------------
+
+    def invoke(
+        self,
+        method: str,
+        args: Sequence[int] = (),
+        receiver: Optional[int] = None,
+        dst: Optional[int] = None,
+    ) -> "MethodBuilder":
+        return self._emit(Invoke(method=method, args=tuple(args), receiver=receiver, dst=dst))
+
+    def return_void(self) -> "MethodBuilder":
+        return self._emit(Return(None))
+
+    def return_value(self, src: int) -> "MethodBuilder":
+        return self._emit(Return(src))
+
+    # -- control flow ------------------------------------------------------
+
+    def goto(self, target: Any) -> "MethodBuilder":
+        return self._emit_branch(Goto(target=0), "target", target)
+
+    def if_eqz(self, a: int, target: Any) -> "MethodBuilder":
+        return self._emit_branch(IfEqz(a=a, target=0), "target", target)
+
+    def if_nez(self, a: int, target: Any) -> "MethodBuilder":
+        return self._emit_branch(IfNez(a=a, target=0), "target", target)
+
+    def if_eq(self, a: int, b: int, target: Any) -> "MethodBuilder":
+        return self._emit_branch(IfEq(a=a, b=b, target=0), "target", target)
+
+    def if_lt(self, a: int, b: int, target: Any) -> "MethodBuilder":
+        return self._emit_branch(IfLt(a=a, b=b, target=0), "target", target)
+
+    # -- arithmetic ----------------------------------------------------
+
+    def binop(self, op: str, dst: int, a: int, b: int) -> "MethodBuilder":
+        return self._emit(BinOp(op=op, dst=dst, a=a, b=b))
+
+    def add(self, dst: int, a: int, b: int) -> "MethodBuilder":
+        return self.binop("+", dst, a, b)
+
+    def sub(self, dst: int, a: int, b: int) -> "MethodBuilder":
+        return self.binop("-", dst, a, b)
+
+    def nop(self) -> "MethodBuilder":
+        return self._emit(Nop())
+
+    # -- finish ------------------------------------------------------------
+
+    def build(self) -> Method:
+        code = list(self._code)
+        for pc, attr, label in self._fixups:
+            if label not in self._labels:
+                raise AssemblyError(f"unresolved label {label!r} in {self.name}")
+            code[pc] = replace(code[pc], **{attr: self._labels[label]})
+        catch_target: Optional[int] = None
+        if self._catch_npe is not None:
+            if self._catch_npe not in self._labels:
+                raise AssemblyError(
+                    f"unresolved catch label {self._catch_npe!r} in {self.name}"
+                )
+            catch_target = self._labels[self._catch_npe]
+        return Method(
+            name=self.name,
+            param_count=self.params,
+            code=code,
+            catch_npe_target=catch_target,
+        )

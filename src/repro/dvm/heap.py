@@ -1,0 +1,113 @@
+"""The simulated object heap.
+
+Mirrors the relevant part of the Dalvik VM: every object carries a
+unique id assigned at creation ("We assign a unique object ID for each
+object created by the virtual machine" — Section 5.2), instance fields
+live in the object, and static fields live in per-class slots.
+
+A *pointer address* in the sense of Section 5.3 is a concrete field
+slot — either ``("obj", <container id>, <field>)`` or
+``("static", <class>, <field>)``.  Frees and allocations are writes of
+null / non-null object references to such slots.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Optional
+
+from ..trace import Address
+
+
+class HeapObject:
+    """One heap object: a unique id, a class name, and fields."""
+
+    __slots__ = ("object_id", "cls", "fields")
+
+    def __init__(self, object_id: int, cls: str) -> None:
+        self.object_id = object_id
+        self.cls = cls
+        self.fields: Dict[str, Any] = {}
+
+    def __repr__(self) -> str:
+        return f"<{self.cls}#{self.object_id}>"
+
+
+class HeapArray(HeapObject):
+    """A fixed-length array object; elements live in ``fields`` keyed
+    by integer index (slot addresses are ``("obj", id, index)``)."""
+
+    __slots__ = ("length",)
+
+    def __init__(self, object_id: int, length: int) -> None:
+        super().__init__(object_id, f"array[{length}]")
+        self.length = length
+        for i in range(length):
+            self.fields[i] = None
+
+    def __repr__(self) -> str:
+        return f"<array#{self.object_id} len={self.length}>"
+
+
+class Heap:
+    """Object allocator plus static field storage for one process."""
+
+    def __init__(self) -> None:
+        self._ids = itertools.count(1)
+        self._objects: Dict[int, HeapObject] = {}
+        self._statics: Dict[str, Dict[str, Any]] = {}
+
+    def new(self, cls: str) -> HeapObject:
+        """Allocate a fresh object of class ``cls``."""
+        obj = HeapObject(next(self._ids), cls)
+        self._objects[obj.object_id] = obj
+        return obj
+
+    def new_array(self, length: int) -> HeapArray:
+        """Allocate a fresh array of null references."""
+        if length < 0:
+            raise ValueError(f"negative array length {length}")
+        arr = HeapArray(next(self._ids), length)
+        self._objects[arr.object_id] = arr
+        return arr
+
+    def get(self, object_id: int) -> HeapObject:
+        return self._objects[object_id]
+
+    @property
+    def object_count(self) -> int:
+        return len(self._objects)
+
+    # -- field storage ------------------------------------------------------
+
+    def get_static(self, cls: str, field: str) -> Any:
+        return self._statics.get(cls, {}).get(field)
+
+    def put_static(self, cls: str, field: str, value: Any) -> None:
+        self._statics.setdefault(cls, {})[field] = value
+
+    # -- addresses -----------------------------------------------------
+
+    @staticmethod
+    def field_address(container: HeapObject, field: str) -> Address:
+        """The pointer address of an instance field slot."""
+        return ("obj", container.object_id, field)
+
+    @staticmethod
+    def static_address(cls: str, field: str) -> Address:
+        """The pointer address of a static field slot."""
+        return ("static", cls, field)
+
+
+def object_id_of(value: Any) -> Optional[int]:
+    """The object id of a reference value (``None`` encodes null)."""
+    if value is None:
+        return None
+    if isinstance(value, HeapObject):
+        return value.object_id
+    raise TypeError(f"not a reference value: {value!r}")
+
+
+def is_reference(value: Any) -> bool:
+    """True for values the tracer should treat as object pointers."""
+    return value is None or isinstance(value, HeapObject)

@@ -1,0 +1,291 @@
+"""The miniature Dalvik-like instruction set.
+
+A register machine with the instruction subset CAFA instruments
+(Section 5.3): object-pointer loads/stores (``iget-object`` /
+``iput-object`` and their static variants), scalar field accesses,
+method invocation (a dereference of the receiver), the three guarded
+branches (``if-eqz``, ``if-nez``, ``if-eq``), and enough control flow
+and arithmetic to write realistic handler bodies.
+
+Instructions are plain dataclasses; the interpreter dispatches on type.
+Branch targets are resolved instruction indices (pcs) — the
+:class:`~repro.dvm.assembler.MethodBuilder` resolves symbolic labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """Base class; ``pc`` is implied by position in the method body."""
+
+
+# -- data movement -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Const(Instruction):
+    """``const vDst, literal`` — load an int/str literal."""
+
+    dst: int
+    value: Any
+
+
+@dataclass(frozen=True)
+class ConstNull(Instruction):
+    """``const vDst, null``."""
+
+    dst: int
+
+
+@dataclass(frozen=True)
+class Move(Instruction):
+    """``move vDst, vSrc``."""
+
+    dst: int
+    src: int
+
+
+@dataclass(frozen=True)
+class NewInstance(Instruction):
+    """``new-instance vDst, Cls`` — allocate a fresh object."""
+
+    dst: int
+    cls: str
+
+
+# -- instance fields ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IGet(Instruction):
+    """``iget vDst, vObj, field`` — scalar instance field read.
+
+    Dereferences the container object (emits a deref record) and a
+    shared-memory read of the field location.
+    """
+
+    dst: int
+    obj: int
+    field: str
+
+
+@dataclass(frozen=True)
+class IPut(Instruction):
+    """``iput vSrc, vObj, field`` — scalar instance field write."""
+
+    src: int
+    obj: int
+    field: str
+
+
+@dataclass(frozen=True)
+class IGetObject(Instruction):
+    """``iget-object vDst, vObj, field`` — pointer read (Section 5.3)."""
+
+    dst: int
+    obj: int
+    field: str
+
+
+@dataclass(frozen=True)
+class IPutObject(Instruction):
+    """``iput-object vSrc, vObj, field`` — pointer write.
+
+    Writing null is a *free*; writing a reference is an *allocation*.
+    """
+
+    src: int
+    obj: int
+    field: str
+
+
+# -- static fields -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SGet(Instruction):
+    """``sget vDst, Cls.field`` — scalar static read."""
+
+    dst: int
+    cls: str
+    field: str
+
+
+@dataclass(frozen=True)
+class SPut(Instruction):
+    """``sput vSrc, Cls.field`` — scalar static write."""
+
+    src: int
+    cls: str
+    field: str
+
+
+@dataclass(frozen=True)
+class SGetObject(Instruction):
+    """``sget-object vDst, Cls.field`` — static pointer read."""
+
+    dst: int
+    cls: str
+    field: str
+
+
+@dataclass(frozen=True)
+class SPutObject(Instruction):
+    """``sput-object vSrc, Cls.field`` — static pointer write."""
+
+    src: int
+    cls: str
+    field: str
+
+
+# -- arrays ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NewArray(Instruction):
+    """``new-array vDst, vSize`` — allocate an array of null refs."""
+
+    dst: int
+    size: int  # register holding the length
+
+
+@dataclass(frozen=True)
+class AGet(Instruction):
+    """``aget vDst, vArr, vIdx`` — scalar array read."""
+
+    dst: int
+    arr: int
+    idx: int
+
+
+@dataclass(frozen=True)
+class APut(Instruction):
+    """``aput vSrc, vArr, vIdx`` — scalar array write."""
+
+    src: int
+    arr: int
+    idx: int
+
+
+@dataclass(frozen=True)
+class AGetObject(Instruction):
+    """``aget-object vDst, vArr, vIdx`` — pointer read from an array
+    slot (Section 5.3 lists this among the instrumented loads)."""
+
+    dst: int
+    arr: int
+    idx: int
+
+
+@dataclass(frozen=True)
+class APutObject(Instruction):
+    """``aput-object vSrc, vArr, vIdx`` — pointer write to an array
+    slot; writing null is a free, like ``iput-object``."""
+
+    src: int
+    arr: int
+    idx: int
+
+
+# -- invocation --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Invoke(Instruction):
+    """``invoke-virtual/static`` — call ``method`` with ``args``.
+
+    When ``receiver`` is a register index, the call dereferences the
+    receiver (null receiver raises a simulated NullPointerException)
+    and the receiver is prepended to the callee's parameters.  The
+    result, if any, lands in ``dst``.
+    """
+
+    method: str
+    args: Sequence[int] = ()
+    receiver: Optional[int] = None
+    dst: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Return(Instruction):
+    """``return [vSrc]``."""
+
+    src: Optional[int] = None
+
+
+# -- control flow ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Goto(Instruction):
+    """``goto target``."""
+
+    target: int
+
+
+@dataclass(frozen=True)
+class IfEqz(Instruction):
+    """``if-eqz vA, target`` — jump when vA is zero/null.
+
+    When vA holds a reference, the *not taken* outcome is logged for
+    the if-guard check (the pointer is then known non-null).
+    """
+
+    a: int
+    target: int
+
+
+@dataclass(frozen=True)
+class IfNez(Instruction):
+    """``if-nez vA, target`` — jump when vA is non-zero/non-null.
+
+    When vA holds a reference, the *taken* outcome is logged.
+    """
+
+    a: int
+    target: int
+
+
+@dataclass(frozen=True)
+class IfEq(Instruction):
+    """``if-eq vA, vB, target`` — jump when equal.
+
+    When both operands are references, the *taken* outcome is logged
+    (Section 5.3: ``if-eq`` on pointers gives the same guarantee as
+    ``if-nez`` because it is typically a comparison against ``this``).
+    """
+
+    a: int
+    b: int
+    target: int
+
+
+@dataclass(frozen=True)
+class IfLt(Instruction):
+    """``if-lt vA, vB, target`` — scalar comparison (never logged)."""
+
+    a: int
+    b: int
+    target: int
+
+
+# -- arithmetic / misc -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BinOp(Instruction):
+    """``add/sub/mul-int vDst, vA, vB``."""
+
+    op: str  # one of "+", "-", "*"
+    dst: int
+    a: int
+    b: int
+
+
+@dataclass(frozen=True)
+class Nop(Instruction):
+    """``nop`` — consumes one cycle; padding for realistic pc layouts."""

@@ -1,0 +1,446 @@
+"""The instrumented bytecode interpreter.
+
+This is the stand-in for CAFA's modified portable interpreter
+(Section 5.3): every executed instruction that the real tool logs is
+reported to a :class:`DvmSink` —
+
+* ``iget-object``/``sget-object`` → a pointer read record;
+* ``iput-object``/``sput-object`` → a pointer write record (a *free*
+  when the written value is null, an *allocation* otherwise);
+* any field access or virtual invocation → a dereference record for
+  the container/receiver object;
+* ``if-eqz`` (not taken), ``if-nez`` (taken), ``if-eq`` (taken) on
+  references → a branch record certifying the pointer non-null;
+* method invocation and return (incl. exceptional exit) → calling
+  context records;
+* scalar field accesses → plain read/write records for the low-level
+  race detector.
+
+Dereferencing null raises :class:`DvmNullPointerError`, which unwinds
+through frames (emitting exceptional method exits) unless a method
+declares a catch-all NPE handler.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Protocol, Sequence
+
+from ..trace import Address, BranchKind
+from .heap import Heap, HeapArray, HeapObject, is_reference, object_id_of
+from .instructions import (
+    AGet,
+    AGetObject,
+    APut,
+    APutObject,
+    BinOp,
+    Const,
+    ConstNull,
+    Goto,
+    IfEq,
+    IfEqz,
+    IfLt,
+    IfNez,
+    IGet,
+    IGetObject,
+    Invoke,
+    IPut,
+    IPutObject,
+    Move,
+    NewArray,
+    NewInstance,
+    Nop,
+    Return,
+    SGet,
+    SGetObject,
+    SPut,
+    SPutObject,
+)
+from .method import Method, Program
+
+
+class DvmError(Exception):
+    """Base class for simulated VM errors."""
+
+
+class DvmNullPointerError(DvmError):
+    """A simulated ``NullPointerException`` (dereference of null)."""
+
+    def __init__(self, method: str, pc: int):
+        self.method = method
+        self.pc = pc
+        super().__init__(f"null dereference in {method} at pc {pc}")
+
+
+class DvmStepLimitError(DvmError):
+    """The per-invocation step budget was exhausted (runaway loop)."""
+
+
+class DvmSink(Protocol):
+    """Receiver of instrumentation records.
+
+    The runtime's task context implements this to stamp records with
+    the current task and virtual time; :class:`CollectingSink` is a
+    standalone implementation for unit tests.
+    """
+
+    def ptr_read(self, address: Address, object_id: Optional[int], method: str, pc: int) -> None: ...
+
+    def ptr_write(
+        self,
+        address: Address,
+        value: Optional[int],
+        container: Optional[int],
+        method: str,
+        pc: int,
+    ) -> None: ...
+
+    def deref(self, object_id: int, method: str, pc: int) -> None: ...
+
+    def branch(
+        self, kind: BranchKind, pc: int, target: int, object_id: Optional[int], method: str
+    ) -> None: ...
+
+    def method_enter(self, method: str, return_pc: int) -> None: ...
+
+    def method_exit(self, method: str, return_pc: int, via_exception: bool) -> None: ...
+
+    def read(self, var: str, site: str) -> None: ...
+
+    def write(self, var: str, site: str) -> None: ...
+
+
+class NullSink:
+    """Discards all records (uninstrumented execution, Figure 8 baseline)."""
+
+    def ptr_read(self, address, object_id, method, pc):  # noqa: D102
+        pass
+
+    def ptr_write(self, address, value, container, method, pc):  # noqa: D102
+        pass
+
+    def deref(self, object_id, method, pc):  # noqa: D102
+        pass
+
+    def branch(self, kind, pc, target, object_id, method):  # noqa: D102
+        pass
+
+    def method_enter(self, method, return_pc):  # noqa: D102
+        pass
+
+    def method_exit(self, method, return_pc, via_exception):  # noqa: D102
+        pass
+
+    def read(self, var, site):  # noqa: D102
+        pass
+
+    def write(self, var, site):  # noqa: D102
+        pass
+
+
+class CollectingSink(NullSink):
+    """Collects records as ``(kind, payload)`` tuples, for tests."""
+
+    def __init__(self) -> None:
+        self.records: List[tuple] = []
+
+    def ptr_read(self, address, object_id, method, pc):
+        self.records.append(("ptr_read", address, object_id, method, pc))
+
+    def ptr_write(self, address, value, container, method, pc):
+        self.records.append(("ptr_write", address, value, container, method, pc))
+
+    def deref(self, object_id, method, pc):
+        self.records.append(("deref", object_id, method, pc))
+
+    def branch(self, kind, pc, target, object_id, method):
+        self.records.append(("branch", kind, pc, target, object_id, method))
+
+    def method_enter(self, method, return_pc):
+        self.records.append(("method_enter", method, return_pc))
+
+    def method_exit(self, method, return_pc, via_exception):
+        self.records.append(("method_exit", method, return_pc, via_exception))
+
+    def read(self, var, site):
+        self.records.append(("read", var, site))
+
+    def write(self, var, site):
+        self.records.append(("write", var, site))
+
+    def of_kind(self, kind: str) -> List[tuple]:
+        return [r for r in self.records if r[0] == kind]
+
+
+def _scalar_var(container: HeapObject, field: str) -> str:
+    return f"field:{container.object_id}.{field}"
+
+
+def _static_scalar_var(cls: str, field: str) -> str:
+    return f"static:{cls}.{field}"
+
+
+class Interpreter:
+    """Executes methods of a :class:`~repro.dvm.method.Program`.
+
+    One interpreter instance is shared by a process; it is re-entrant
+    with respect to :meth:`invoke` (intrinsics may call back).
+    """
+
+    #: default per-invocation instruction budget
+    DEFAULT_STEP_LIMIT = 100_000
+
+    def __init__(
+        self,
+        program: Program,
+        heap: Heap,
+        sink: Optional[DvmSink] = None,
+        step_limit: int = DEFAULT_STEP_LIMIT,
+    ) -> None:
+        self.program = program
+        self.heap = heap
+        self.sink: DvmSink = sink if sink is not None else NullSink()
+        self.step_limit = step_limit
+        #: total executed instruction count (performance accounting)
+        self.executed = 0
+
+    # -- public API -------------------------------------------------------
+
+    def invoke(self, name: str, args: Sequence[Any] = (), return_pc: int = -1) -> Any:
+        """Invoke method or intrinsic ``name`` with ``args``."""
+        intrinsic = self.program.intrinsic(name)
+        if intrinsic is not None:
+            return intrinsic(list(args))
+        method = self.program.method(name)
+        if method is None:
+            raise DvmError(f"unresolved method {name!r}")
+        if len(args) != method.param_count:
+            raise DvmError(
+                f"{name} expects {method.param_count} args, got {len(args)}"
+            )
+        return self._run(method, list(args), return_pc)
+
+    # -- execution ---------------------------------------------------------
+
+    def _run(self, method: Method, args: List[Any], return_pc: int) -> Any:
+        self.sink.method_enter(method.name, return_pc)
+        registers: Dict[int, Any] = {i: v for i, v in enumerate(args)}
+        pc = 0
+        budget = self.step_limit
+        code = method.code
+        size = len(code)
+        try:
+            while pc < size:
+                if budget <= 0:
+                    raise DvmStepLimitError(
+                        f"step limit exceeded in {method.name}"
+                    )
+                budget -= 1
+                self.executed += 1
+                instr = code[pc]
+                try:
+                    next_pc, returned, value = self._step(method, registers, pc, instr)
+                except DvmNullPointerError:
+                    if method.catch_npe_target is not None:
+                        pc = method.catch_npe_target
+                        continue
+                    raise
+                if returned:
+                    self.sink.method_exit(method.name, return_pc, via_exception=False)
+                    return value
+                pc = next_pc
+        except DvmNullPointerError:
+            self.sink.method_exit(method.name, return_pc, via_exception=True)
+            raise
+        # Fell off the end of the code array: implicit void return.
+        self.sink.method_exit(method.name, return_pc, via_exception=False)
+        return None
+
+    def _step(self, method, registers, pc, instr):
+        """Execute one instruction; returns (next_pc, returned, value)."""
+        sink = self.sink
+        heap = self.heap
+        name = method.name
+
+        if isinstance(instr, Const):
+            registers[instr.dst] = instr.value
+        elif isinstance(instr, ConstNull):
+            registers[instr.dst] = None
+        elif isinstance(instr, Move):
+            registers[instr.dst] = registers.get(instr.src)
+        elif isinstance(instr, NewInstance):
+            registers[instr.dst] = heap.new(instr.cls)
+        elif isinstance(instr, IGet):
+            container = self._require_object(registers.get(instr.obj), name, pc)
+            sink.deref(container.object_id, name, pc)
+            sink.read(_scalar_var(container, instr.field), f"{name}:{pc}")
+            registers[instr.dst] = container.fields.get(instr.field)
+        elif isinstance(instr, IPut):
+            container = self._require_object(registers.get(instr.obj), name, pc)
+            sink.deref(container.object_id, name, pc)
+            sink.write(_scalar_var(container, instr.field), f"{name}:{pc}")
+            container.fields[instr.field] = registers.get(instr.src)
+        elif isinstance(instr, IGetObject):
+            container = self._require_object(registers.get(instr.obj), name, pc)
+            sink.deref(container.object_id, name, pc)
+            value = container.fields.get(instr.field)
+            address = Heap.field_address(container, instr.field)
+            sink.ptr_read(address, object_id_of(value), name, pc)
+            registers[instr.dst] = value
+        elif isinstance(instr, IPutObject):
+            container = self._require_object(registers.get(instr.obj), name, pc)
+            sink.deref(container.object_id, name, pc)
+            value = registers.get(instr.src)
+            if not is_reference(value):
+                raise DvmError(
+                    f"iput-object of non-reference {value!r} in {name} at {pc}"
+                )
+            address = Heap.field_address(container, instr.field)
+            sink.ptr_write(
+                address, object_id_of(value), container.object_id, name, pc
+            )
+            container.fields[instr.field] = value
+        elif isinstance(instr, NewArray):
+            length = registers.get(instr.size, 0)
+            if not isinstance(length, int) or length < 0:
+                raise DvmError(f"bad array length {length!r} in {name} at {pc}")
+            registers[instr.dst] = heap.new_array(length)
+        elif isinstance(instr, AGet):
+            array = self._require_array(registers.get(instr.arr), name, pc)
+            index = self._check_bounds(array, registers.get(instr.idx), name, pc)
+            sink.deref(array.object_id, name, pc)
+            sink.read(f"arr:{array.object_id}[{index}]", f"{name}:{pc}")
+            registers[instr.dst] = array.fields.get(index)
+        elif isinstance(instr, APut):
+            array = self._require_array(registers.get(instr.arr), name, pc)
+            index = self._check_bounds(array, registers.get(instr.idx), name, pc)
+            sink.deref(array.object_id, name, pc)
+            sink.write(f"arr:{array.object_id}[{index}]", f"{name}:{pc}")
+            array.fields[index] = registers.get(instr.src)
+        elif isinstance(instr, AGetObject):
+            array = self._require_array(registers.get(instr.arr), name, pc)
+            index = self._check_bounds(array, registers.get(instr.idx), name, pc)
+            sink.deref(array.object_id, name, pc)
+            value = array.fields.get(index)
+            address = ("obj", array.object_id, index)
+            sink.ptr_read(address, object_id_of(value), name, pc)
+            registers[instr.dst] = value
+        elif isinstance(instr, APutObject):
+            array = self._require_array(registers.get(instr.arr), name, pc)
+            index = self._check_bounds(array, registers.get(instr.idx), name, pc)
+            sink.deref(array.object_id, name, pc)
+            value = registers.get(instr.src)
+            if not is_reference(value):
+                raise DvmError(
+                    f"aput-object of non-reference {value!r} in {name} at {pc}"
+                )
+            address = ("obj", array.object_id, index)
+            sink.ptr_write(address, object_id_of(value), array.object_id, name, pc)
+            array.fields[index] = value
+        elif isinstance(instr, SGet):
+            sink.read(_static_scalar_var(instr.cls, instr.field), f"{name}:{pc}")
+            registers[instr.dst] = heap.get_static(instr.cls, instr.field)
+        elif isinstance(instr, SPut):
+            sink.write(_static_scalar_var(instr.cls, instr.field), f"{name}:{pc}")
+            heap.put_static(instr.cls, instr.field, registers.get(instr.src))
+        elif isinstance(instr, SGetObject):
+            value = heap.get_static(instr.cls, instr.field)
+            address = Heap.static_address(instr.cls, instr.field)
+            sink.ptr_read(address, object_id_of(value), name, pc)
+            registers[instr.dst] = value
+        elif isinstance(instr, SPutObject):
+            value = registers.get(instr.src)
+            if not is_reference(value):
+                raise DvmError(
+                    f"sput-object of non-reference {value!r} in {name} at {pc}"
+                )
+            address = Heap.static_address(instr.cls, instr.field)
+            sink.ptr_write(address, object_id_of(value), None, name, pc)
+            heap.put_static(instr.cls, instr.field, value)
+        elif isinstance(instr, Invoke):
+            call_args: List[Any] = []
+            if instr.receiver is not None:
+                receiver = self._require_object(
+                    registers.get(instr.receiver), name, pc
+                )
+                sink.deref(receiver.object_id, name, pc)
+                call_args.append(receiver)
+            call_args.extend(registers.get(a) for a in instr.args)
+            result = self.invoke(instr.method, call_args, return_pc=pc)
+            if instr.dst is not None:
+                registers[instr.dst] = result
+        elif isinstance(instr, Return):
+            value = registers.get(instr.src) if instr.src is not None else None
+            return pc + 1, True, value
+        elif isinstance(instr, Goto):
+            return instr.target, False, None
+        elif isinstance(instr, IfEqz):
+            value = registers.get(instr.a)
+            taken = (value is None) if is_reference(value) else (value == 0)
+            if is_reference(value) and not taken:
+                # Not taken => pointer non-null on the fall-through path.
+                sink.branch(
+                    BranchKind.IF_EQZ, pc, instr.target, object_id_of(value), name
+                )
+            return (instr.target if taken else pc + 1), False, None
+        elif isinstance(instr, IfNez):
+            value = registers.get(instr.a)
+            taken = (value is not None) if is_reference(value) else (value != 0)
+            if is_reference(value) and taken:
+                # Taken => pointer non-null on the target path.
+                sink.branch(
+                    BranchKind.IF_NEZ, pc, instr.target, object_id_of(value), name
+                )
+            return (instr.target if taken else pc + 1), False, None
+        elif isinstance(instr, IfEq):
+            a, b = registers.get(instr.a), registers.get(instr.b)
+            taken = a is b if (is_reference(a) and is_reference(b)) else a == b
+            if is_reference(a) and is_reference(b) and taken and a is not None:
+                sink.branch(
+                    BranchKind.IF_EQ, pc, instr.target, object_id_of(a), name
+                )
+            return (instr.target if taken else pc + 1), False, None
+        elif isinstance(instr, IfLt):
+            a, b = registers.get(instr.a, 0), registers.get(instr.b, 0)
+            return (instr.target if a < b else pc + 1), False, None
+        elif isinstance(instr, BinOp):
+            a, b = registers.get(instr.a, 0), registers.get(instr.b, 0)
+            if instr.op == "+":
+                registers[instr.dst] = a + b
+            elif instr.op == "-":
+                registers[instr.dst] = a - b
+            elif instr.op == "*":
+                registers[instr.dst] = a * b
+            else:
+                raise DvmError(f"unknown binop {instr.op!r}")
+        elif isinstance(instr, Nop):
+            pass
+        else:  # pragma: no cover - exhaustive over the instruction set
+            raise DvmError(f"unknown instruction {instr!r}")
+        return pc + 1, False, None
+
+    @staticmethod
+    def _require_object(value: Any, method: str, pc: int) -> HeapObject:
+        if isinstance(value, HeapObject):
+            return value
+        if value is None:
+            raise DvmNullPointerError(method, pc)
+        raise DvmError(f"dereference of non-object {value!r} in {method} at {pc}")
+
+    @staticmethod
+    def _require_array(value: Any, method: str, pc: int) -> HeapArray:
+        if isinstance(value, HeapArray):
+            return value
+        if value is None:
+            raise DvmNullPointerError(method, pc)
+        raise DvmError(f"array access on non-array {value!r} in {method} at {pc}")
+
+    @staticmethod
+    def _check_bounds(array: HeapArray, index: Any, method: str, pc: int) -> int:
+        if not isinstance(index, int):
+            raise DvmError(f"non-integer array index {index!r} in {method} at {pc}")
+        if not 0 <= index < array.length:
+            raise DvmError(
+                f"array index {index} out of bounds [0, {array.length}) "
+                f"in {method} at {pc}"
+            )
+        return index

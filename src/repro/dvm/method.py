@@ -1,0 +1,71 @@
+"""Methods and programs for the mini-DVM."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .instructions import Instruction
+
+
+@dataclass
+class Method:
+    """A compiled method: a name, parameter count, and a code array.
+
+    Parameters arrive in registers ``0 .. param_count-1`` (for virtual
+    methods register 0 is the receiver).  ``catch_npe_target`` models a
+    catch-all ``try { ... } catch (NullPointerException) { ... }``
+    around the body: when a simulated NPE unwinds to this method, the
+    interpreter transfers control to that pc instead of propagating
+    (ToDoList's bug "fix" in Section 6.2 is exactly this pattern).
+    """
+
+    name: str
+    param_count: int = 0
+    code: List[Instruction] = field(default_factory=list)
+    catch_npe_target: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.code:
+            raise ValueError(f"method {self.name!r} has empty code")
+
+    def __len__(self) -> int:
+        return len(self.code)
+
+
+#: An intrinsic: native code callable from DVM ``Invoke`` instructions.
+#: Receives the (already evaluated) argument values and returns the
+#: call's result.  Intrinsics are how handler bytecode talks to the
+#: runtime (sending events, RPCs, logging).
+Intrinsic = Callable[[Sequence[object]], object]
+
+
+class Program:
+    """A registry of methods and intrinsics (one per process image)."""
+
+    def __init__(self) -> None:
+        self._methods: Dict[str, Method] = {}
+        self._intrinsics: Dict[str, Intrinsic] = {}
+
+    def add_method(self, method: Method) -> Method:
+        if method.name in self._methods or method.name in self._intrinsics:
+            raise ValueError(f"duplicate method {method.name!r}")
+        self._methods[method.name] = method
+        return method
+
+    def add_intrinsic(self, name: str, fn: Intrinsic) -> None:
+        if name in self._methods or name in self._intrinsics:
+            raise ValueError(f"duplicate method {name!r}")
+        self._intrinsics[name] = fn
+
+    def method(self, name: str) -> Optional[Method]:
+        return self._methods.get(name)
+
+    def intrinsic(self, name: str) -> Optional[Intrinsic]:
+        return self._intrinsics.get(name)
+
+    def has(self, name: str) -> bool:
+        return name in self._methods or name in self._intrinsics
+
+    def method_names(self) -> List[str]:
+        return sorted(self._methods)

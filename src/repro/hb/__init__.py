@@ -1,0 +1,63 @@
+"""The event-driven causality model (Section 3) and its offline
+happens-before analysis (Section 4.2)."""
+
+from .builder import (
+    EventRecord,
+    RULE_ATOMICITY,
+    RULE_EXTERNAL,
+    RULE_FORK,
+    RULE_IPC_CALL,
+    RULE_IPC_REPLY,
+    RULE_JOIN,
+    RULE_LISTENER,
+    RULE_LOCK,
+    RULE_PROGRAM_ORDER,
+    RULE_QUEUE_1,
+    RULE_QUEUE_2,
+    RULE_QUEUE_3,
+    RULE_QUEUE_4,
+    RULE_SEND,
+    RULE_SEND_AT_FRONT,
+    RULE_SIGNAL_WAIT,
+    ModelNotApplicableError,
+    build_happens_before,
+)
+from .config import CAFA_MODEL, CONVENTIONAL_MODEL, NO_QUEUE_MODEL, ModelConfig
+from .graph import HappensBefore, HBCycleError, KeyGraph
+from .dot import to_dot
+from .stats import HBStats, hb_stats
+from .vector_clock import VectorClock, VectorClockAnalysis
+
+__all__ = [
+    "CAFA_MODEL",
+    "CONVENTIONAL_MODEL",
+    "NO_QUEUE_MODEL",
+    "EventRecord",
+    "HBCycleError",
+    "HBStats",
+    "HappensBefore",
+    "KeyGraph",
+    "ModelConfig",
+    "ModelNotApplicableError",
+    "RULE_ATOMICITY",
+    "RULE_EXTERNAL",
+    "RULE_FORK",
+    "RULE_IPC_CALL",
+    "RULE_IPC_REPLY",
+    "RULE_JOIN",
+    "RULE_LISTENER",
+    "RULE_LOCK",
+    "RULE_PROGRAM_ORDER",
+    "RULE_QUEUE_1",
+    "RULE_QUEUE_2",
+    "RULE_QUEUE_3",
+    "RULE_QUEUE_4",
+    "RULE_SEND",
+    "RULE_SEND_AT_FRONT",
+    "RULE_SIGNAL_WAIT",
+    "VectorClock",
+    "VectorClockAnalysis",
+    "build_happens_before",
+    "hb_stats",
+    "to_dot",
+]

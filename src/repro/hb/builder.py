@@ -1,0 +1,534 @@
+"""Construction of the happens-before relation from a trace.
+
+This is the offline analysis of Section 4.2: build a graph whose
+vertices are the trace operations and whose edges encode the causality
+model of Section 3.3, then answer ordering queries by reachability.
+
+The base rules (program order, fork-join, signal-and-wait, event
+listener, send, external input, IPC) produce edges directly from the
+trace.  The atomicity rule and the four event-queue rules are *derived*
+rules: their premises are happens-before facts, so they are applied to
+a fixpoint — each round computes the transitive closure, finds every
+rule instance whose premise holds and whose conclusion is not yet
+implied, adds the concluded edges, and repeats until no rule fires.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..trace import (
+    Acquire,
+    Begin,
+    End,
+    Fork,
+    IpcCall,
+    IpcHandle,
+    IpcReply,
+    IpcReturn,
+    Join,
+    Notify,
+    OpKind,
+    Perform,
+    Register,
+    Release,
+    Send,
+    SendAtFront,
+    SYNC_KINDS,
+    TaskKind,
+    Trace,
+    Wait,
+)
+from .config import CAFA_MODEL, ModelConfig
+from .graph import HappensBefore, KeyGraph
+
+# Rule labels used as edge provenance.
+RULE_PROGRAM_ORDER = "program-order"
+RULE_FORK = "fork"
+RULE_JOIN = "join"
+RULE_SIGNAL_WAIT = "signal-wait"
+RULE_LISTENER = "listener"
+RULE_SEND = "send"
+RULE_SEND_AT_FRONT = "sendAtFront"
+RULE_EXTERNAL = "external-input"
+RULE_IPC_CALL = "ipc-call"
+RULE_IPC_REPLY = "ipc-reply"
+RULE_LOCK = "lock"
+RULE_ATOMICITY = "atomicity"
+RULE_QUEUE_1 = "queue-rule-1"
+RULE_QUEUE_2 = "queue-rule-2"
+RULE_QUEUE_3 = "queue-rule-3"
+RULE_QUEUE_4 = "queue-rule-4"
+
+
+@dataclass
+class EventRecord:
+    """Send/dispatch facts about one event, harvested from the trace."""
+
+    event: str
+    queue: Optional[str] = None
+    looper: Optional[str] = None
+    send_index: Optional[int] = None
+    delay: int = 0
+    at_front: bool = False
+    begin_index: Optional[int] = None
+    end_index: Optional[int] = None
+
+    @property
+    def dispatched(self) -> bool:
+        return self.begin_index is not None and self.end_index is not None
+
+
+@dataclass
+class _BuildState:
+    """Internal indices shared by the edge-derivation passes."""
+
+    trace: Trace
+    config: ModelConfig
+    op_task: List[str] = field(default_factory=list)
+    op_pos: List[int] = field(default_factory=list)
+    task_ops: Dict[str, List[int]] = field(default_factory=dict)
+    events: Dict[str, EventRecord] = field(default_factory=dict)
+    task_begin: Dict[str, int] = field(default_factory=dict)
+    task_end: Dict[str, int] = field(default_factory=dict)
+
+
+def _effective_task(state: _BuildState, op_index: int) -> str:
+    """The task an op belongs to under the configured event model.
+
+    With ``sequential_events`` (the conventional baseline) every event's
+    operations are folded into its looper thread's program order.
+    """
+    op = state.trace[op_index]
+    if not state.config.sequential_events:
+        return op.task
+    info = state.trace.tasks.get(op.task)
+    if info is not None and info.task_kind is TaskKind.EVENT and info.looper:
+        return info.looper
+    return op.task
+
+
+def _scan(state: _BuildState) -> None:
+    """First pass: positions, task bounds, and event records."""
+    trace = state.trace
+    for i, op in enumerate(trace.ops):
+        task = _effective_task(state, i)
+        ops = state.task_ops.setdefault(task, [])
+        state.op_task.append(task)
+        state.op_pos.append(len(ops))
+        ops.append(i)
+        if isinstance(op, Begin):
+            state.task_begin.setdefault(op.task, i)
+            info = trace.tasks.get(op.task)
+            if info is not None and info.task_kind is TaskKind.EVENT:
+                rec = state.events.setdefault(op.task, EventRecord(op.task))
+                rec.begin_index = i
+                rec.looper = info.looper
+                rec.queue = info.queue
+        elif isinstance(op, End):
+            state.task_end[op.task] = i
+            info = trace.tasks.get(op.task)
+            if info is not None and info.task_kind is TaskKind.EVENT:
+                state.events.setdefault(op.task, EventRecord(op.task)).end_index = i
+        elif isinstance(op, Send):
+            rec = state.events.setdefault(op.event, EventRecord(op.event))
+            rec.send_index = i
+            rec.delay = op.delay
+            rec.at_front = False
+            if op.queue:
+                rec.queue = op.queue
+        elif isinstance(op, SendAtFront):
+            rec = state.events.setdefault(op.event, EventRecord(op.event))
+            rec.send_index = i
+            rec.delay = 0
+            rec.at_front = True
+            if op.queue:
+                rec.queue = op.queue
+
+
+def _is_key(state: _BuildState, op_index: int) -> bool:
+    op = state.trace[op_index]
+    if op.kind in SYNC_KINDS:
+        return True
+    if state.config.lock_edges and op.kind in (OpKind.ACQUIRE, OpKind.RELEASE):
+        return True
+    return False
+
+
+def _build_key_graph(state: _BuildState) -> Tuple[KeyGraph, Dict[str, List[int]], Dict[str, List[int]]]:
+    """Create nodes for every key op and chain them per task."""
+    graph = KeyGraph()
+    task_key_positions: Dict[str, List[int]] = {}
+    task_key_nodes: Dict[str, List[int]] = {}
+    for task, ops in state.task_ops.items():
+        positions: List[int] = []
+        nodes: List[int] = []
+        for pos, op_index in enumerate(ops):
+            if _is_key(state, op_index) or pos == len(ops) - 1:
+                node = graph.add_node(op_index)
+                if nodes:
+                    graph.add_edge(nodes[-1], node, RULE_PROGRAM_ORDER)
+                positions.append(pos)
+                nodes.append(node)
+        task_key_positions[task] = positions
+        task_key_nodes[task] = nodes
+    return graph, task_key_positions, task_key_nodes
+
+
+def _add_base_edges(state: _BuildState, graph: KeyGraph) -> None:
+    """Edges whose premises are syntactic facts of the trace."""
+    trace, config = state.trace, state.config
+    notify_by_ticket: Dict[int, int] = {}
+    notify_by_monitor: Dict[str, List[int]] = {}
+    registers: Dict[str, List[int]] = {}
+    ipc_calls: Dict[int, int] = {}
+    ipc_replies: Dict[int, int] = {}
+    last_release: Dict[str, int] = {}
+
+    def edge(u_op: int, v_op: int, rule: str) -> None:
+        graph.add_edge(graph.node_of(u_op), graph.node_of(v_op), rule)
+
+    for i, op in enumerate(trace.ops):
+        if isinstance(op, Fork) and config.fork_join:
+            begin = state.task_begin.get(op.child)
+            if begin is not None:
+                edge(i, begin, RULE_FORK)
+        elif isinstance(op, Join) and config.fork_join:
+            end = state.task_end.get(op.child)
+            if end is not None:
+                edge(end, i, RULE_JOIN)
+        elif isinstance(op, Notify) and config.signal_wait:
+            if op.ticket >= 0:
+                notify_by_ticket[op.ticket] = i
+            notify_by_monitor.setdefault(op.monitor, []).append(i)
+        elif isinstance(op, Wait) and config.signal_wait:
+            if op.ticket >= 0 and op.ticket in notify_by_ticket:
+                edge(notify_by_ticket[op.ticket], i, RULE_SIGNAL_WAIT)
+            else:
+                # No pairing information: apply the rule as written —
+                # every earlier notify of the monitor orders the wait.
+                for n in notify_by_monitor.get(op.monitor, ()):
+                    edge(n, i, RULE_SIGNAL_WAIT)
+        elif isinstance(op, Register) and config.listener:
+            registers.setdefault(op.listener, []).append(i)
+        elif isinstance(op, Perform) and config.listener:
+            for r in registers.get(op.listener, ()):
+                edge(r, i, RULE_LISTENER)
+        elif isinstance(op, (Send, SendAtFront)) and config.send_begin:
+            begin = state.task_begin.get(op.event)
+            if begin is not None:
+                rule = RULE_SEND if isinstance(op, Send) else RULE_SEND_AT_FRONT
+                edge(i, begin, rule)
+        elif isinstance(op, IpcCall) and config.ipc:
+            ipc_calls[op.txn] = i
+        elif isinstance(op, IpcHandle) and config.ipc:
+            call = ipc_calls.get(op.txn)
+            if call is not None:
+                edge(call, i, RULE_IPC_CALL)
+        elif isinstance(op, IpcReply) and config.ipc:
+            ipc_replies[op.txn] = i
+        elif isinstance(op, IpcReturn) and config.ipc:
+            reply = ipc_replies.get(op.txn)
+            if reply is not None:
+                edge(reply, i, RULE_IPC_REPLY)
+        elif isinstance(op, Release) and config.lock_edges:
+            last_release[op.lock] = i
+        elif isinstance(op, Acquire) and config.lock_edges:
+            rel = last_release.get(op.lock)
+            if rel is not None:
+                edge(rel, i, RULE_LOCK)
+
+    if config.external_input:
+        external = trace.external_events()
+        for e1, e2 in zip(external, external[1:]):
+            end1 = state.task_end.get(e1)
+            begin2 = state.task_begin.get(e2)
+            if end1 is not None and begin2 is not None:
+                edge(end1, begin2, RULE_EXTERNAL)
+
+    if config.queue_rule_1 and not config.sequential_events:
+        _seed_queue_rule_1_chains(state, graph)
+
+
+def _seed_queue_rule_1_chains(state: _BuildState, graph: KeyGraph) -> None:
+    """Pre-apply queue rule 1 along each task's own send sequence.
+
+    A task that sends many events to one queue orders them pairwise by
+    rule 1 (its sends are in program order).  Left to the fixpoint this
+    produces a quadratic number of derived edges for event-dense traces;
+    seeding the *consecutive* conclusions here keeps the later rounds'
+    implied-edge check effective, so the fixpoint only adds the edges
+    transitivity cannot reach.  This is purely an optimization: the
+    edges added are ordinary rule-1 conclusions.
+    """
+    per_task_queue: Dict[Tuple[str, str], List[EventRecord]] = {}
+    for rec in state.events.values():
+        if rec.send_index is None or rec.at_front or not rec.dispatched:
+            continue
+        op = state.trace[rec.send_index]
+        if not rec.queue:
+            continue
+        per_task_queue.setdefault((op.task, rec.queue), []).append(rec)
+    for recs in per_task_queue.values():
+        recs.sort(key=lambda r: r.send_index)  # type: ignore[arg-type, return-value]
+        for i, rec in enumerate(recs):
+            for later in recs[i + 1 :]:
+                if later.delay >= rec.delay:
+                    graph.add_edge(
+                        graph.node_of(rec.end_index),  # type: ignore[arg-type]
+                        graph.node_of(later.begin_index),  # type: ignore[arg-type]
+                        RULE_QUEUE_1,
+                    )
+                    break
+
+
+class ModelNotApplicableError(Exception):
+    """The trace violates a structural assumption of the model.
+
+    Section 3.1: the causality model applies to systems that allocate
+    one looper thread per event queue; if multiple loopers share a
+    queue, the FIFO-processing guarantees behind the queue rules do
+    not hold and no causal order can be derived from them.
+    """
+
+
+def _check_one_looper_per_queue(state: _BuildState) -> None:
+    looper_of_queue: Dict[str, str] = {}
+    for rec in state.events.values():
+        if not rec.queue or not rec.looper:
+            continue
+        existing = looper_of_queue.setdefault(rec.queue, rec.looper)
+        if existing != rec.looper:
+            raise ModelNotApplicableError(
+                f"queue {rec.queue!r} is drained by loopers {existing!r} "
+                f"and {rec.looper!r}; the causality model assumes one "
+                "looper thread per event queue (Section 3.1)"
+            )
+
+
+class _DerivedRules:
+    """Applies the atomicity + event-queue rules to a fixpoint."""
+
+    def __init__(self, state: _BuildState, graph: KeyGraph) -> None:
+        self.state = state
+        self.graph = graph
+        config = state.config
+        dispatched = [
+            rec for rec in state.events.values() if rec.dispatched and rec.queue
+        ]
+        # Events grouped per looper, in actual execution order.
+        self.per_looper: Dict[str, List[EventRecord]] = {}
+        if config.atomicity:
+            for rec in dispatched:
+                if rec.looper:
+                    self.per_looper.setdefault(rec.looper, []).append(rec)
+            for recs in self.per_looper.values():
+                recs.sort(key=lambda r: r.begin_index)  # type: ignore[arg-type, return-value]
+        # Sends grouped per queue for the queue rules.
+        self.sends: Dict[str, List[EventRecord]] = {}
+        self.fronts: Dict[str, List[EventRecord]] = {}
+        if config.any_queue_rule:
+            for rec in dispatched:
+                if rec.send_index is None:
+                    continue
+                bucket = self.fronts if rec.at_front else self.sends
+                bucket.setdefault(rec.queue, []).append(rec)  # type: ignore[arg-type]
+            for recs in self.sends.values():
+                recs.sort(key=lambda r: r.delay)
+
+    def _node(self, op_index: int) -> int:
+        return self.graph.node_of(op_index)
+
+    def apply(self, reach: List[int]) -> List[Tuple[int, int, str]]:
+        """One round: all rule instances enabled by the given closure."""
+        new_edges: List[Tuple[int, int, str]] = []
+        seen = set()
+
+        def conclude(e1: EventRecord, e2: EventRecord, rule: str) -> None:
+            """Record conclusion end(e1) < begin(e2) unless implied."""
+            u = self._node(e1.end_index)  # type: ignore[arg-type]
+            v = self._node(e2.begin_index)  # type: ignore[arg-type]
+            if (u, v) in seen:
+                return
+            if (reach[u] >> v) & 1:
+                return
+            seen.add((u, v))
+            new_edges.append((u, v, rule))
+
+        config = self.state.config
+        if config.atomicity:
+            self._atomicity(reach, conclude)
+        if config.queue_rule_1:
+            self._queue_rule_1(reach, conclude)
+        if config.queue_rule_2:
+            self._queue_rule_2(reach, conclude)
+        if config.queue_rule_3:
+            self._queue_rule_3(reach, conclude)
+        if config.queue_rule_4:
+            self._queue_rule_4(reach, conclude)
+        return new_edges
+
+    # -- Atomicity rule ---------------------------------------------------
+    # If begin(e1) < end(e2) then end(e1) < begin(e2), for events of the
+    # same looper thread.  Only pairs in actual execution order can
+    # satisfy the premise in a consistent trace, so we scan each looper's
+    # events in dispatch order and intersect the reachability set of
+    # begin(e_i) with the end-nodes of later events in one bitset AND.
+
+    def _atomicity(self, reach, conclude) -> None:
+        for recs in self.per_looper.values():
+            if len(recs) < 2:
+                continue
+            end_node = [self._node(r.end_index) for r in recs]  # type: ignore[arg-type]
+            event_of_end_node = {n: r for n, r in zip(end_node, recs)}
+            # Suffix masks of end-nodes after position i.
+            suffix = [0] * (len(recs) + 1)
+            for i in range(len(recs) - 1, -1, -1):
+                suffix[i] = suffix[i + 1] | (1 << end_node[i])
+            for i, rec in enumerate(recs[:-1]):
+                candidates = reach[self._node(rec.begin_index)] & suffix[i + 1]  # type: ignore[arg-type]
+                while candidates:
+                    low = candidates & -candidates
+                    candidates ^= low
+                    other = event_of_end_node[low.bit_length() - 1]
+                    conclude(rec, other, RULE_ATOMICITY)
+
+    # -- Queue rule 1 -------------------------------------------------------
+    # send(t1,e1,d1) < send(t2,e2,d2) and d1 <= d2  =>  end(e1) < begin(e2).
+
+    def _queue_rule_1(self, reach, conclude) -> None:
+        for recs in self.sends.values():
+            if len(recs) < 2:
+                continue
+            delays = [r.delay for r in recs]
+            send_node = [self._node(r.send_index) for r in recs]  # type: ignore[arg-type]
+            event_of_send_node = {n: r for n, r in zip(send_node, recs)}
+            suffix = [0] * (len(recs) + 1)
+            for i in range(len(recs) - 1, -1, -1):
+                suffix[i] = suffix[i + 1] | (1 << send_node[i])
+            for i, rec in enumerate(recs):
+                # Candidate partners: delay >= d1 (recs sorted by delay).
+                mask = suffix[bisect_left(delays, rec.delay)]
+                mask &= ~(1 << send_node[i])
+                candidates = reach[send_node[i]] & mask
+                while candidates:
+                    low = candidates & -candidates
+                    candidates ^= low
+                    other = event_of_send_node[low.bit_length() - 1]
+                    conclude(rec, other, RULE_QUEUE_1)
+
+    # -- Queue rule 2 -------------------------------------------------------
+    # send(t1,e1,d1) < sendAtFront(t2,e2) and sendAtFront(t2,e2) < begin(e1)
+    #   =>  end(e2) < begin(e1).
+
+    def _queue_rule_2(self, reach, conclude) -> None:
+        for queue, fronts in self.fronts.items():
+            sends = self.sends.get(queue, ())
+            for front in fronts:
+                f_node = self._node(front.send_index)  # type: ignore[arg-type]
+                for send in sends:
+                    s_node = self._node(send.send_index)  # type: ignore[arg-type]
+                    b_node = self._node(send.begin_index)  # type: ignore[arg-type]
+                    if (reach[s_node] >> f_node) & 1 and (reach[f_node] >> b_node) & 1:
+                        conclude(front, send, RULE_QUEUE_2)
+
+    # -- Queue rule 3 -------------------------------------------------------
+    # sendAtFront(t1,e1) < send(t2,e2,d2)  =>  end(e1) < begin(e2).
+
+    def _queue_rule_3(self, reach, conclude) -> None:
+        for queue, fronts in self.fronts.items():
+            sends = self.sends.get(queue, ())
+            if not sends:
+                continue
+            send_node = [self._node(r.send_index) for r in sends]  # type: ignore[arg-type]
+            event_of_send_node = {n: r for n, r in zip(send_node, sends)}
+            all_sends_mask = 0
+            for n in send_node:
+                all_sends_mask |= 1 << n
+            for front in fronts:
+                candidates = reach[self._node(front.send_index)] & all_sends_mask  # type: ignore[arg-type]
+                while candidates:
+                    low = candidates & -candidates
+                    candidates ^= low
+                    other = event_of_send_node[low.bit_length() - 1]
+                    conclude(front, other, RULE_QUEUE_3)
+
+    # -- Queue rule 4 -------------------------------------------------------
+    # sendAtFront(t1,e1) < sendAtFront(t2,e2) and
+    # sendAtFront(t2,e2) < begin(e1)  =>  end(e2) < begin(e1).
+
+    def _queue_rule_4(self, reach, conclude) -> None:
+        for fronts in self.fronts.values():
+            for f1 in fronts:
+                n1 = self._node(f1.send_index)  # type: ignore[arg-type]
+                b1 = self._node(f1.begin_index)  # type: ignore[arg-type]
+                for f2 in fronts:
+                    if f1 is f2:
+                        continue
+                    n2 = self._node(f2.send_index)  # type: ignore[arg-type]
+                    if (reach[n1] >> n2) & 1 and (reach[n2] >> b1) & 1:
+                        conclude(f2, f1, RULE_QUEUE_4)
+
+
+def build_happens_before(
+    trace: Trace, config: ModelConfig = CAFA_MODEL
+) -> HappensBefore:
+    """Build the happens-before relation of ``trace`` under ``config``.
+
+    Returns a :class:`~repro.hb.graph.HappensBefore` answering ordering
+    queries between arbitrary operation indices.  Raises
+    :class:`~repro.hb.graph.HBCycleError` if the derived relation is
+    cyclic (an inconsistent trace).
+    """
+    state = _BuildState(trace=trace, config=config)
+    _scan(state)
+    _check_one_looper_per_queue(state)
+    graph, task_key_positions, task_key_nodes = _build_key_graph(state)
+    _add_base_edges(state, graph)
+
+    iterations = 0
+    derived_edges = 0
+    if not config.sequential_events and (config.atomicity or config.any_queue_rule):
+        rules = _DerivedRules(state, graph)
+        while True:
+            iterations += 1
+            reach = [graph.reach_set(v) for v in range(graph.node_count)]
+            new_edges = rules.apply(reach)
+            if not new_edges:
+                break
+            for u, v, rule in new_edges:
+                if graph.add_edge(u, v, rule):
+                    derived_edges += 1
+        # Force a final closure (also performs the cycle check).
+        if graph.node_count:
+            graph.reach_set(0)
+
+    bounds: Dict[str, Tuple[int, int]] = {}
+    for task, begin in state.task_begin.items():
+        end = state.task_end.get(task)
+        if end is None:
+            ops = state.task_ops.get(_effective_task_of_id(state, task), [])
+            end = ops[-1] if ops else begin
+        bounds[task] = (begin, end)
+
+    return HappensBefore(
+        graph=graph,
+        op_task=state.op_task,
+        op_pos=state.op_pos,
+        task_key_positions=task_key_positions,
+        task_key_nodes=task_key_nodes,
+        event_bounds=bounds,
+        iterations=iterations,
+        derived_edges=derived_edges,
+    )
+
+
+def _effective_task_of_id(state: _BuildState, task: str) -> str:
+    if not state.config.sequential_events:
+        return task
+    info = state.trace.tasks.get(task)
+    if info is not None and info.task_kind is TaskKind.EVENT and info.looper:
+        return info.looper
+    return task

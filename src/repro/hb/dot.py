@@ -1,0 +1,84 @@
+"""Graphviz export of happens-before graphs.
+
+``to_dot`` renders the key-node graph — optionally collapsed to one
+node per task, which is the readable view for real traces — with edges
+labelled by the rule that created them.  Useful when debugging why two
+operations are (un)ordered; pipe the output through ``dot -Tsvg``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..trace import TaskKind, Trace
+from .graph import HappensBefore
+
+#: rules hidden in the collapsed view (intra-task structure)
+_INTRA_TASK_RULES = {"program-order"}
+
+
+def _quote(name: str) -> str:
+    escaped = name.replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def to_dot(
+    trace: Trace,
+    hb: HappensBefore,
+    collapse_tasks: bool = True,
+    include_rules: Optional[Set[str]] = None,
+) -> str:
+    """Render the relation as a Graphviz digraph.
+
+    With ``collapse_tasks`` (default) nodes are tasks and an edge
+    appears once per (source task, target task, rule); otherwise every
+    key operation is a node.  ``include_rules`` optionally restricts
+    the edge set.
+    """
+    lines: List[str] = ["digraph happens_before {", "  rankdir=LR;"]
+    graph = hb.graph
+    if collapse_tasks:
+        shapes: Dict[str, str] = {}
+        for task, info in trace.tasks.items():
+            if info.task_kind is TaskKind.EVENT:
+                shapes[task] = "box"
+            elif info.task_kind is TaskKind.LOOPER:
+                shapes[task] = "house"
+            else:
+                shapes[task] = "ellipse"
+        emitted: Set[tuple] = set()
+        used_tasks: Set[str] = set()
+        edges: List[str] = []
+        for u, v, rule in graph.edges():
+            if rule in _INTRA_TASK_RULES:
+                continue
+            if include_rules is not None and rule not in include_rules:
+                continue
+            task_u = trace[graph.op_of(u)].task
+            task_v = trace[graph.op_of(v)].task
+            if task_u == task_v:
+                continue
+            key = (task_u, task_v, rule)
+            if key in emitted:
+                continue
+            emitted.add(key)
+            used_tasks.update((task_u, task_v))
+            edges.append(
+                f"  {_quote(task_u)} -> {_quote(task_v)} "
+                f'[label="{rule}"];'
+            )
+        for task in sorted(used_tasks):
+            shape = shapes.get(task, "ellipse")
+            lines.append(f"  {_quote(task)} [shape={shape}];")
+        lines.extend(edges)
+    else:
+        for node in range(graph.node_count):
+            op = trace[graph.op_of(node)]
+            label = f"{op.task}\\n{op.kind.value}"
+            lines.append(f'  n{node} [label="{label}"];')
+        for u, v, rule in graph.edges():
+            if include_rules is not None and rule not in include_rules:
+                continue
+            lines.append(f'  n{u} -> n{v} [label="{rule}"];')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,325 @@
+"""The happens-before graph and its reachability index.
+
+Section 4.2 explains why CAFA runs offline: the atomicity and
+event-queue rules depend on *future* operations and on reachability
+between *past* operations, so the happens-before relation is computed
+as a fixpoint over a graph rather than with vector clocks.
+
+The graph here is a *key-node* graph.  Operations that can source or
+sink a cross-task edge (begin/end, fork/join, wait/notify, send,
+sendAtFront, register/perform, the IPC records — see
+:data:`repro.trace.SYNC_KINDS`) become graph nodes; all other
+operations (memory accesses, pointer records, branches) are located
+purely by their position inside their task's program order.  Because a
+task's operations form a chain, the reachable set of an arbitrary
+operation equals the reachable set of the first key node at or after it
+in the same task, so ordering queries between arbitrary operations
+reduce to key-node reachability plus two index comparisons.
+
+Reachability over key nodes is kept as one Python big-int bitset per
+node, recomputed in reverse topological order.  This gives O(K^2/64)
+closure time and O(1) amortized queries, which is what makes the
+fixpoint over the atomicity/queue rules tractable (Section 4.2 reports
+offline analysis times of minutes to hours on real traces; the same
+asymptotics apply here).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class HBCycleError(Exception):
+    """The derived happens-before relation contains a cycle.
+
+    A cycle means the trace is inconsistent with the model (e.g. a
+    hand-written trace violates the looper atomicity guarantee).  The
+    offending cycle is reported as a list of operation indices.
+    """
+
+    def __init__(self, cycle: Sequence[int]):
+        self.cycle = list(cycle)
+        super().__init__(f"happens-before cycle through ops {self.cycle}")
+
+
+class KeyGraph:
+    """A DAG over key operations with bitset transitive closure.
+
+    Nodes are identified by dense integer ids; each node corresponds to
+    one trace operation index.  Edges carry a provenance label (the
+    name of the rule that created them) for explanation output.
+    """
+
+    def __init__(self) -> None:
+        self._op_of_node: List[int] = []
+        self._node_of_op: Dict[int, int] = {}
+        self._succ: List[List[int]] = []
+        self._pred: List[List[int]] = []
+        self._edge_rule: Dict[Tuple[int, int], str] = {}
+        self._reach: Optional[List[int]] = None
+        self._topo: Optional[List[int]] = None
+
+    # -- construction -----------------------------------------------------
+
+    def add_node(self, op_index: int) -> int:
+        """Register ``op_index`` as a key node; returns its node id."""
+        existing = self._node_of_op.get(op_index)
+        if existing is not None:
+            return existing
+        node = len(self._op_of_node)
+        self._op_of_node.append(op_index)
+        self._node_of_op[op_index] = node
+        self._succ.append([])
+        self._pred.append([])
+        self._reach = None
+        return node
+
+    def node_of(self, op_index: int) -> int:
+        """Node id for a key operation index (KeyError if not a key)."""
+        return self._node_of_op[op_index]
+
+    def op_of(self, node: int) -> int:
+        """Operation index of a node id."""
+        return self._op_of_node[node]
+
+    def has_node(self, op_index: int) -> bool:
+        return op_index in self._node_of_op
+
+    def add_edge(self, u: int, v: int, rule: str) -> bool:
+        """Add edge ``u -> v`` between node ids; returns False if present."""
+        if (u, v) in self._edge_rule:
+            return False
+        self._succ[u].append(v)
+        self._pred[v].append(u)
+        self._edge_rule[(u, v)] = rule
+        self._reach = None
+        return True
+
+    def edge_rule(self, u: int, v: int) -> Optional[str]:
+        return self._edge_rule.get((u, v))
+
+    @property
+    def node_count(self) -> int:
+        return len(self._op_of_node)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self._edge_rule)
+
+    def edges(self) -> Iterable[Tuple[int, int, str]]:
+        """All edges as ``(u, v, rule)`` triples (node ids)."""
+        for (u, v), rule in self._edge_rule.items():
+            yield u, v, rule
+
+    # -- closure -----------------------------------------------------------
+
+    def _toposort(self) -> List[int]:
+        n = self.node_count
+        indegree = [len(self._pred[v]) for v in range(n)]
+        queue = deque(v for v in range(n) if indegree[v] == 0)
+        order: List[int] = []
+        while queue:
+            v = queue.popleft()
+            order.append(v)
+            for w in self._succ[v]:
+                indegree[w] -= 1
+                if indegree[w] == 0:
+                    queue.append(w)
+        if len(order) != n:
+            raise HBCycleError(self._find_cycle())
+        return order
+
+    def _find_cycle(self) -> List[int]:
+        """Locate one cycle for diagnostics (iterative DFS)."""
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = [WHITE] * self.node_count
+        parent: Dict[int, int] = {}
+        for root in range(self.node_count):
+            if color[root] != WHITE:
+                continue
+            stack = [(root, iter(self._succ[root]))]
+            color[root] = GRAY
+            while stack:
+                v, it = stack[-1]
+                advanced = False
+                for w in it:
+                    if color[w] == WHITE:
+                        color[w] = GRAY
+                        parent[w] = v
+                        stack.append((w, iter(self._succ[w])))
+                        advanced = True
+                        break
+                    if color[w] == GRAY:
+                        cycle = [w, v]
+                        cur = v
+                        while cur != w and cur in parent:
+                            cur = parent[cur]
+                            cycle.append(cur)
+                        cycle.reverse()
+                        return [self._op_of_node[x] for x in cycle]
+                if not advanced:
+                    color[v] = BLACK
+                    stack.pop()
+        return []
+
+    def _closure(self) -> List[int]:
+        if self._reach is not None:
+            return self._reach
+        order = self._toposort()
+        reach = [0] * self.node_count
+        for v in reversed(order):
+            mask = 1 << v
+            for w in self._succ[v]:
+                mask |= reach[w]
+            reach[v] = mask
+        self._reach = reach
+        self._topo = order
+        return reach
+
+    def reaches(self, u: int, v: int) -> bool:
+        """Reflexive-transitive reachability between node ids."""
+        return bool((self._closure()[u] >> v) & 1)
+
+    def reach_set(self, u: int) -> int:
+        """The reachability bitset of node ``u`` (includes ``u``)."""
+        return self._closure()[u]
+
+    def find_path(self, u: int, v: int) -> Optional[List[int]]:
+        """A shortest edge path ``u -> ... -> v`` (node ids), or None."""
+        if u == v:
+            return [u]
+        prev: Dict[int, int] = {u: u}
+        queue = deque([u])
+        while queue:
+            x = queue.popleft()
+            for w in self._succ[x]:
+                if w in prev:
+                    continue
+                prev[w] = x
+                if w == v:
+                    path = [v]
+                    while path[-1] != u:
+                        path.append(prev[path[-1]])
+                    path.reverse()
+                    return path
+                queue.append(w)
+        return None
+
+
+class HappensBefore:
+    """Queryable happens-before relation over a trace.
+
+    Built by :func:`repro.hb.builder.build_happens_before`.  Queries
+    accept arbitrary operation indices of the underlying trace.
+    """
+
+    def __init__(
+        self,
+        graph: KeyGraph,
+        op_task: Sequence[str],
+        op_pos: Sequence[int],
+        task_key_positions: Dict[str, List[int]],
+        task_key_nodes: Dict[str, List[int]],
+        event_bounds: Dict[str, Tuple[int, int]],
+        iterations: int,
+        derived_edges: int,
+    ) -> None:
+        self.graph = graph
+        self._op_task = op_task
+        self._op_pos = op_pos
+        self._task_key_positions = task_key_positions
+        self._task_key_nodes = task_key_nodes
+        self._event_bounds = event_bounds
+        #: number of fixpoint rounds the builder needed
+        self.iterations = iterations
+        #: number of edges contributed by the derived (fixpoint) rules
+        self.derived_edges = derived_edges
+
+    # -- core queries -------------------------------------------------------
+
+    def ordered(self, a: int, b: int) -> bool:
+        """Strict happens-before between operation indices: ``a < b``."""
+        ta, tb = self._op_task[a], self._op_task[b]
+        pa, pb = self._op_pos[a], self._op_pos[b]
+        if ta == tb:
+            return pa < pb
+        ka = self._first_key_at_or_after(ta, pa)
+        if ka is None:
+            return False
+        reach = self.graph.reach_set(ka)
+        positions = self._task_key_positions.get(tb, ())
+        nodes = self._task_key_nodes.get(tb, ())
+        hi = bisect_right(positions, pb)
+        for i in range(hi):
+            if (reach >> nodes[i]) & 1:
+                return True
+        return False
+
+    def concurrent(self, a: int, b: int) -> bool:
+        """True when neither ``a < b`` nor ``b < a``."""
+        return not self.ordered(a, b) and not self.ordered(b, a)
+
+    def event_ordered(self, e1: str, e2: str) -> bool:
+        """``end(e1) < begin(e2)`` — the paper's shorthand "e1 happens-
+        before e2" for whole events/tasks."""
+        end1 = self._event_bounds[e1][1]
+        begin2 = self._event_bounds[e2][0]
+        return self.ordered(end1, begin2)
+
+    def task_bounds(self, task: str) -> Tuple[int, int]:
+        """(begin op index, end op index) of a task."""
+        return self._event_bounds[task]
+
+    def _first_key_at_or_after(self, task: str, pos: int) -> Optional[int]:
+        positions = self._task_key_positions.get(task)
+        if not positions:
+            return None
+        i = bisect_left(positions, pos)
+        if i == len(positions):
+            return None
+        return self._task_key_nodes[task][i]
+
+    # -- explanations ---------------------------------------------------
+
+    def explain(self, a: int, b: int) -> Optional[List[Tuple[int, str]]]:
+        """Why does ``a < b`` hold?
+
+        Returns a list of ``(op_index, rule)`` steps where ``rule`` is
+        the label of the edge *into* that operation ("program-order"
+        for intra-task hops), or ``None`` when ``a < b`` does not hold.
+        """
+        if not self.ordered(a, b):
+            return None
+        ta, tb = self._op_task[a], self._op_task[b]
+        if ta == tb:
+            return [(a, "start"), (b, "program-order")]
+        ka = self._first_key_at_or_after(ta, self._op_pos[a])
+        assert ka is not None
+        reach = self.graph.reach_set(ka)
+        positions = self._task_key_positions[tb]
+        nodes = self._task_key_nodes[tb]
+        hi = bisect_right(positions, self._op_pos[b])
+        target = None
+        for i in range(hi):
+            if (reach >> nodes[i]) & 1:
+                target = nodes[i]
+                break
+        assert target is not None
+        path = self.graph.find_path(ka, target)
+        assert path is not None
+        steps: List[Tuple[int, str]] = [(a, "start")]
+        prev = None
+        for node in path:
+            op = self.graph.op_of(node)
+            if prev is None:
+                rule = "program-order" if op != a else "start"
+                if op != a:
+                    steps.append((op, rule))
+            else:
+                steps.append((op, self.graph.edge_rule(prev, node) or "?"))
+            prev = node
+        if steps[-1][0] != b:
+            steps.append((b, "program-order"))
+        return steps

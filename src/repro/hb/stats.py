@@ -1,0 +1,65 @@
+"""Statistics about a happens-before relation.
+
+``rule_counts`` attributes every edge of the key-node graph to the
+model rule that created it — useful for understanding which parts of
+the causality model do the work on a given trace (e.g. how many
+orderings only exist because of the event-queue rules), and exposed by
+the diagnostics in the CLI and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict
+
+from ..trace import TaskKind, Trace
+from .graph import HappensBefore
+
+
+@dataclass
+class HBStats:
+    """Summary of one happens-before construction."""
+
+    key_nodes: int
+    edges: int
+    rule_counts: Dict[str, int]
+    fixpoint_iterations: int
+    derived_edges: int
+    events: int
+    loopers: int
+    threads: int
+
+    def format(self) -> str:
+        lines = [
+            f"happens-before graph: {self.key_nodes} key nodes, "
+            f"{self.edges} edges "
+            f"({self.fixpoint_iterations} fixpoint rounds, "
+            f"{self.derived_edges} derived edges)",
+            f"tasks: {self.events} events, {self.loopers} loopers, "
+            f"{self.threads} threads",
+            "edges by rule:",
+        ]
+        for rule, count in sorted(
+            self.rule_counts.items(), key=lambda kv: -kv[1]
+        ):
+            lines.append(f"  {rule:<16} {count}")
+        return "\n".join(lines)
+
+
+def hb_stats(trace: Trace, hb: HappensBefore) -> HBStats:
+    """Compute rule-attribution statistics for a built relation."""
+    counts: Counter = Counter()
+    for _u, _v, rule in hb.graph.edges():
+        counts[rule] += 1
+    kinds = Counter(info.task_kind for info in trace.tasks.values())
+    return HBStats(
+        key_nodes=hb.graph.node_count,
+        edges=hb.graph.edge_count,
+        rule_counts=dict(counts),
+        fixpoint_iterations=hb.iterations,
+        derived_edges=hb.derived_edges,
+        events=kinds.get(TaskKind.EVENT, 0),
+        loopers=kinds.get(TaskKind.LOOPER, 0),
+        threads=kinds.get(TaskKind.THREAD, 0),
+    )

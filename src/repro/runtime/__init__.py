@@ -1,0 +1,70 @@
+"""A discrete-event simulator of the Android event-driven programming
+model (Section 2.1): looper threads draining FIFO event queues with
+delays and ``sendAtFront``, regular threads with fork/join and
+monitors, listener registration, Binder IPC between processes, and
+external input sources — all instrumented to emit the trace records of
+Figure 3 and Section 5."""
+
+from .binder import Service, Transaction
+from .clock import TICKS_PER_MS, TimeModel, VirtualClock, ms
+from .context import TaskContext
+from .errors import DeadlockError, LockError, SchedulerError, SimulationError
+from .external import ExternalSource, Injection
+from .handler import AsyncTask, Handler
+from .queue import EventQueue, SimEvent
+from .requests import (
+    AcquireReq,
+    BinderCallReq,
+    BinderRecvReq,
+    JoinReq,
+    NextEventReq,
+    PauseReq,
+    Request,
+    SleepReq,
+    StopLooperReq,
+    WaitReq,
+)
+from .scheduler import Frame, FrameState, Scheduler
+from .sync import Lock, Monitor
+from .system import AndroidSystem, Process, Violation
+from .tracer import Tracer
+
+__all__ = [
+    "AcquireReq",
+    "AndroidSystem",
+    "AsyncTask",
+    "Handler",
+    "BinderCallReq",
+    "BinderRecvReq",
+    "DeadlockError",
+    "EventQueue",
+    "ExternalSource",
+    "Frame",
+    "FrameState",
+    "Injection",
+    "JoinReq",
+    "Lock",
+    "LockError",
+    "Monitor",
+    "NextEventReq",
+    "PauseReq",
+    "Process",
+    "Request",
+    "Scheduler",
+    "SchedulerError",
+    "Service",
+    "SimEvent",
+    "SimulationError",
+    "SleepReq",
+    "StopLooperReq",
+    "TICKS_PER_MS",
+    "TaskContext",
+    "TaskContext",
+    "TimeModel",
+    "Tracer",
+    "Transaction",
+    "Violation",
+    "VirtualClock",
+    "WaitReq",
+    "ms",
+]

@@ -1,0 +1,68 @@
+"""The Binder IPC framework stand-in (Section 5.2).
+
+All RPCs between simulated processes go through here.  Each call gets
+a unique transaction id; the four trace records of a transaction
+(``ipc_call``, ``ipc_handle``, ``ipc_reply``, ``ipc_return``) share
+that id, which is how the offline analyzer derives the cross-process
+happens-before edges — exactly the piggybacking scheme the paper
+describes for the instrumented Binder driver.
+
+A service is a named set of methods executed by a dedicated binder
+thread in the service's owning process.  Methods receive the service
+thread's :class:`~repro.runtime.context.TaskContext` plus the call
+arguments, and may themselves block (``yield from``), post events into
+app loopers, or issue further RPCs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, Optional, Sequence
+
+
+@dataclass
+class Transaction:
+    """One in-flight Binder transaction."""
+
+    txn: int
+    service: str
+    method: str
+    args: Sequence[Any]
+    oneway: bool
+    caller_frame: Optional[str] = None
+    reply: Any = None
+    completed: bool = False
+
+
+class Service:
+    """A Binder service: named methods + an inbox of transactions."""
+
+    def __init__(
+        self,
+        name: str,
+        process: str,
+        methods: Dict[str, Callable],
+    ) -> None:
+        self.name = name
+        self.process = process
+        self.methods = dict(methods)
+        self.inbox: Deque[Transaction] = deque()
+        #: frame id of the binder thread blocked on recv, if any
+        self.recv_waiter: Optional[str] = None
+        self.handled = 0
+
+    def method(self, name: str) -> Callable:
+        try:
+            return self.methods[name]
+        except KeyError:
+            raise KeyError(
+                f"service {self.name!r} has no method {name!r}; "
+                f"available: {sorted(self.methods)}"
+            ) from None
+
+    def push(self, transaction: Transaction) -> None:
+        self.inbox.append(transaction)
+
+    def pop(self) -> Optional[Transaction]:
+        return self.inbox.popleft() if self.inbox else None

@@ -1,0 +1,71 @@
+"""Virtual time and the instrumentation cost model.
+
+The simulator runs on a single virtual clock counted in *ticks*
+(1 ms = :data:`TICKS_PER_MS` ticks).  Every simulated action charges
+ticks to the clock and to the executing thread's CPU-time accumulator.
+When tracing is enabled each emitted trace record charges an additional
+per-record cost — this is the mechanism behind the Figure 8 experiment:
+the 2x–6x tracing slowdown emerges from each application's density of
+instrumented operations, exactly as it does on the instrumented ROM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+#: virtual ticks per simulated millisecond
+TICKS_PER_MS = 1000
+
+
+@dataclass(frozen=True)
+class TimeModel:
+    """Tick costs of simulated actions.
+
+    Attributes:
+        base_op_cost: ticks charged for every simulated operation
+            (framework calls, memory accesses, VM instructions),
+            whether or not tracing is enabled.
+        trace_record_cost: additional ticks charged per emitted trace
+            record when tracing is enabled.  The ratio of these two
+            constants bounds the maximum tracing slowdown; the per-app
+            slowdown then depends on how much un-instrumented
+            computation the app performs between instrumented
+            operations.
+    """
+
+    base_op_cost: int = 1
+    trace_record_cost: int = 5
+
+
+class VirtualClock:
+    """A monotonically advancing tick counter."""
+
+    def __init__(self) -> None:
+        self._now = 0
+
+    @property
+    def now(self) -> int:
+        """Current virtual time in ticks."""
+        return self._now
+
+    @property
+    def now_ms(self) -> float:
+        """Current virtual time in milliseconds."""
+        return self._now / TICKS_PER_MS
+
+    def advance(self, ticks: int) -> None:
+        """Move time forward by a non-negative number of ticks."""
+        if ticks < 0:
+            raise ValueError(f"cannot advance clock by {ticks}")
+        self._now += ticks
+
+    def advance_to(self, ticks: int) -> None:
+        """Move time forward to an absolute tick count (never back)."""
+        if ticks > self._now:
+            self._now = ticks
+
+
+def ms(milliseconds: float) -> int:
+    """Convert milliseconds to ticks."""
+    return int(milliseconds * TICKS_PER_MS)

@@ -1,0 +1,567 @@
+"""The task context: the API simulated application code runs against.
+
+A :class:`TaskContext` belongs to one frame (a regular thread, a
+binder/service thread, or a looper thread) and tracks which *task* is
+currently executing — the thread itself, or the event being dispatched.
+Every context operation emits the corresponding trace record stamped
+with the current task and virtual time, and charges the cost model.
+
+Conventions for simulated code:
+
+* non-blocking operations are plain method calls
+  (``ctx.write("x", 1)``, ``ctx.post(looper, handler)``);
+* potentially blocking operations are generators and must be invoked
+  with ``yield from`` (``yield from ctx.sleep(5)``,
+  ``reply = yield from ctx.binder_call("gps", "getLastLocation")``).
+
+The pointer-level helpers (:meth:`get_field`, :meth:`put_field`,
+:meth:`use_field`, :meth:`guarded_use`) emit the same record shapes the
+mini-DVM interpreter produces, with synthetic pcs that are stable
+across executions of the same handler; handlers can also run real
+bytecode via :meth:`call_method`.
+"""
+
+from __future__ import annotations
+
+import inspect
+import itertools
+from typing import Any, Callable, Generator, Optional, Sequence
+
+from ..dvm.heap import Heap, HeapObject, is_reference, object_id_of
+from ..dvm.interpreter import DvmNullPointerError
+from ..trace import (
+    Acquire,
+    Begin,
+    Branch,
+    BranchKind,
+    Deref,
+    End,
+    Fork,
+    IpcCall,
+    IpcReturn,
+    Join,
+    MethodEnter,
+    MethodExit,
+    Notify,
+    Perform,
+    PtrRead,
+    PtrWrite,
+    Read,
+    Register,
+    Release,
+    Send,
+    SendAtFront,
+    Wait,
+    Write,
+)
+from .errors import SimulationError
+from .clock import ms
+from .queue import SimEvent
+from .requests import (
+    AcquireReq,
+    BinderCallReq,
+    JoinReq,
+    PauseReq,
+    SleepReq,
+    StopLooperReq,
+    WaitReq,
+)
+
+
+class _CtxSink:
+    """Adapter exposing the :class:`~repro.dvm.interpreter.DvmSink`
+    protocol on top of a context (avoids name clashes with the app
+    API's ``read``/``write``)."""
+
+    __slots__ = ("ctx",)
+
+    def __init__(self, ctx: "TaskContext") -> None:
+        self.ctx = ctx
+
+    def ptr_read(self, address, object_id, method, pc):
+        self.ctx._emit(
+            PtrRead, address=address, object_id=object_id, method=method, pc=pc
+        )
+
+    def ptr_write(self, address, value, container, method, pc):
+        self.ctx._emit(
+            PtrWrite,
+            address=address,
+            value=value,
+            container=container,
+            method=method,
+            pc=pc,
+        )
+
+    def deref(self, object_id, method, pc):
+        self.ctx._emit(Deref, object_id=object_id, method=method, pc=pc)
+
+    def branch(self, kind, pc, target, object_id, method):
+        self.ctx._emit(
+            Branch,
+            branch_kind=kind,
+            pc=pc,
+            target=target,
+            object_id=object_id,
+            method=method,
+        )
+
+    def method_enter(self, method, return_pc):
+        self.ctx._emit(MethodEnter, method=method, return_pc=return_pc)
+
+    def method_exit(self, method, return_pc, via_exception):
+        self.ctx._emit(
+            MethodExit, method=method, return_pc=return_pc, via_exception=via_exception
+        )
+
+    def read(self, var, site):
+        self.ctx._emit(Read, var=var, site=site)
+
+    def write(self, var, site):
+        self.ctx._emit(Write, var=var, site=site)
+
+
+class TaskContext:
+    """Execution context of one frame.  See the module docstring."""
+
+    def __init__(self, system, process, frame) -> None:
+        self.system = system
+        self.process = process
+        self.frame = frame
+        #: the task currently executing on this frame (thread id, or an
+        #: event id while the looper dispatches that event)
+        self.current_task: str = frame.thread_id
+        #: synthetic method name for ctx-level pointer records
+        self._synthetic_method: str = frame.thread_id
+        self._synth_pc = itertools.count()
+        self.sink = _CtxSink(self)
+
+    # ------------------------------------------------------------------
+    # record emission & cost charging
+    # ------------------------------------------------------------------
+
+    def _emit(self, op_cls, **fields) -> None:
+        system = self.system
+        system.charge(system.time_model.base_op_cost)
+        tracer = system.tracer
+        if tracer.enabled:
+            system.charge(system.time_model.trace_record_cost)
+            tracer.emit(
+                op_cls(task=self.current_task, time=system.clock.now, **fields)
+            )
+
+    def compute(self, ticks: int) -> None:
+        """Consume ``ticks`` of un-instrumented CPU time."""
+        self.system.charge(ticks)
+
+    def _fresh_pc(self) -> int:
+        return next(self._synth_pc)
+
+    def _reset_synthetic(self, method: str) -> None:
+        self._synthetic_method = method
+        self._synth_pc = itertools.count()
+
+    # ------------------------------------------------------------------
+    # shared variables (low-level reads/writes)
+    # ------------------------------------------------------------------
+
+    def read(self, var: str, site: str = "") -> Any:
+        """Read a process-shared variable (emits a ``rd`` record)."""
+        self._emit(
+            Read,
+            var=f"{self.process.name}:{var}",
+            site=site or f"{self._synthetic_method}:rd[{var}]",
+        )
+        return self.process.store.get(var)
+
+    def write(self, var: str, value: Any, site: str = "") -> None:
+        """Write a process-shared variable (emits a ``wr`` record)."""
+        self._emit(
+            Write,
+            var=f"{self.process.name}:{var}",
+            site=site or f"{self._synthetic_method}:wr[{var}]",
+        )
+        self.process.store[var] = value
+
+    # ------------------------------------------------------------------
+    # heap / pointer operations (synthetic bytecode)
+    # ------------------------------------------------------------------
+
+    @property
+    def heap(self) -> Heap:
+        return self.process.heap
+
+    def new_object(self, cls: str) -> HeapObject:
+        """Allocate a heap object (un-instrumented, like new-instance)."""
+        self.system.charge(self.system.time_model.base_op_cost)
+        return self.process.heap.new(cls)
+
+    def get_field(self, container: HeapObject, field: str) -> Any:
+        """Pointer read of ``container.field`` (iget-object shape)."""
+        pc = self._fresh_pc()
+        method = self._synthetic_method
+        self.sink.deref(container.object_id, method, pc)
+        value = container.fields.get(field)
+        self.sink.ptr_read(
+            Heap.field_address(container, field), object_id_of(value), method, pc
+        )
+        return value
+
+    def put_field(self, container: HeapObject, field: str, value: Optional[HeapObject]) -> None:
+        """Pointer write of ``container.field`` (iput-object shape).
+
+        Writing ``None`` is a *free*; writing an object is an
+        *allocation* of the slot.
+        """
+        if not is_reference(value):
+            raise SimulationError(f"put_field of non-reference {value!r}")
+        pc = self._fresh_pc()
+        method = self._synthetic_method
+        self.sink.deref(container.object_id, method, pc)
+        self.sink.ptr_write(
+            Heap.field_address(container, field),
+            object_id_of(value),
+            container.object_id,
+            method,
+            pc,
+        )
+        container.fields[field] = value
+
+    def get_static(self, cls: str, field: str) -> Any:
+        """Pointer read of a static slot (sget-object shape)."""
+        pc = self._fresh_pc()
+        value = self.process.heap.get_static(cls, field)
+        self.sink.ptr_read(
+            Heap.static_address(cls, field),
+            object_id_of(value),
+            self._synthetic_method,
+            pc,
+        )
+        return value
+
+    def put_static(self, cls: str, field: str, value: Optional[HeapObject]) -> None:
+        """Pointer write of a static slot (sput-object shape)."""
+        if not is_reference(value):
+            raise SimulationError(f"put_static of non-reference {value!r}")
+        pc = self._fresh_pc()
+        self.sink.ptr_write(
+            Heap.static_address(cls, field),
+            object_id_of(value),
+            None,
+            self._synthetic_method,
+            pc,
+        )
+        self.process.heap.put_static(cls, field, value)
+
+    def invoke_on(self, obj: Optional[HeapObject], label: str = "call") -> None:
+        """Dereference ``obj`` (method-invocation shape); simulated NPE
+        when ``obj`` is null."""
+        pc = self._fresh_pc()
+        if obj is None:
+            raise DvmNullPointerError(self._synthetic_method, pc)
+        self.sink.deref(obj.object_id, self._synthetic_method, pc)
+
+    def use_field(self, container: HeapObject, field: str) -> HeapObject:
+        """An (unguarded) *use*: pointer read followed by a dereference.
+
+        This is the racy shape of Figure 1 — if a concurrent event
+        frees the slot first, the dereference throws.
+        """
+        value = self.get_field(container, field)
+        self.invoke_on(value)
+        return value
+
+    def use_static(self, cls: str, field: str) -> HeapObject:
+        """An unguarded use of a static pointer slot."""
+        value = self.get_static(cls, field)
+        self.invoke_on(value)
+        return value
+
+    def guarded_use(self, container: HeapObject, field: str) -> Optional[HeapObject]:
+        """A null-guarded use — the commutative shape of Figure 5.
+
+        Emits the ``if-eqz`` fall-through branch record so the if-guard
+        check (Section 4.3) recognizes the dereference as safe.
+        """
+        value = self.get_field(container, field)
+        branch_pc = self._fresh_pc()
+        method = self._synthetic_method
+        if value is not None:
+            self.sink.branch(
+                BranchKind.IF_EQZ,
+                branch_pc,
+                branch_pc + 2,
+                value.object_id,
+                method,
+            )
+            deref_pc = self._fresh_pc()
+            self.sink.deref(value.object_id, method, deref_pc)
+            return value
+        # keep the pc numbering identical on the null path
+        self._fresh_pc()
+        return None
+
+    def guarded_use_static(self, cls: str, field: str) -> Optional[HeapObject]:
+        """A null-guarded use of a static pointer slot."""
+        value = self.get_static(cls, field)
+        branch_pc = self._fresh_pc()
+        method = self._synthetic_method
+        if value is not None:
+            self.sink.branch(
+                BranchKind.IF_EQZ, branch_pc, branch_pc + 2, value.object_id, method
+            )
+            deref_pc = self._fresh_pc()
+            self.sink.deref(value.object_id, method, deref_pc)
+            return value
+        self._fresh_pc()
+        return None
+
+    def call_method(self, name: str, args: Sequence[Any] = ()) -> Any:
+        """Run a mini-DVM method of this process with tracing."""
+        interpreter = self.process.interpreter
+        previous_sink = interpreter.sink
+        interpreter.sink = self.sink
+        before = interpreter.executed
+        try:
+            return interpreter.invoke(name, args)
+        finally:
+            interpreter.sink = previous_sink
+            executed = interpreter.executed - before
+            self.system.charge(executed * self.system.time_model.base_op_cost)
+
+    # ------------------------------------------------------------------
+    # events
+    # ------------------------------------------------------------------
+
+    def post(
+        self,
+        looper: str,
+        handler: Callable,
+        delay_ms: int = 0,
+        label: Optional[str] = None,
+        args: Sequence[Any] = (),
+    ) -> str:
+        """``send(t, e, delay)`` — enqueue an event at the queue tail."""
+        return self._post(looper, handler, delay_ms, label, args, at_front=False)
+
+    def post_at_front(
+        self,
+        looper: str,
+        handler: Callable,
+        label: Optional[str] = None,
+        args: Sequence[Any] = (),
+    ) -> str:
+        """``sendAtFront(t, e)`` — enqueue an event at the queue front.
+
+        Like the Android API, no delay can be specified.
+        """
+        return self._post(looper, handler, 0, label, args, at_front=True)
+
+    def _post(
+        self,
+        looper: str,
+        handler: Callable,
+        delay_ms: int,
+        label: Optional[str],
+        args: Sequence[Any],
+        at_front: bool,
+        external: bool = False,
+        listener: Optional[str] = None,
+    ) -> str:
+        system = self.system
+        looper_frame = system.resolve_looper(looper)
+        queue = looper_frame.event_queue
+        label = label or getattr(handler, "__name__", "event")
+        task_id = system.new_event_task(
+            looper_frame, label, external, process=self.process.name
+        )
+        if at_front:
+            self._emit(SendAtFront, event=task_id, queue=queue.name)
+        else:
+            self._emit(Send, event=task_id, delay=delay_ms, queue=queue.name)
+        event = SimEvent(
+            task_id=task_id,
+            label=label,
+            handler=handler,
+            args=tuple(args),
+            when=system.clock.now + ms(delay_ms),
+            at_front=at_front,
+            external=external,
+            listener=listener,
+        )
+        if at_front:
+            queue.enqueue_front(event)
+        else:
+            queue.enqueue(event)
+        return task_id
+
+    # ------------------------------------------------------------------
+    # listeners
+    # ------------------------------------------------------------------
+
+    def register_listener(
+        self, name: str, handler: Callable, traced: bool = True
+    ) -> None:
+        """Register an event listener.
+
+        ``traced=False`` models a listener living in a package CAFA did
+        not instrument (Section 5.2 lists only four packages): the
+        registration record is *not* emitted, so the analyzer misses
+        the register-before-perform edge — the source of the paper's
+        Type I false positives.
+        """
+        self.process.listeners[name] = handler
+        if traced:
+            self._emit(Register, listener=name)
+        else:
+            self.system.charge(self.system.time_model.base_op_cost)
+
+    def fire_listener(
+        self, looper: str, name: str, delay_ms: int = 0, label: Optional[str] = None
+    ) -> str:
+        """Send an event that performs the listener registered as ``name``."""
+        return self._post(
+            looper,
+            handler=None,  # resolved at dispatch via the registry
+            delay_ms=delay_ms,
+            label=label or f"perform:{name}",
+            args=(),
+            at_front=False,
+            listener=name,
+        )
+
+    # ------------------------------------------------------------------
+    # event dispatch (used by the looper main loop)
+    # ------------------------------------------------------------------
+
+    def run_event(self, event: SimEvent) -> Generator:
+        """Dispatch one event atomically on this looper frame."""
+        previous_task = self.current_task
+        previous_method = self._synthetic_method
+        previous_pc = self._synth_pc
+        self.current_task = event.task_id
+        self._reset_synthetic(event.label)
+        self._emit(Begin)
+        try:
+            if event.listener is not None:
+                self._emit(Perform, listener=event.listener)
+                handler = self.process.listeners.get(event.listener)
+            else:
+                handler = event.handler
+            if handler is not None:
+                try:
+                    if inspect.isgeneratorfunction(handler):
+                        yield from handler(self, *event.args)
+                    else:
+                        handler(self, *event.args)
+                except DvmNullPointerError as exc:
+                    self.system.record_violation(
+                        task=event.task_id,
+                        label=event.label,
+                        method=exc.method,
+                        pc=exc.pc,
+                    )
+        finally:
+            self._emit(End)
+            self.current_task = previous_task
+            self._synthetic_method = previous_method
+            self._synth_pc = previous_pc
+
+    # ------------------------------------------------------------------
+    # threads
+    # ------------------------------------------------------------------
+
+    def fork(self, name: str, body: Callable, daemon: bool = False) -> str:
+        """Fork a regular thread; returns its thread/task id."""
+        thread_id = self.system.spawn_thread(self.process, name, body, daemon=daemon)
+        self._emit(Fork, child=thread_id)
+        return thread_id
+
+    def join(self, thread_id: str) -> Generator:
+        """Block until ``thread_id`` ends (``yield from``); returns its
+        result."""
+        result = yield JoinReq(thread_id)
+        self._emit(Join, child=thread_id)
+        return result
+
+    def sleep(self, milliseconds: float) -> Generator:
+        """Suspend this frame for virtual ``milliseconds``."""
+        yield SleepReq(until=self.system.clock.now + ms(milliseconds))
+
+    def sleep_until(self, milliseconds: float) -> Generator:
+        """Suspend until the absolute virtual time ``milliseconds``."""
+        yield SleepReq(until=ms(milliseconds))
+
+    def pause(self) -> Generator:
+        """A voluntary preemption point."""
+        yield PauseReq()
+
+    def quit_looper(self, looper: str) -> Generator:
+        """Ask a looper to stop after its current event (``yield from``).
+
+        Models ``Looper.quit()``: already-queued events are discarded,
+        the looper's end record is emitted, and the simulation can
+        terminate even if the queue was not empty.
+        """
+        yield StopLooperReq(looper_id=looper)
+
+    # ------------------------------------------------------------------
+    # monitors & locks
+    # ------------------------------------------------------------------
+
+    def wait(self, monitor: str) -> Generator:
+        """``wait(t, m)`` — block until the monitor is notified."""
+        ticket = yield WaitReq(monitor)
+        self._emit(Wait, monitor=monitor, ticket=ticket)
+
+    def notify(self, monitor: str) -> None:
+        """``notify(t, m)`` — wake one waiter."""
+        ticket = self.system.notify_monitor(monitor, all_waiters=False)
+        self._emit(Notify, monitor=monitor, ticket=ticket)
+
+    def notify_all(self, monitor: str) -> None:
+        """Wake every waiter of the monitor."""
+        ticket = self.system.notify_monitor(monitor, all_waiters=True)
+        self._emit(Notify, monitor=monitor, ticket=ticket)
+
+    def acquire(self, lock: str) -> Generator:
+        """Acquire a mutual-exclusion lock (``yield from``).
+
+        Locks convey **no** happens-before in the model; the detector
+        uses the acquire/release records for lockset checking only.
+        """
+        yield AcquireReq(lock)
+        self._emit(Acquire, lock=lock)
+
+    def release(self, lock: str) -> None:
+        """Release a lock previously acquired by this task."""
+        self.system.release_lock(lock, self.frame.frame_id, self.current_task)
+        self._emit(Release, lock=lock)
+
+    # ------------------------------------------------------------------
+    # Binder IPC
+    # ------------------------------------------------------------------
+
+    def binder_call(
+        self, service: str, method: str, *args: Any, oneway: bool = False
+    ) -> Generator:
+        """Issue an RPC to a service (``yield from``); returns the reply."""
+        txn = self.system.next_txn()
+        self._emit(IpcCall, txn=txn, service=service, oneway=oneway)
+        reply = yield BinderCallReq(
+            txn=txn, service=service, method=method, args=args, oneway=oneway
+        )
+        if not oneway:
+            self._emit(IpcReturn, txn=txn, service=service)
+        return reply
+
+    # ------------------------------------------------------------------
+    # introspection helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def now_ms(self) -> float:
+        return self.system.clock.now_ms
+
+    def __repr__(self) -> str:
+        return f"<TaskContext {self.current_task}>"

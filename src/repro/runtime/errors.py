@@ -1,0 +1,28 @@
+"""Runtime simulator errors."""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class SimulationError(Exception):
+    """Base class for simulator failures (bugs in the simulated app or
+    misuse of the runtime API)."""
+
+
+class DeadlockError(SimulationError):
+    """No task can make progress but non-daemon tasks are still blocked."""
+
+    def __init__(self, blocked: List[str]):
+        self.blocked = blocked
+        super().__init__(
+            "deadlock: blocked non-daemon tasks: " + ", ".join(sorted(blocked))
+        )
+
+
+class LockError(SimulationError):
+    """Lock protocol violation (releasing an un-owned lock, etc.)."""
+
+
+class SchedulerError(SimulationError):
+    """Internal protocol violation between frames and the scheduler."""

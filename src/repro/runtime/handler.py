@@ -1,0 +1,143 @@
+"""Android-style ``Handler`` and ``AsyncTask`` facades.
+
+The paper instruments ``android.os.Handler`` / ``android.os.Looper``
+(Section 5.2); application code rarely touches event queues directly —
+it posts through Handlers and offloads work through AsyncTasks.  These
+facades provide that API surface on top of the simulator so workloads
+read like Android code:
+
+* :class:`Handler` — ``post`` / ``post_delayed`` / ``post_at_front`` /
+  ``send_message`` with integer ``what`` codes dispatched to a
+  ``handle_message`` callback;
+* :class:`AsyncTask` — ``do_in_background`` on a fresh worker thread,
+  ``on_post_execute`` posted back to the creating Handler's looper
+  (the classic Android idiom, and a classic source of use-free races
+  when the activity is destroyed while the task is in flight).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Optional, Sequence
+
+from .context import TaskContext
+
+_task_ids = itertools.count(1)
+
+
+class Handler:
+    """A handle for posting work to one looper, like ``android.os.Handler``.
+
+    ``message_handler`` receives ``(ctx, what, obj)`` for messages sent
+    with :meth:`send_message`; plain runnables go through :meth:`post`.
+    """
+
+    def __init__(
+        self,
+        looper: str,
+        name: str = "handler",
+        message_handler: Optional[Callable] = None,
+    ) -> None:
+        self.looper = looper
+        self.name = name
+        self.message_handler = message_handler
+
+    def post(self, ctx: TaskContext, runnable: Callable, label: Optional[str] = None) -> str:
+        """Enqueue ``runnable(ctx)`` at the tail of the looper's queue."""
+        return ctx.post(self.looper, runnable, label=label or f"{self.name}.post")
+
+    def post_delayed(
+        self,
+        ctx: TaskContext,
+        runnable: Callable,
+        delay_ms: int,
+        label: Optional[str] = None,
+    ) -> str:
+        """``postDelayed`` — the event runs after ``delay_ms``."""
+        return ctx.post(
+            self.looper,
+            runnable,
+            delay_ms=delay_ms,
+            label=label or f"{self.name}.postDelayed",
+        )
+
+    def post_at_front(
+        self, ctx: TaskContext, runnable: Callable, label: Optional[str] = None
+    ) -> str:
+        """``postAtFrontOfQueue`` — jumps the queue; no delay allowed."""
+        return ctx.post_at_front(
+            self.looper, runnable, label=label or f"{self.name}.postAtFront"
+        )
+
+    def send_message(
+        self,
+        ctx: TaskContext,
+        what: int,
+        obj: Any = None,
+        delay_ms: int = 0,
+        at_front: bool = False,
+    ) -> str:
+        """Enqueue a message dispatched to ``message_handler``."""
+        if self.message_handler is None:
+            raise ValueError(f"handler {self.name!r} has no message_handler")
+        handler = self.message_handler
+
+        def dispatch(event_ctx, message_what=what, message_obj=obj):
+            handler(event_ctx, message_what, message_obj)
+
+        label = f"{self.name}.msg[{what}]"
+        if at_front:
+            return ctx.post_at_front(self.looper, dispatch, label=label)
+        return ctx.post(self.looper, dispatch, delay_ms=delay_ms, label=label)
+
+
+class AsyncTask:
+    """The Android ``AsyncTask`` idiom on the simulator.
+
+    ``execute`` forks a worker thread running ``do_in_background``;
+    its result is then posted to ``handler``'s looper where
+    ``on_post_execute`` consumes it.  Both callbacks receive a
+    :class:`~repro.runtime.context.TaskContext` first.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        do_in_background: Callable,
+        on_post_execute: Optional[Callable] = None,
+    ) -> None:
+        self.name = name
+        self.do_in_background = do_in_background
+        self.on_post_execute = on_post_execute
+
+    def execute(
+        self,
+        ctx: TaskContext,
+        handler: Handler,
+        args: Sequence[Any] = (),
+        thread_name: Optional[str] = None,
+    ) -> str:
+        """Start the task; returns the worker thread's id.
+
+        ``thread_name`` pins the worker thread's name (useful when the
+        name must be stable across runs); by default a fresh
+        ``<task>-<n>`` name is generated.
+        """
+        background = self.do_in_background
+        callback = self.on_post_execute
+        looper = handler.looper
+        label = f"{self.name}.onPostExecute"
+
+        def worker(worker_ctx):
+            import inspect
+
+            if inspect.isgeneratorfunction(background):
+                result = yield from background(worker_ctx, *args)
+            else:
+                result = background(worker_ctx, *args)
+            if callback is not None:
+                worker_ctx.post(looper, callback, args=(result,), label=label)
+            return result
+
+        name = thread_name or f"{self.name}-{next(_task_ids)}"
+        return ctx.fork(name, worker)

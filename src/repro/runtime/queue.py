@@ -1,0 +1,77 @@
+"""Event queues with the semantics of Section 2.1.
+
+* Once an event is generated it is placed in the queue; it may carry a
+  time constraint (a delay relative to enqueue time).
+* Events whose time constraints have elapsed are processed **in the
+  order they were queued** (not in deadline order — this is the
+  property the paper's queue rules are derived from).
+* ``sendAtFront`` places an event at the very front of the queue and
+  carries no delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence
+
+
+@dataclass
+class SimEvent:
+    """One enqueued event: an identity, a handler, and a time constraint."""
+
+    task_id: str
+    label: str
+    handler: Callable
+    args: Sequence[Any] = ()
+    when: int = 0  # earliest tick at which the event may be processed
+    at_front: bool = False
+    external: bool = False
+    #: listener to perform instead of calling ``handler`` directly
+    listener: Optional[str] = None
+
+
+class EventQueue:
+    """A FIFO of events with per-event readiness times."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._entries: List[SimEvent] = []
+        #: total number of events ever enqueued (statistics)
+        self.enqueued = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def enqueue(self, event: SimEvent) -> None:
+        """Place ``event`` at the back of the queue."""
+        self._entries.append(event)
+        self.enqueued += 1
+
+    def enqueue_front(self, event: SimEvent) -> None:
+        """Place ``event`` at the very front of the queue."""
+        self._entries.insert(0, event)
+        self.enqueued += 1
+
+    def pop_ready(self, now: int) -> Optional[SimEvent]:
+        """Remove and return the first event whose constraint elapsed.
+
+        "First" is queue order among ready events, matching the
+        Android looper's behaviour the causality model relies on.
+        """
+        for i, event in enumerate(self._entries):
+            if event.when <= now:
+                return self._entries.pop(i)
+        return None
+
+    def has_ready(self, now: int) -> bool:
+        return any(event.when <= now for event in self._entries)
+
+    def next_when(self) -> Optional[int]:
+        """The earliest tick at which some event becomes ready."""
+        if not self._entries:
+            return None
+        return min(event.when for event in self._entries)
+
+    def pending(self) -> List[SimEvent]:
+        """A snapshot of the queued events (for inspection/tests)."""
+        return list(self._entries)

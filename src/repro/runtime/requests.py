@@ -1,0 +1,88 @@
+"""Blocking requests yielded by simulated code to the scheduler.
+
+Simulated thread bodies and event handlers are Python generators; any
+potentially blocking operation is expressed by *yielding* one of these
+request objects (always via the corresponding ``yield from
+ctx.<operation>()`` helper, which also emits the right trace records
+around the blocking point).  The scheduler interprets the request,
+blocks or continues the frame, and sends the result back into the
+generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+
+class Request:
+    """Base class for scheduler requests."""
+
+
+@dataclass
+class SleepReq(Request):
+    """Block until an absolute virtual tick."""
+
+    until: int
+
+
+@dataclass
+class JoinReq(Request):
+    """Block until the named thread finishes; resumes with its result."""
+
+    thread_id: str
+
+
+@dataclass
+class WaitReq(Request):
+    """Block until the monitor is notified; resumes with the ticket of
+    the waking notify."""
+
+    monitor: str
+
+
+@dataclass
+class AcquireReq(Request):
+    """Block until the lock can be taken (granted atomically)."""
+
+    lock: str
+
+
+@dataclass
+class NextEventReq(Request):
+    """(Loopers only) block until the queue has a ready event; resumes
+    with the popped :class:`~repro.runtime.queue.SimEvent`."""
+
+    queue_name: str
+
+
+@dataclass
+class BinderCallReq(Request):
+    """Dispatch a Binder transaction; blocks until the reply unless
+    ``oneway``.  Resumes with the reply value."""
+
+    txn: int
+    service: str
+    method: str
+    args: Sequence[Any]
+    oneway: bool = False
+
+
+@dataclass
+class BinderRecvReq(Request):
+    """(Service threads) block until a transaction arrives; resumes
+    with the :class:`~repro.runtime.binder.Transaction`."""
+
+    service: str
+
+
+@dataclass
+class PauseReq(Request):
+    """A voluntary preemption point; resumes with ``None``."""
+
+
+@dataclass
+class StopLooperReq(Request):
+    """Ask the scheduler to stop the looper after the current event."""
+
+    looper_id: Optional[str] = None

@@ -1,0 +1,256 @@
+"""The simulation scheduler.
+
+Frames (regular threads, binder threads, looper threads) are Python
+generators; the scheduler repeatedly picks a ready frame — using a
+seeded RNG, so runs are reproducible and different seeds explore
+different interleavings — and resumes it until it blocks on a
+:mod:`~repro.runtime.requests` request or finishes.
+
+Virtual time advances only when no frame is ready: the clock jumps to
+the earliest tick at which a sleeping frame wakes or a queued event
+becomes eligible.  If nothing can ever make progress the simulation
+either ends (only daemon frames remain blocked) or raises
+:class:`~repro.runtime.errors.DeadlockError`.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from typing import Any, Dict, List, Optional
+
+from .errors import DeadlockError, SchedulerError
+from .requests import (
+    AcquireReq,
+    BinderCallReq,
+    BinderRecvReq,
+    JoinReq,
+    NextEventReq,
+    PauseReq,
+    Request,
+    SleepReq,
+    StopLooperReq,
+    WaitReq,
+)
+
+
+class FrameState(enum.Enum):
+    READY = "ready"
+    BLOCKED = "blocked"
+    DONE = "done"
+
+
+class Frame:
+    """One schedulable activity and its generator."""
+
+    def __init__(self, frame_id: str, thread_id: str, daemon: bool = False) -> None:
+        self.frame_id = frame_id
+        self.thread_id = thread_id
+        self.daemon = daemon
+        self.state = FrameState.READY
+        self.generator = None  # set by the system after ctx creation
+        self.ctx = None
+        self.request: Optional[Request] = None
+        self.send_value: Any = None
+        self.result: Any = None
+        self.started = False
+        #: set by a notify to wake a frame blocked in WaitReq
+        self.wait_ticket: Optional[int] = None
+        #: loopers: the event queue this frame drains
+        self.event_queue = None
+        #: loopers: set to stop after the current event
+        self.stop_requested = False
+
+    @property
+    def is_looper(self) -> bool:
+        return self.event_queue is not None
+
+    def block(self, request: Request) -> None:
+        self.state = FrameState.BLOCKED
+        self.request = request
+
+    def unblock(self, value: Any = None) -> None:
+        self.state = FrameState.READY
+        self.request = None
+        self.send_value = value
+
+    def __repr__(self) -> str:
+        return f"<Frame {self.frame_id} {self.state.value}>"
+
+
+class Scheduler:
+    """Drives the frames of an :class:`~repro.runtime.system.AndroidSystem`."""
+
+    def __init__(self, system, seed: int = 0) -> None:
+        self.system = system
+        self.rng = random.Random(seed)
+        self.frames: Dict[str, Frame] = {}
+        self.current_frame: Optional[Frame] = None
+        self.steps = 0
+
+    def add_frame(self, frame: Frame) -> None:
+        if frame.frame_id in self.frames:
+            raise SchedulerError(f"duplicate frame {frame.frame_id!r}")
+        self.frames[frame.frame_id] = frame
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self, max_ticks: Optional[int] = None, max_steps: int = 2_000_000) -> None:
+        clock = self.system.clock
+        while True:
+            if self.steps >= max_steps:
+                raise SchedulerError(f"step budget ({max_steps}) exhausted")
+            self._unblock_satisfiable()
+            ready = [f for f in self.frames.values() if f.state is FrameState.READY]
+            if not ready:
+                wake = self._next_wake_time()
+                if wake is None:
+                    self._check_deadlock()
+                    return
+                if max_ticks is not None and wake > max_ticks:
+                    return
+                clock.advance_to(wake)
+                continue
+            if max_ticks is not None and clock.now > max_ticks:
+                return
+            frame = ready[self.rng.randrange(len(ready))]
+            self._resume(frame)
+            self.steps += 1
+
+    def _resume(self, frame: Frame) -> None:
+        self.current_frame = frame
+        value, frame.send_value = frame.send_value, None
+        try:
+            if not frame.started:
+                frame.started = True
+                request = next(frame.generator)
+            else:
+                request = frame.generator.send(value)
+        except StopIteration as stop:
+            frame.state = FrameState.DONE
+            frame.result = stop.value
+            return
+        finally:
+            self.current_frame = None
+        self._handle_request(frame, request)
+
+    # -- request handling -----------------------------------------------
+
+    def _handle_request(self, frame: Frame, request: Request) -> None:
+        system = self.system
+        if isinstance(request, PauseReq):
+            frame.unblock()
+        elif isinstance(request, SleepReq):
+            frame.block(request)
+        elif isinstance(request, (JoinReq, NextEventReq, BinderRecvReq)):
+            frame.block(request)
+        elif isinstance(request, WaitReq):
+            frame.wait_ticket = None
+            system.monitor(request.monitor).add_waiter(frame.frame_id)
+            frame.block(request)
+        elif isinstance(request, AcquireReq):
+            system.lock(request.lock).waiters.append(frame.frame_id)
+            frame.block(request)
+        elif isinstance(request, BinderCallReq):
+            transaction = system.dispatch_transaction(request, frame)
+            if request.oneway:
+                frame.unblock(None)
+            else:
+                frame.block(request)
+                frame.pending_txn = transaction  # type: ignore[attr-defined]
+        elif isinstance(request, StopLooperReq):
+            target = request.looper_id or frame.frame_id
+            looper = self.frames.get(target)
+            if looper is None or not looper.is_looper:
+                raise SchedulerError(f"{target!r} is not a looper")
+            looper.stop_requested = True
+            frame.unblock()
+        else:
+            raise SchedulerError(
+                f"frame {frame.frame_id!r} yielded non-request {request!r}"
+            )
+
+    # -- unblocking --------------------------------------------------------
+
+    def _unblock_satisfiable(self) -> None:
+        now = self.system.clock.now
+        for frame in self.frames.values():
+            if frame.state is not FrameState.BLOCKED:
+                continue
+            request = frame.request
+            if isinstance(request, SleepReq):
+                if now >= request.until:
+                    frame.unblock()
+            elif isinstance(request, NextEventReq):
+                queue = self.system.queue(request.queue_name)
+                if frame.stop_requested:
+                    frame.unblock(None)  # looper main interprets None as quit
+                elif queue.has_ready(now):
+                    frame.unblock(queue.pop_ready(now))
+            elif isinstance(request, JoinReq):
+                target = self.frames.get(request.thread_id)
+                if target is None:
+                    raise SchedulerError(f"join on unknown thread {request.thread_id!r}")
+                if target.state is FrameState.DONE:
+                    frame.unblock(target.result)
+            elif isinstance(request, WaitReq):
+                if frame.wait_ticket is not None:
+                    ticket, frame.wait_ticket = frame.wait_ticket, None
+                    frame.unblock(ticket)
+            elif isinstance(request, AcquireReq):
+                lock = self.system.lock(request.lock)
+                if not lock.held and lock.waiters and lock.waiters[0] == frame.frame_id:
+                    lock.waiters.popleft()
+                    lock.take(frame.frame_id, frame.ctx.current_task)
+                    frame.unblock()
+            elif isinstance(request, BinderRecvReq):
+                service = self.system.service(request.service)
+                transaction = service.pop()
+                if transaction is not None:
+                    frame.unblock(transaction)
+            elif isinstance(request, BinderCallReq):
+                transaction = getattr(frame, "pending_txn", None)
+                if transaction is not None and transaction.completed:
+                    frame.pending_txn = None  # type: ignore[attr-defined]
+                    frame.unblock(transaction.reply)
+
+    def _next_wake_time(self) -> Optional[int]:
+        candidates: List[int] = []
+        for frame in self.frames.values():
+            if frame.state is not FrameState.BLOCKED:
+                continue
+            request = frame.request
+            if isinstance(request, SleepReq):
+                candidates.append(request.until)
+            elif isinstance(request, NextEventReq):
+                when = self.system.queue(request.queue_name).next_when()
+                if when is not None:
+                    candidates.append(when)
+        return min(candidates) if candidates else None
+
+    def _check_deadlock(self) -> None:
+        stuck = [
+            f.frame_id
+            for f in self.frames.values()
+            if f.state is FrameState.BLOCKED
+            and not f.daemon
+            and not isinstance(f.request, NextEventReq)
+        ]
+        if stuck:
+            raise DeadlockError(stuck)
+
+    # -- finalization ------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Close every unfinished frame; their ``finally`` blocks emit
+        the end-of-task records."""
+        # Close loopers last so events posted by dying threads are not
+        # spuriously dispatched (close() does not run new events, but
+        # the End records read better in dispatch order).
+        ordered = sorted(self.frames.values(), key=lambda f: f.is_looper)
+        for frame in ordered:
+            if frame.state is FrameState.DONE:
+                continue
+            if frame.generator is not None and frame.started:
+                frame.generator.close()
+            frame.state = FrameState.DONE

@@ -1,0 +1,83 @@
+"""Monitors and locks.
+
+The model treats these two synchronization mechanisms differently
+(Section 3.1):
+
+* ``wait``/``notify`` on a monitor *does* induce happens-before
+  (the signal-and-wait rule);
+* locks guarantee only mutual exclusion — no happens-before is derived
+  from an unlock to a later lock.  The detector instead checks locksets
+  to dismiss conflicting accesses inside critical sections protected by
+  a common lock.
+
+The classes here hold the runtime state; blocking/waking is the
+scheduler's job.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from .errors import LockError
+
+
+class Monitor:
+    """A wait/notify monitor; waiters are woken in FIFO order."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        #: frame ids currently blocked in ``wait``
+        self.waiters: Deque[str] = deque()
+
+    def add_waiter(self, frame_id: str) -> None:
+        self.waiters.append(frame_id)
+
+    def pop_waiter(self) -> Optional[str]:
+        return self.waiters.popleft() if self.waiters else None
+
+    def pop_all_waiters(self) -> list:
+        out = list(self.waiters)
+        self.waiters.clear()
+        return out
+
+
+class Lock:
+    """A non-reentrant mutual-exclusion lock.
+
+    Ownership is tracked per *task* (thread id or event id): the model
+    requires critical sections to be contained within a single task so
+    that the offline lockset reconstruction from per-task
+    acquire/release records is exact.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.owner_frame: Optional[str] = None
+        self.owner_task: Optional[str] = None
+        self.waiters: Deque[str] = deque()
+
+    @property
+    def held(self) -> bool:
+        return self.owner_frame is not None
+
+    def take(self, frame_id: str, task_id: str) -> None:
+        if self.held:
+            raise LockError(f"lock {self.name!r} already held by {self.owner_frame}")
+        self.owner_frame = frame_id
+        self.owner_task = task_id
+
+    def drop(self, frame_id: str, task_id: str) -> None:
+        if self.owner_frame != frame_id:
+            raise LockError(
+                f"frame {frame_id!r} releasing lock {self.name!r} "
+                f"owned by {self.owner_frame!r}"
+            )
+        if self.owner_task != task_id:
+            raise LockError(
+                f"lock {self.name!r} acquired by task {self.owner_task!r} "
+                f"but released by task {task_id!r}; critical sections must "
+                "not span task boundaries"
+            )
+        self.owner_frame = None
+        self.owner_task = None

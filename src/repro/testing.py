@@ -1,0 +1,298 @@
+"""Hand-authoring of traces, used by the test-suite and the examples.
+
+The :class:`TraceBuilder` provides one method per trace operation so
+that scenarios like Figure 4 of the paper can be written down literally
+and fed to the happens-before builder without going through the runtime
+simulator.  The builder assigns monotonically increasing virtual
+timestamps and registers tasks on first use.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from .trace import (
+    Acquire,
+    Address,
+    Begin,
+    Branch,
+    BranchKind,
+    Deref,
+    End,
+    Fork,
+    IpcCall,
+    IpcHandle,
+    IpcReply,
+    IpcReturn,
+    Join,
+    MethodEnter,
+    MethodExit,
+    Notify,
+    ObjectId,
+    Perform,
+    PtrRead,
+    PtrWrite,
+    Read,
+    Register,
+    Release,
+    Send,
+    SendAtFront,
+    TaskInfo,
+    TaskKind,
+    Trace,
+    Wait,
+    Write,
+)
+
+
+class TraceBuilder:
+    """Imperative construction of a :class:`~repro.trace.Trace`.
+
+    Example — a thread sending two same-delay events (Figure 4b)::
+
+        b = TraceBuilder()
+        b.thread("T")
+        b.event("A", looper="L", queue="Q")
+        b.event("B", looper="L", queue="Q")
+        b.begin("T"); b.send("T", "A", delay=1); b.send("T", "B", delay=1)
+        b.end("T")
+        b.begin("A"); b.end("A")
+        b.begin("B"); b.end("B")
+        trace = b.build()
+    """
+
+    def __init__(self) -> None:
+        self._trace = Trace()
+        self._clock = itertools.count(1)
+        self._ticket = itertools.count(1)
+        self._external_seq = itertools.count(0)
+        self._queue_of_event: dict = {}
+
+    # -- task declaration ---------------------------------------------------
+
+    def thread(self, task: str, process: str = "app", label: str = "") -> None:
+        """Declare a regular thread."""
+        self._trace.add_task(
+            TaskInfo(task=task, task_kind=TaskKind.THREAD, process=process, label=label)
+        )
+
+    def looper(self, task: str, process: str = "app", label: str = "") -> None:
+        """Declare a looper thread."""
+        self._trace.add_task(
+            TaskInfo(task=task, task_kind=TaskKind.LOOPER, process=process, label=label)
+        )
+
+    def event(
+        self,
+        task: str,
+        looper: str,
+        queue: Optional[str] = None,
+        process: str = "app",
+        external: bool = False,
+        label: str = "",
+    ) -> None:
+        """Declare an event processed by ``looper``.
+
+        ``queue`` defaults to a queue named after the looper, matching
+        the one-queue-per-looper assumption of Section 2.1.
+        """
+        queue = queue if queue is not None else f"{looper}.queue"
+        seq = next(self._external_seq) if external else -1
+        self._trace.add_task(
+            TaskInfo(
+                task=task,
+                task_kind=TaskKind.EVENT,
+                process=process,
+                looper=looper,
+                queue=queue,
+                external=external,
+                external_seq=seq,
+                label=label,
+            )
+        )
+        self._queue_of_event[task] = queue
+
+    # -- operations -------------------------------------------------
+
+    def _t(self) -> int:
+        return next(self._clock)
+
+    def begin(self, task: str) -> int:
+        return self._trace.append(Begin(task=task, time=self._t()))
+
+    def end(self, task: str) -> int:
+        return self._trace.append(End(task=task, time=self._t()))
+
+    def read(self, task: str, var: str, site: str = "") -> int:
+        return self._trace.append(
+            Read(task=task, time=self._t(), var=var, site=site or f"rd:{var}")
+        )
+
+    def write(self, task: str, var: str, site: str = "") -> int:
+        return self._trace.append(
+            Write(task=task, time=self._t(), var=var, site=site or f"wr:{var}")
+        )
+
+    def fork(self, task: str, child: str) -> int:
+        return self._trace.append(Fork(task=task, time=self._t(), child=child))
+
+    def join(self, task: str, child: str) -> int:
+        return self._trace.append(Join(task=task, time=self._t(), child=child))
+
+    def next_ticket(self) -> int:
+        """A fresh ticket for pairing :meth:`notify` with :meth:`wait`."""
+        return next(self._ticket)
+
+    def notify(self, task: str, monitor: str, ticket: int = -1) -> int:
+        """Emit a notify; pair it with a wait via an explicit ticket."""
+        return self._trace.append(
+            Notify(task=task, time=self._t(), monitor=monitor, ticket=ticket)
+        )
+
+    def wait(self, task: str, monitor: str, ticket: int = -1) -> int:
+        return self._trace.append(
+            Wait(task=task, time=self._t(), monitor=monitor, ticket=ticket)
+        )
+
+    def send(self, task: str, event: str, delay: int = 0) -> int:
+        queue = self._queue_of_event.get(event, "")
+        return self._trace.append(
+            Send(task=task, time=self._t(), event=event, delay=delay, queue=queue)
+        )
+
+    def send_at_front(self, task: str, event: str) -> int:
+        queue = self._queue_of_event.get(event, "")
+        return self._trace.append(
+            SendAtFront(task=task, time=self._t(), event=event, queue=queue)
+        )
+
+    def register(self, task: str, listener: str) -> int:
+        return self._trace.append(
+            Register(task=task, time=self._t(), listener=listener)
+        )
+
+    def perform(self, task: str, listener: str) -> int:
+        return self._trace.append(Perform(task=task, time=self._t(), listener=listener))
+
+    def acquire(self, task: str, lock: str) -> int:
+        return self._trace.append(Acquire(task=task, time=self._t(), lock=lock))
+
+    def release(self, task: str, lock: str) -> int:
+        return self._trace.append(Release(task=task, time=self._t(), lock=lock))
+
+    # -- low-level pointer records ---------------------------------------
+
+    def ptr_read(
+        self,
+        task: str,
+        address: Address,
+        object_id: ObjectId,
+        method: str = "m",
+        pc: int = 0,
+    ) -> int:
+        return self._trace.append(
+            PtrRead(
+                task=task,
+                time=self._t(),
+                address=address,
+                object_id=object_id,
+                method=method,
+                pc=pc,
+            )
+        )
+
+    def ptr_write(
+        self,
+        task: str,
+        address: Address,
+        value: ObjectId,
+        container: ObjectId = None,
+        method: str = "m",
+        pc: int = 0,
+    ) -> int:
+        return self._trace.append(
+            PtrWrite(
+                task=task,
+                time=self._t(),
+                address=address,
+                value=value,
+                container=container,
+                method=method,
+                pc=pc,
+            )
+        )
+
+    def deref(self, task: str, object_id: ObjectId, method: str = "m", pc: int = 0) -> int:
+        return self._trace.append(
+            Deref(task=task, time=self._t(), object_id=object_id, method=method, pc=pc)
+        )
+
+    def branch(
+        self,
+        task: str,
+        branch_kind: BranchKind,
+        pc: int,
+        target: int,
+        object_id: ObjectId,
+        method: str = "m",
+    ) -> int:
+        return self._trace.append(
+            Branch(
+                task=task,
+                time=self._t(),
+                branch_kind=branch_kind,
+                pc=pc,
+                target=target,
+                object_id=object_id,
+                method=method,
+            )
+        )
+
+    def method_enter(self, task: str, method: str, return_pc: int = -1) -> int:
+        return self._trace.append(
+            MethodEnter(task=task, time=self._t(), method=method, return_pc=return_pc)
+        )
+
+    def method_exit(
+        self, task: str, method: str, return_pc: int = -1, via_exception: bool = False
+    ) -> int:
+        return self._trace.append(
+            MethodExit(
+                task=task,
+                time=self._t(),
+                method=method,
+                return_pc=return_pc,
+                via_exception=via_exception,
+            )
+        )
+
+    # -- IPC -------------------------------------------------------------
+
+    def ipc_call(self, task: str, txn: int, service: str = "", oneway: bool = False) -> int:
+        return self._trace.append(
+            IpcCall(task=task, time=self._t(), txn=txn, service=service, oneway=oneway)
+        )
+
+    def ipc_handle(self, task: str, txn: int, service: str = "") -> int:
+        return self._trace.append(
+            IpcHandle(task=task, time=self._t(), txn=txn, service=service)
+        )
+
+    def ipc_reply(self, task: str, txn: int, service: str = "") -> int:
+        return self._trace.append(
+            IpcReply(task=task, time=self._t(), txn=txn, service=service)
+        )
+
+    def ipc_return(self, task: str, txn: int, service: str = "") -> int:
+        return self._trace.append(
+            IpcReturn(task=task, time=self._t(), txn=txn, service=service)
+        )
+
+    # -- finish ------------------------------------------------------------
+
+    def build(self, validate: bool = True) -> Trace:
+        """Return the trace (validated by default)."""
+        if validate:
+            self._trace.validate()
+        return self._trace

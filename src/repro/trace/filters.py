@@ -1,0 +1,83 @@
+"""Trace slicing utilities.
+
+The paper's traces are large (§6.4: analysis takes up to a day on the
+heaviest apps); practical workflows slice them — one process, one time
+window, only the tasks that touch a suspect field — before analysis.
+These helpers produce *self-consistent sub-traces*: whole tasks are
+kept or dropped (never split), so the result still satisfies the trace
+invariants and can be fed to the happens-before builder directly.
+
+Dropping tasks deletes happens-before edges, which can only make the
+analysis report *more* races, never hide an existing one between the
+kept tasks — the direction of error a triage workflow wants.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Set
+
+from .operations import PtrRead, PtrWrite
+from .trace import TaskInfo, Trace
+
+
+def filter_tasks(trace: Trace, keep: Callable[[TaskInfo], bool]) -> Trace:
+    """A sub-trace containing exactly the tasks ``keep`` accepts."""
+    kept = {task for task, info in trace.tasks.items() if keep(info)}
+    return _subset(trace, kept)
+
+
+def filter_process(trace: Trace, process: str) -> Trace:
+    """Only the tasks of one process."""
+    return filter_tasks(trace, lambda info: info.process == process)
+
+
+def filter_time_window(trace: Trace, start: int, end: int) -> Trace:
+    """Only tasks whose every operation falls within [start, end]."""
+    bounds = {}
+    for op in trace.ops:
+        lo, hi = bounds.get(op.task, (op.time, op.time))
+        bounds[op.task] = (min(lo, op.time), max(hi, op.time))
+    kept = {
+        task
+        for task, (lo, hi) in bounds.items()
+        if start <= lo and hi <= end
+    }
+    return _subset(trace, kept)
+
+
+def tasks_touching_field(trace: Trace, field: str) -> Set[str]:
+    """Tasks with a pointer access to any slot named ``field``."""
+    out: Set[str] = set()
+    for op in trace.ops:
+        if isinstance(op, (PtrRead, PtrWrite)) and str(op.address[2]) == field:
+            out.add(op.task)
+    return out
+
+
+def slice_for_field(trace: Trace, field: str) -> Trace:
+    """Tasks touching ``field`` plus every synchronization-relevant
+    task (all tasks are kept if none touches the field)."""
+    touching = tasks_touching_field(trace, field)
+    if not touching:
+        return _subset(trace, set(trace.tasks))
+    # Keep the touching tasks and every non-event task (threads and
+    # loopers carry the synchronization structure between them).
+    from .trace import TaskKind
+
+    kept = set(touching)
+    for task, info in trace.tasks.items():
+        if info.task_kind is not TaskKind.EVENT:
+            kept.add(task)
+    return _subset(trace, kept)
+
+
+def _subset(trace: Trace, kept: Iterable[str]) -> Trace:
+    kept = set(kept)
+    out = Trace()
+    for task, info in trace.tasks.items():
+        if task in kept:
+            out.add_task(info)
+    for op in trace.ops:
+        if op.task in kept:
+            out.append(op)
+    return out

@@ -1,0 +1,452 @@
+"""Trace operations for event-driven programs.
+
+This module defines the operation vocabulary of an execution trace.  The
+first group mirrors Figure 3 of the paper exactly::
+
+    Operation -> begin(t) | end(t) | rd(t, x) | wr(t, x) |
+                 fork(t, u) | join(t, u) | wait(t, m) | notify(t, m) |
+                 send(t, e, delay) | sendAtFront(t, e) |
+                 register(t, l) | perform(t, l)
+
+The second group extends the vocabulary with the low-level records that
+CAFA's instrumented Dalvik interpreter emits (Section 5.3): pointer
+reads, pointer writes (frees / allocations), dereferences, guarded
+branch instructions, method enter/exit, lock acquire/release, and the
+Binder IPC transaction records (Section 5.2).
+
+Every operation belongs to a *task*.  A task is either a regular thread
+or an event (``t in Thread | Event`` in the paper's notation); tasks are
+identified by opaque string ids.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Optional, Tuple, Type
+
+
+class OpKind(enum.Enum):
+    """Discriminator for every operation type in a trace."""
+
+    # -- Figure 3 operations -------------------------------------------
+    BEGIN = "begin"
+    END = "end"
+    READ = "rd"
+    WRITE = "wr"
+    FORK = "fork"
+    JOIN = "join"
+    WAIT = "wait"
+    NOTIFY = "notify"
+    SEND = "send"
+    SEND_AT_FRONT = "sendAtFront"
+    REGISTER = "register"
+    PERFORM = "perform"
+    # -- Section 5.3 low-level records ---------------------------------
+    PTR_READ = "ptr_read"
+    PTR_WRITE = "ptr_write"
+    DEREF = "deref"
+    BRANCH = "branch"
+    ACQUIRE = "acquire"
+    RELEASE = "release"
+    METHOD_ENTER = "method_enter"
+    METHOD_EXIT = "method_exit"
+    # -- Section 5.2 IPC records ---------------------------------------
+    IPC_CALL = "ipc_call"
+    IPC_HANDLE = "ipc_handle"
+    IPC_REPLY = "ipc_reply"
+    IPC_RETURN = "ipc_return"
+
+
+class BranchKind(enum.Enum):
+    """The three guarded branch instructions logged for the if-guard check.
+
+    Per Section 5.3, a trace entry is emitted for ``if-eqz`` only when
+    the branch is *not* taken, and for ``if-nez`` / ``if-eq`` only when
+    the branch *is* taken; in every logged case the tested pointer is
+    guaranteed non-null on the path that follows.
+    """
+
+    IF_EQZ = "if-eqz"
+    IF_NEZ = "if-nez"
+    IF_EQ = "if-eq"
+
+
+#: A pointer "address" is a fully-qualified field slot, e.g.
+#: ``("obj", 17, "providerUtils")`` for an instance field of object #17 or
+#: ``("static", "MyTracks", "instance")`` for a static field.
+Address = Tuple[str, Any, str]
+
+#: Object ids are integers assigned by the heap; ``None`` encodes null.
+ObjectId = Optional[int]
+
+
+@dataclass(frozen=True)
+class Operation:
+    """Base class for all trace operations.
+
+    Attributes:
+        task: id of the task (thread or event) executing this operation.
+        time: virtual timestamp (milliseconds) at which it executed.
+    """
+
+    task: str
+    time: int = 0
+
+    kind: "OpKind" = field(init=False, repr=False, default=None)  # type: ignore[assignment]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize to a flat dict (used by the JSONL trace format)."""
+        out: Dict[str, Any] = {"kind": self.kind.value}
+        for f in fields(self):
+            if f.name == "kind":
+                continue
+            value = getattr(self, f.name)
+            if isinstance(value, enum.Enum):
+                value = value.value
+            elif isinstance(value, tuple):
+                value = list(value)
+            out[f.name] = value
+        return out
+
+
+def _op(kind: OpKind):
+    """Class decorator binding a concrete operation to its ``OpKind``."""
+
+    def wrap(cls: Type[Operation]) -> Type[Operation]:
+        cls.kind = kind
+        _REGISTRY[kind] = cls
+        return cls
+
+    return wrap
+
+
+_REGISTRY: Dict[OpKind, Type[Operation]] = {}
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 operations
+# ---------------------------------------------------------------------------
+
+
+@_op(OpKind.BEGIN)
+@dataclass(frozen=True)
+class Begin(Operation):
+    """``begin(t)`` — task *t* starts executing."""
+
+
+@_op(OpKind.END)
+@dataclass(frozen=True)
+class End(Operation):
+    """``end(t)`` — task *t* finishes executing."""
+
+
+@_op(OpKind.READ)
+@dataclass(frozen=True)
+class Read(Operation):
+    """``rd(t, x)`` — task *t* reads shared variable *x*.
+
+    ``site`` identifies the static program location of the access so
+    that dynamic races can be deduplicated into static reports.
+    """
+
+    var: str = ""
+    site: str = ""
+
+
+@_op(OpKind.WRITE)
+@dataclass(frozen=True)
+class Write(Operation):
+    """``wr(t, x)`` — task *t* writes shared variable *x*."""
+
+    var: str = ""
+    site: str = ""
+
+
+@_op(OpKind.FORK)
+@dataclass(frozen=True)
+class Fork(Operation):
+    """``fork(t, u)`` — task *t* forks a new regular thread *u*."""
+
+    child: str = ""
+
+
+@_op(OpKind.JOIN)
+@dataclass(frozen=True)
+class Join(Operation):
+    """``join(t, u)`` — task *t* blocks until thread *u* ends."""
+
+    child: str = ""
+
+
+@_op(OpKind.WAIT)
+@dataclass(frozen=True)
+class Wait(Operation):
+    """``wait(t, m)`` — *t* resumed from a wait on monitor *m*.
+
+    The record is emitted when the wait *returns*.  ``ticket`` names the
+    ``notify`` that woke this wait so the signal-and-wait rule can pair
+    them without guessing.
+    """
+
+    monitor: str = ""
+    ticket: int = -1
+
+
+@_op(OpKind.NOTIFY)
+@dataclass(frozen=True)
+class Notify(Operation):
+    """``notify(t, m)`` — *t* signals monitor *m*.
+
+    ``ticket`` is a fresh id copied into every :class:`Wait` this notify
+    wakes up.
+    """
+
+    monitor: str = ""
+    ticket: int = -1
+
+
+@_op(OpKind.SEND)
+@dataclass(frozen=True)
+class Send(Operation):
+    """``send(t, e, delay)`` — *t* enqueues event *e* at the queue tail.
+
+    *e* becomes eligible to run ``delay`` ms after it is enqueued.
+    """
+
+    event: str = ""
+    delay: int = 0
+    queue: str = ""
+
+
+@_op(OpKind.SEND_AT_FRONT)
+@dataclass(frozen=True)
+class SendAtFront(Operation):
+    """``sendAtFront(t, e)`` — *t* enqueues *e* at the queue front.
+
+    Android does not allow a delay with ``sendAtFront``; neither do we.
+    """
+
+    event: str = ""
+    queue: str = ""
+
+
+@_op(OpKind.REGISTER)
+@dataclass(frozen=True)
+class Register(Operation):
+    """``register(t, l)`` — *t* registers event listener *l*."""
+
+    listener: str = ""
+
+
+@_op(OpKind.PERFORM)
+@dataclass(frozen=True)
+class Perform(Operation):
+    """``perform(e, l)`` — listener *l* is performed inside event *e*."""
+
+    listener: str = ""
+
+
+# ---------------------------------------------------------------------------
+# Section 5.3 low-level records
+# ---------------------------------------------------------------------------
+
+
+@_op(OpKind.PTR_READ)
+@dataclass(frozen=True)
+class PtrRead(Operation):
+    """A pointer read (``iget-object`` et al.).
+
+    Logs the address of the pointer slot and the id of the object it
+    yields (``None`` for null).  The offline analyzer later matches a
+    :class:`Deref` with its nearest previous ``PtrRead`` returning the
+    same object id to recognize a *use* (Section 5.3).
+    """
+
+    address: Address = ("", "", "")
+    object_id: ObjectId = None
+    method: str = ""
+    pc: int = -1
+
+
+@_op(OpKind.PTR_WRITE)
+@dataclass(frozen=True)
+class PtrWrite(Operation):
+    """A pointer write (``iput-object`` et al.).
+
+    If ``value`` is ``None`` the write is a *free*; otherwise it is an
+    *allocation* of ``address`` (Section 4.1 / 5.3).  ``container`` is
+    the id of the object being dereferenced by the store, if any.
+    """
+
+    address: Address = ("", "", "")
+    value: ObjectId = None
+    container: ObjectId = None
+    method: str = ""
+    pc: int = -1
+
+    @property
+    def is_free(self) -> bool:
+        return self.value is None
+
+
+@_op(OpKind.DEREF)
+@dataclass(frozen=True)
+class Deref(Operation):
+    """A dereference of ``object_id`` (field access or method invocation)."""
+
+    object_id: ObjectId = None
+    method: str = ""
+    pc: int = -1
+
+
+@_op(OpKind.BRANCH)
+@dataclass(frozen=True)
+class Branch(Operation):
+    """A logged guarded branch (if-eqz / if-nez / if-eq on a pointer).
+
+    Only the outcomes that guarantee the tested pointer is non-null are
+    logged, so the record always certifies safety of a code region (the
+    if-guard check, Section 4.3 and Figure 6).  ``pc`` and ``target``
+    are the current and target addresses of the branch; ``object_id``
+    is the id of the tested object.
+    """
+
+    branch_kind: BranchKind = BranchKind.IF_EQZ
+    pc: int = -1
+    target: int = -1
+    object_id: ObjectId = None
+    method: str = ""
+
+
+@_op(OpKind.ACQUIRE)
+@dataclass(frozen=True)
+class Acquire(Operation):
+    """Lock acquisition.  Used only for the lockset mutual-exclusion
+    check — the model deliberately derives **no** happens-before edge
+    from an unlock to a later lock (Section 3.1)."""
+
+    lock: str = ""
+
+
+@_op(OpKind.RELEASE)
+@dataclass(frozen=True)
+class Release(Operation):
+    """Lock release (see :class:`Acquire`)."""
+
+    lock: str = ""
+
+
+@_op(OpKind.METHOD_ENTER)
+@dataclass(frozen=True)
+class MethodEnter(Operation):
+    """Method invocation record (calling-context stack, Section 5.3)."""
+
+    method: str = ""
+    return_pc: int = -1
+
+
+@_op(OpKind.METHOD_EXIT)
+@dataclass(frozen=True)
+class MethodExit(Operation):
+    """Method return record; ``via_exception`` marks unwinding exits."""
+
+    method: str = ""
+    return_pc: int = -1
+    via_exception: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Section 5.2 IPC records
+# ---------------------------------------------------------------------------
+
+
+@_op(OpKind.IPC_CALL)
+@dataclass(frozen=True)
+class IpcCall(Operation):
+    """Client side of a Binder transaction: the RPC is initiated.
+
+    All records of one transaction share a unique ``txn`` id, which the
+    offline analyzer correlates to derive cross-process causality.
+    """
+
+    txn: int = -1
+    service: str = ""
+    oneway: bool = False
+
+
+@_op(OpKind.IPC_HANDLE)
+@dataclass(frozen=True)
+class IpcHandle(Operation):
+    """Server side: the transaction starts being handled."""
+
+    txn: int = -1
+    service: str = ""
+
+
+@_op(OpKind.IPC_REPLY)
+@dataclass(frozen=True)
+class IpcReply(Operation):
+    """Server side: the reply for the transaction is sent."""
+
+    txn: int = -1
+    service: str = ""
+
+
+@_op(OpKind.IPC_RETURN)
+@dataclass(frozen=True)
+class IpcReturn(Operation):
+    """Client side: the RPC returns with the reply."""
+
+    txn: int = -1
+    service: str = ""
+
+
+# ---------------------------------------------------------------------------
+# Deserialization
+# ---------------------------------------------------------------------------
+
+_TUPLE_FIELDS = {"address"}
+_ENUM_FIELDS = {"branch_kind": BranchKind}
+
+
+def operation_from_dict(data: Dict[str, Any]) -> Operation:
+    """Reconstruct an operation from :meth:`Operation.to_dict` output."""
+    data = dict(data)
+    kind = OpKind(data.pop("kind"))
+    cls = _REGISTRY[kind]
+    kwargs: Dict[str, Any] = {}
+    for f in fields(cls):
+        if f.name == "kind" or f.name not in data:
+            continue
+        value = data[f.name]
+        if f.name in _TUPLE_FIELDS and isinstance(value, list):
+            value = tuple(value)
+        elif f.name in _ENUM_FIELDS and value is not None:
+            value = _ENUM_FIELDS[f.name](value)
+        kwargs[f.name] = value
+    return cls(**kwargs)
+
+
+#: Operation kinds that participate in cross-task happens-before edges.
+#: All other kinds (memory accesses, pointer records, branches, locks)
+#: never source or sink an HB edge, which is what makes the key-node
+#: reachability index in :mod:`repro.hb` compact.
+SYNC_KINDS = frozenset(
+    {
+        OpKind.BEGIN,
+        OpKind.END,
+        OpKind.FORK,
+        OpKind.JOIN,
+        OpKind.WAIT,
+        OpKind.NOTIFY,
+        OpKind.SEND,
+        OpKind.SEND_AT_FRONT,
+        OpKind.REGISTER,
+        OpKind.PERFORM,
+        OpKind.IPC_CALL,
+        OpKind.IPC_HANDLE,
+        OpKind.IPC_REPLY,
+        OpKind.IPC_RETURN,
+    }
+)

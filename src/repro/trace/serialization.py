@@ -1,0 +1,98 @@
+"""JSONL (de)serialization of traces.
+
+The on-device CAFA prototype streams trace records through a kernel
+logger device and reads them back over ADB (Section 5.1).  Our stand-in
+is a line-oriented JSON format: a header line describing the format
+version, one line per task-table entry, then one line per operation.
+The format round-trips exactly and is diff-friendly, which the test
+suite relies on.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+from typing import IO, Union
+
+from .operations import operation_from_dict
+from .trace import TaskInfo, Trace, TraceError
+
+FORMAT_NAME = "cafa-trace"
+FORMAT_VERSION = 1
+
+
+def dump_trace(trace: Trace, fp: IO[str]) -> None:
+    """Write ``trace`` to a text stream in JSONL format."""
+    header = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "tasks": len(trace.tasks),
+        "ops": len(trace.ops),
+    }
+    fp.write(json.dumps(header) + "\n")
+    for info in trace.tasks.values():
+        fp.write(json.dumps({"task_info": info.to_dict()}) + "\n")
+    for op in trace.ops:
+        fp.write(json.dumps({"op": op.to_dict()}) + "\n")
+
+
+def load_trace(fp: IO[str]) -> Trace:
+    """Read a trace previously written by :func:`dump_trace`."""
+    header_line = fp.readline()
+    if not header_line:
+        raise TraceError("empty trace stream")
+    header = json.loads(header_line)
+    if header.get("format") != FORMAT_NAME:
+        raise TraceError(f"not a {FORMAT_NAME} stream: {header!r}")
+    if header.get("version") != FORMAT_VERSION:
+        raise TraceError(f"unsupported trace version {header.get('version')!r}")
+    trace = Trace()
+    for line in fp:
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        if "task_info" in record:
+            trace.add_task(TaskInfo.from_dict(record["task_info"]))
+        elif "op" in record:
+            trace.append(operation_from_dict(record["op"]))
+        else:
+            raise TraceError(f"unrecognized trace record: {record!r}")
+    expected_tasks = header.get("tasks")
+    if expected_tasks is not None and expected_tasks != len(trace.tasks):
+        raise TraceError(
+            f"task count mismatch: header says {expected_tasks}, "
+            f"stream has {len(trace.tasks)}"
+        )
+    expected_ops = header.get("ops")
+    if expected_ops is not None and expected_ops != len(trace.ops):
+        raise TraceError(
+            f"op count mismatch: header says {expected_ops}, "
+            f"stream has {len(trace.ops)}"
+        )
+    return trace
+
+
+def save_trace_file(trace: Trace, path: Union[str, Path]) -> None:
+    """Save a trace to ``path`` (overwrites)."""
+    with open(path, "w", encoding="utf-8") as fp:
+        dump_trace(trace, fp)
+
+
+def load_trace_file(path: Union[str, Path]) -> Trace:
+    """Load a trace from ``path``."""
+    with open(path, "r", encoding="utf-8") as fp:
+        return load_trace(fp)
+
+
+def dumps_trace(trace: Trace) -> str:
+    """Serialize a trace to a string."""
+    buf = io.StringIO()
+    dump_trace(trace, buf)
+    return buf.getvalue()
+
+
+def loads_trace(text: str) -> Trace:
+    """Deserialize a trace from a string."""
+    return load_trace(io.StringIO(text))

@@ -1,0 +1,115 @@
+"""Tests for the evaluation pipeline: precision, performance, tables."""
+
+import pytest
+
+from repro.analysis import (
+    AppEvaluation,
+    SCALE_ENV_VAR,
+    analysis_scaling,
+    bench_scale,
+    evaluate_run,
+    format_scaling,
+    format_slowdowns,
+    format_table1,
+    measure_slowdown,
+    paper_table1_rows,
+    reproduce_figure8,
+    reproduce_table1,
+)
+from repro.apps import ConnectBotApp, MyTracksApp, VlcApp
+
+SCALE = 0.03
+
+
+@pytest.fixture(scope="module")
+def mytracks_eval():
+    run = MyTracksApp(scale=SCALE, seed=1).run()
+    return evaluate_run(run)
+
+
+class TestPrecision:
+    def test_row_cells_derive_from_matched_reports(self, mytracks_eval):
+        row = mytracks_eval.row()
+        assert row.reported == 8
+        assert row.true_races == row.a + row.b + row.c == 4
+        assert row.false_positives == 4
+
+    def test_precision_is_true_over_reported(self, mytracks_eval):
+        assert mytracks_eval.precision == pytest.approx(4 / 8)
+
+    def test_evaluate_requires_a_trace(self):
+        run = MyTracksApp(scale=SCALE, seed=1).run(tracing=False)
+        with pytest.raises(ValueError, match="no trace"):
+            evaluate_run(run)
+
+    def test_ground_truth_verdicts_attached_to_reports(self, mytracks_eval):
+        assert all(r.verdict is not None for r in mytracks_eval.matched)
+
+    def test_table_totals_sum_rows(self):
+        table = reproduce_table1(apps=[MyTracksApp, ConnectBotApp], scale=SCALE, seed=1)
+        totals = table.totals()
+        assert totals.reported == 8 + 3
+        assert totals.a == 1
+        assert totals.b == 3 + 2
+
+    def test_paper_rows_align_with_apps(self):
+        rows = paper_table1_rows([MyTracksApp, ConnectBotApp])
+        assert rows[0].reported == 8
+        assert rows[1].reported == 3
+
+
+class TestPerformance:
+    def test_measure_slowdown_in_paper_envelope(self):
+        result = measure_slowdown(VlcApp, scale=SCALE, seed=1)
+        assert 1.0 < result.slowdown <= 6.0
+        assert result.trace_records > 0
+
+    def test_figure8_covers_requested_apps(self):
+        results = reproduce_figure8(apps=[VlcApp], scale=SCALE, seed=1)
+        assert [r.name for r in results] == ["vlc"]
+
+    def test_analysis_scaling_points_ordered(self):
+        points = analysis_scaling(VlcApp, scales=[SCALE, SCALE * 3], seed=1)
+        assert points[0].events < points[1].events
+        assert all(p.hb_seconds >= 0 for p in points)
+
+
+class TestBenchScale:
+    def test_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv(SCALE_ENV_VAR, raising=False)
+        assert bench_scale(0.2) == 0.2
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(SCALE_ENV_VAR, "0.7")
+        assert bench_scale() == 0.7
+
+    def test_invalid_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(SCALE_ENV_VAR, "lots")
+        with pytest.raises(ValueError):
+            bench_scale()
+
+    def test_nonpositive_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(SCALE_ENV_VAR, "-1")
+        with pytest.raises(ValueError):
+            bench_scale()
+
+
+class TestFormatting:
+    def test_table1_format_contains_rows_and_totals(self):
+        table = reproduce_table1(apps=[MyTracksApp], scale=SCALE, seed=1)
+        text = format_table1(table, paper_table1_rows([MyTracksApp]))
+        assert "mytracks" in text
+        assert "(paper)" in text
+        assert "Overall" in text
+        assert "precision" in text
+
+    def test_slowdown_format(self):
+        results = reproduce_figure8(apps=[VlcApp], scale=SCALE, seed=1)
+        text = format_slowdowns(results)
+        assert "vlc" in text
+        assert "x" in text
+
+    def test_scaling_format(self):
+        points = analysis_scaling(VlcApp, scales=[SCALE], seed=1)
+        text = format_scaling(points)
+        assert "Events" in text

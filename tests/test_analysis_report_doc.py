@@ -1,0 +1,58 @@
+"""Tests for the Markdown report generator."""
+
+import pytest
+
+from repro.analysis.report_doc import generate_report
+from repro.apps import ConnectBotApp, MyTracksApp
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    return generate_report(
+        scale=0.02,
+        seed=1,
+        apps=[ConnectBotApp, MyTracksApp],
+        include_slowdowns=False,
+    )
+
+
+class TestReportDocument:
+    def test_has_table_and_totals(self, report_text):
+        assert "# CAFA evaluation report" in report_text
+        assert "connectbot" in report_text
+        assert "11 races reported" in report_text  # 3 + 8
+
+    def test_per_app_sections_with_sessions(self, report_text):
+        assert "### mytracks" in report_text
+        assert "Record a short track" in report_text
+
+    def test_races_annotated_with_class_and_verdict(self, report_text):
+        assert "class (b)" in report_text
+        assert "ground truth: harmful" in report_text
+        assert "ground truth: fp-" in report_text
+
+    def test_witness_lines_present(self, report_text):
+        assert "witness schedule runs" in report_text
+
+    def test_filtered_patterns_listed(self, report_text):
+        assert "filtered as commutative" in report_text
+        assert "if-guard" in report_text
+
+    def test_low_level_baseline_section(self, report_text):
+        assert "Low-level baseline" in report_text
+        assert "conventional conflicting-access definition" in report_text
+
+    def test_slowdowns_optional(self):
+        with_slowdowns = generate_report(
+            scale=0.02, seed=1, apps=[ConnectBotApp], include_slowdowns=True
+        )
+        assert "Tracing slowdown" in with_slowdowns
+
+    def test_cli_report_to_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "report.md"
+        assert (
+            main(["report", "-o", str(out), "--scale", "0.02", "--no-slowdowns"]) == 0
+        )
+        assert "CAFA evaluation report" in out.read_text()

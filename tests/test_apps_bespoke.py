@@ -1,0 +1,138 @@
+"""Tests pinning the apps' bespoke (realistic) scenario structures."""
+
+import pytest
+
+from repro.analysis import evaluate_run
+from repro.apps import (
+    BrowserApp,
+    CameraApp,
+    FBReaderApp,
+    FirefoxApp,
+    MusicApp,
+    MyTracksApp,
+    VlcApp,
+    ZXingApp,
+)
+from repro.detect import RaceClass, UseFreeDetector
+from repro.trace import IpcCall, MethodEnter
+
+
+def evaluate(app_cls, scale=0.02):
+    run = app_cls(scale=scale, seed=1).run()
+    return run, evaluate_run(run)
+
+
+class TestBrowserAsyncTask:
+    def test_page_load_race_uses_a_worker_thread(self):
+        run, ev = evaluate(BrowserApp)
+        report = next(
+            r for r in ev.result.reports if r.key.field == "webview"
+        )
+        assert report.race_class is RaceClass.CONVENTIONAL
+        assert report.key.use_method == "browser/renderWorker0"
+        assert report.key.free_method == "destroyTab0"
+
+    def test_both_tab_fields_race(self):
+        run, ev = evaluate(BrowserApp)
+        fields = {r.key.field for r in ev.result.reports}
+        assert {"webview", "pageSnapshot"} <= fields
+
+
+class TestZXingHandlerMessages:
+    def test_decode_message_race_classified_b(self):
+        run, ev = evaluate(ZXingApp)
+        report = next(
+            r for r in ev.result.reports if r.key.field == "cameraManager"
+        )
+        assert report.race_class is RaceClass.INTER_THREAD
+        assert report.key.use_method == "captureHandler.msg[1]"
+        assert report.key.free_method == "zxing/decode"
+
+    def test_message_event_exists_in_trace(self):
+        run, _ = evaluate(ZXingApp)
+        labels = {info.label for info in run.trace.tasks.values()}
+        assert "captureHandler.msg[1]" in labels
+
+
+class TestFBReaderRotation:
+    def test_rotation_race_classified_a(self):
+        run, ev = evaluate(FBReaderApp)
+        report = next(
+            r for r in ev.result.reports if r.key.field == "bookModel"
+        )
+        assert report.race_class is RaceClass.INTRA_THREAD
+        assert report.key.free_method == "onConfigurationChanged"
+
+    def test_rebuild_in_a_later_event_does_not_mask_the_free(self):
+        """The re-allocation happens in a different event, so the
+        intra-event-allocation heuristic must NOT filter this race."""
+        run, ev = evaluate(FBReaderApp)
+        filtered_fields = {
+            r.key.field for r in ev.result.filtered_reports
+        }
+        assert "bookModel" not in filtered_fields
+
+
+class TestMusicBytecode:
+    def test_cursor_race_comes_from_real_bytecode(self):
+        run, ev = evaluate(MusicApp)
+        report = next(r for r in ev.result.reports if r.key.field == "mCursor")
+        assert report.race_class is RaceClass.INTRA_THREAD
+        assert report.key.use_method == "MediaPlayback.refreshNow"
+        entered = {
+            op.method for op in run.trace if isinstance(op, MethodEnter)
+        }
+        assert "MediaPlayback.refreshNow" in entered
+
+
+class TestCameraBinder:
+    def test_capture_callback_race_through_the_media_server(self):
+        run, ev = evaluate(CameraApp)
+        report = next(
+            r for r in ev.result.reports if r.key.field == "cameraDevice"
+        )
+        assert report.race_class is RaceClass.INTRA_THREAD
+        # the chain really crossed process boundaries
+        calls = [op for op in run.trace if isinstance(op, IpcCall)]
+        assert any(op.service == "media.camera" for op in calls)
+
+    def test_media_server_process_present(self):
+        run, _ = evaluate(CameraApp)
+        processes = {info.process for info in run.trace.tasks.values()}
+        assert "mediaserver" in processes
+
+
+class TestMyTracksService:
+    def test_figure1_chain_is_cross_process(self):
+        run, ev = evaluate(MyTracksApp)
+        processes = {info.process for info in run.trace.tasks.values()}
+        assert any("mytracks.services" in p for p in processes)
+
+
+class TestFirefoxGecko:
+    def test_gecko_compositor_race_classified_c(self):
+        run, ev = evaluate(FirefoxApp)
+        report = next(
+            r for r in ev.result.reports if r.key.field == "layerView"
+        )
+        assert report.race_class is RaceClass.CONVENTIONAL
+        assert report.key.use_method == "firefox/Gecko"
+
+    def test_jni_observer_fp1_present(self):
+        run, ev = evaluate(FirefoxApp)
+        report = next(
+            r for r in ev.result.reports if r.key.field == "observer"
+        )
+        assert report.verdict is not None
+        assert report.verdict.value == "fp-1"
+
+
+class TestVlcDecoder:
+    def test_surface_race_classified_c(self):
+        run, ev = evaluate(VlcApp)
+        report = next(
+            r for r in ev.result.reports if r.key.field == "surfaceHolder"
+        )
+        assert report.race_class is RaceClass.CONVENTIONAL
+        assert report.key.use_method == "vlc/vlcDecoder"
+        assert report.key.free_method == "surfaceDestroyed"

@@ -1,0 +1,193 @@
+"""Unit tests for the race-site recipes, one category at a time."""
+
+import pytest
+
+from repro.apps import sites
+from repro.detect import RaceClass, Verdict, detect_use_free_races
+from repro.runtime import AndroidSystem
+
+
+def run_site(installer, **kwargs):
+    system = AndroidSystem(seed=5)
+    proc = system.process("app")
+    main = proc.looper("main")
+    plan = installer(system, proc, main, "t0", **kwargs)
+    system.run(max_ms=3000)
+    trace = system.trace()
+    trace.validate()
+    return plan, detect_use_free_races(trace), system
+
+
+class TestIntraThreadRecipe:
+    def test_detected_and_classified_a(self):
+        plan, result, system = run_site(
+            sites.intra_thread_race, use_label="onUse", free_label="onFree", at_ms=50
+        )
+        (report,) = result.reports
+        assert report.race_class is RaceClass.INTRA_THREAD
+        assert plan.expected.matches(report.key)
+        assert plan.expected.verdict is Verdict.HARMFUL
+
+    def test_no_violation_in_the_recorded_order(self):
+        _, _, system = run_site(
+            sites.intra_thread_race, use_label="onUse", free_label="onFree", at_ms=50
+        )
+        assert system.violations == []
+
+
+class TestInterThreadRecipe:
+    def test_detected_and_classified_b(self):
+        plan, result, _ = run_site(
+            sites.inter_thread_race,
+            use_label="onUse",
+            free_thread="worker",
+            at_ms=50,
+        )
+        (report,) = result.reports
+        assert report.race_class is RaceClass.INTER_THREAD
+        assert plan.expected.matches(report.key)
+
+    def test_conventional_model_does_not_see_it(self):
+        from repro.detect import DetectorOptions
+        from repro.hb import CONVENTIONAL_MODEL
+        from repro.runtime import AndroidSystem
+
+        system = AndroidSystem(seed=5)
+        proc = system.process("app")
+        main = proc.looper("main")
+        sites.inter_thread_race(system, proc, main, "t0", "onUse", "worker", 50)
+        system.run(max_ms=3000)
+        result = detect_use_free_races(
+            system.trace(), DetectorOptions(model=CONVENTIONAL_MODEL)
+        )
+        assert result.report_count() == 0
+
+
+class TestConventionalRecipe:
+    def test_detected_and_classified_c(self):
+        plan, result, _ = run_site(
+            sites.conventional_race,
+            use_thread="io",
+            free_label="onFree",
+            at_ms=50,
+        )
+        (report,) = result.reports
+        assert report.race_class is RaceClass.CONVENTIONAL
+
+
+class TestFalsePositiveRecipes:
+    def test_untraced_listener_reported_despite_real_order(self):
+        plan, result, _ = run_site(
+            sites.fp_untraced_listener,
+            use_label="onReg",
+            free_label="onPerform",
+            at_ms=50,
+        )
+        (report,) = result.reports
+        assert plan.expected.verdict is Verdict.FP_TYPE_I
+
+    def test_traced_listener_version_is_ordered(self):
+        """With the register record present, the same structure is
+        ordered by listener rule + atomicity and nothing is reported."""
+        system = AndroidSystem(seed=5)
+        proc = system.process("app")
+        main = proc.looper("main")
+        holder = proc.heap.new("Holder")
+        holder.fields["ptr"] = proc.heap.new("Target")
+
+        def free_handler(ctx):
+            ctx.put_field(holder, "ptr", None)
+
+        def register_and_use(ctx):
+            ctx.register_listener("lst", free_handler, traced=True)
+            ctx.use_field(holder, "ptr")
+
+        def poster(ctx):
+            yield from ctx.sleep_until(50)
+            ctx.post(main, register_and_use, label="onReg")
+
+        proc.thread("poster", poster)
+        from repro.runtime import ExternalSource
+
+        src = ExternalSource("src")
+        src.at_listener(60, main, "lst", label="onPerform")
+        src.attach(system, proc)
+        system.run(max_ms=3000)
+        result = detect_use_free_races(system.trace())
+        assert result.report_count() == 0
+
+    def test_boolean_guard_reported_as_fp2(self):
+        plan, result, _ = run_site(
+            sites.fp_boolean_guard, use_label="check", free_label="clear", at_ms=50
+        )
+        assert result.report_count() == 1
+        assert plan.expected.verdict is Verdict.FP_TYPE_II
+
+    def test_boolean_guard_actually_protects_at_runtime(self):
+        """Run the same structure with the free first: the flag stops
+        the use, so no NPE — demonstrating why it is a false positive."""
+        system = AndroidSystem(seed=5)
+        proc = system.process("app")
+        main = proc.looper("main")
+        holder = proc.heap.new("Holder")
+        holder.fields["ptr"] = proc.heap.new("Target")
+        proc.store["flag"] = True
+
+        def use_handler(ctx):
+            if ctx.read("flag"):
+                ctx.use_field(holder, "ptr")
+
+        def free_handler(ctx):
+            ctx.write("flag", False)
+            ctx.put_field(holder, "ptr", None)
+
+        def driver(ctx):
+            ctx.post(main, free_handler, label="clear")  # free FIRST
+            ctx.post(main, use_handler, label="check")
+
+        proc.thread("driver", driver)
+        system.run(max_ms=3000)
+        assert system.violations == []
+
+    def test_deref_mismatch_reported_as_fp3(self):
+        plan, result, _ = run_site(
+            sites.fp_deref_mismatch, use_label="read", free_label="free", at_ms=50
+        )
+        assert result.report_count() == 1
+        assert plan.expected.verdict is Verdict.FP_TYPE_III
+
+
+class TestCommutativeRecipes:
+    def test_guarded_use_is_filtered(self):
+        plan, result, _ = run_site(
+            sites.commutative_guarded_use,
+            use_label="onFocus",
+            free_label="onPause",
+            at_ms=50,
+        )
+        assert result.report_count() == 0
+        assert len(result.filtered_reports) == 1
+        assert result.filtered_reports[0].witnesses[0].filtered_by == "if-guard"
+
+    def test_realloc_use_is_filtered(self):
+        plan, result, _ = run_site(
+            sites.commutative_realloc_use,
+            use_label="onResume",
+            free_label="onPause",
+            at_ms=50,
+        )
+        assert result.report_count() == 0
+        assert (
+            result.filtered_reports[0].witnesses[0].filtered_by
+            == "intra-event-allocation"
+        )
+
+    def test_read_write_pattern_invisible_to_usefree_detector(self):
+        plan, result, _ = run_site(
+            sites.commutative_read_write,
+            read_label="onLayout",
+            write_label="onPause",
+            at_ms=50,
+        )
+        assert result.report_count() == 0
+        assert result.filtered_reports == []

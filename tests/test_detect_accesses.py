@@ -1,0 +1,169 @@
+"""Tests for the recovery of uses/frees/guards from low-level records."""
+
+from repro.detect import extract_accesses
+from repro.testing import TraceBuilder
+from repro.trace import BranchKind
+
+
+ADDR = ("obj", 1, "ptr")
+OTHER = ("obj", 2, "ptr")
+
+
+def simple_builder():
+    b = TraceBuilder()
+    b.thread("t")
+    b.begin("t")
+    return b
+
+
+class TestUseRecovery:
+    def test_deref_matches_nearest_previous_read(self):
+        b = simple_builder()
+        b.ptr_read("t", ADDR, object_id=9, method="m", pc=0)
+        b.deref("t", object_id=9, method="m", pc=1)
+        b.end("t")
+        index = extract_accesses(b.build())
+        assert len(index.uses) == 1
+        use = index.uses[0]
+        assert use.address == ADDR
+        assert use.object_id == 9
+        assert len(use.deref_indices) == 1
+
+    def test_unmatched_deref_is_not_a_use(self):
+        b = simple_builder()
+        b.ptr_read("t", ADDR, object_id=9, method="m", pc=0)
+        b.deref("t", object_id=7, method="m", pc=1)  # different object
+        b.end("t")
+        index = extract_accesses(b.build())
+        assert index.uses == []
+
+    def test_nearest_read_wins_over_earlier_one(self):
+        b = simple_builder()
+        b.ptr_read("t", ADDR, object_id=9, method="m", pc=0)
+        b.ptr_read("t", OTHER, object_id=9, method="m", pc=1)
+        b.deref("t", object_id=9, method="m", pc=2)
+        b.end("t")
+        index = extract_accesses(b.build())
+        assert len(index.uses) == 1
+        assert index.uses[0].address == OTHER  # the nearer read
+
+    def test_matching_is_per_task(self):
+        b = TraceBuilder()
+        b.thread("t")
+        b.thread("u")
+        b.begin("t")
+        b.begin("u")
+        b.ptr_read("t", ADDR, object_id=9, method="m", pc=0)
+        b.deref("u", object_id=9, method="m", pc=1)  # other task: no match
+        b.end("t")
+        b.end("u")
+        index = extract_accesses(b.build())
+        assert index.uses == []
+
+    def test_multiple_derefs_attach_to_one_use(self):
+        b = simple_builder()
+        b.ptr_read("t", ADDR, object_id=9, method="m", pc=0)
+        b.deref("t", object_id=9, method="m", pc=1)
+        b.deref("t", object_id=9, method="m", pc=2)
+        b.end("t")
+        index = extract_accesses(b.build())
+        assert len(index.uses) == 1
+        assert len(index.uses[0].deref_indices) == 2
+
+    def test_null_read_never_matches(self):
+        b = simple_builder()
+        b.ptr_read("t", ADDR, object_id=None, method="m", pc=0)
+        b.deref("t", object_id=9, method="m", pc=1)
+        b.end("t")
+        assert extract_accesses(b.build()).uses == []
+
+    def test_use_site_is_method_and_read_pc(self):
+        b = simple_builder()
+        b.ptr_read("t", ADDR, object_id=9, method="onResume", pc=7)
+        b.deref("t", object_id=9, method="onResume", pc=8)
+        b.end("t")
+        (use,) = extract_accesses(b.build()).uses
+        assert use.site == ("onResume", 7)
+
+
+class TestFreesAndAllocs:
+    def test_null_write_is_a_free(self):
+        b = simple_builder()
+        b.ptr_write("t", ADDR, value=None, container=1, method="m", pc=0)
+        b.end("t")
+        index = extract_accesses(b.build())
+        assert len(index.frees) == 1
+        assert index.allocs == []
+        assert index.frees[0].is_free
+
+    def test_reference_write_is_an_alloc(self):
+        b = simple_builder()
+        b.ptr_write("t", ADDR, value=5, container=1, method="m", pc=0)
+        b.end("t")
+        index = extract_accesses(b.build())
+        assert index.frees == []
+        assert len(index.allocs) == 1
+
+    def test_frees_of_filters_by_address(self):
+        b = simple_builder()
+        b.ptr_write("t", ADDR, value=None, method="m", pc=0)
+        b.ptr_write("t", OTHER, value=None, method="m", pc=1)
+        b.end("t")
+        index = extract_accesses(b.build())
+        assert len(index.frees_of(ADDR)) == 1
+
+
+class TestGuards:
+    def test_branch_matched_to_tested_pointer(self):
+        b = simple_builder()
+        b.ptr_read("t", ADDR, object_id=9, method="m", pc=0)
+        b.branch("t", BranchKind.IF_EQZ, pc=1, target=3, object_id=9, method="m")
+        b.end("t")
+        (guard,) = extract_accesses(b.build()).guards
+        assert guard.address == ADDR
+        assert guard.pc == 1 and guard.target == 3
+
+    def test_unmatched_branch_has_no_address(self):
+        b = simple_builder()
+        b.branch("t", BranchKind.IF_NEZ, pc=1, target=3, object_id=9, method="m")
+        b.end("t")
+        (guard,) = extract_accesses(b.build()).guards
+        assert guard.address is None
+
+
+class TestLocksets:
+    def test_ops_inside_critical_section_carry_the_lock(self):
+        b = simple_builder()
+        b.acquire("t", "L")
+        i = b.ptr_read("t", ADDR, object_id=9, method="m", pc=0)
+        b.release("t", "L")
+        j = b.ptr_read("t", ADDR, object_id=9, method="m", pc=1)
+        b.end("t")
+        index = extract_accesses(b.build())
+        assert index.lockset(i) == frozenset({"L"})
+        assert index.lockset(j) == frozenset()
+
+    def test_nested_locks_accumulate(self):
+        b = simple_builder()
+        b.acquire("t", "L1")
+        b.acquire("t", "L2")
+        i = b.ptr_read("t", ADDR, object_id=9, method="m", pc=0)
+        b.release("t", "L2")
+        b.release("t", "L1")
+        b.end("t")
+        index = extract_accesses(b.build())
+        assert index.lockset(i) == frozenset({"L1", "L2"})
+
+    def test_locksets_are_per_task(self):
+        b = TraceBuilder()
+        b.thread("t")
+        b.thread("u")
+        b.begin("t")
+        b.begin("u")
+        b.acquire("t", "L")
+        i = b.ptr_read("u", ADDR, object_id=9, method="m", pc=0)
+        b.end("u")
+        b.release("t", "L")
+        b.end("t")
+        index = extract_accesses(b.build())
+        assert index.lockset(i) == frozenset()

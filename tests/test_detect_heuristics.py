@@ -1,0 +1,182 @@
+"""Tests for the if-guard and intra-event-allocation heuristics."""
+
+import sys
+
+import pytest
+
+from repro.detect import (
+    branch_safe_region,
+    extract_accesses,
+    free_has_intra_event_realloc,
+    use_has_intra_event_alloc,
+    use_is_guarded,
+)
+from repro.testing import TraceBuilder
+from repro.trace import BranchKind
+
+ADDR = ("obj", 1, "handler")
+END = sys.maxsize
+
+
+class TestSafeRegions:
+    """The four Figure 6 cases."""
+
+    def test_if_eqz_forward(self):
+        assert branch_safe_region(BranchKind.IF_EQZ, pc=5, target=9) == (6, 9)
+
+    def test_if_eqz_backward(self):
+        assert branch_safe_region(BranchKind.IF_EQZ, pc=5, target=2) == (6, END)
+
+    def test_if_nez_forward(self):
+        assert branch_safe_region(BranchKind.IF_NEZ, pc=5, target=9) == (9, END)
+
+    def test_if_nez_backward(self):
+        assert branch_safe_region(BranchKind.IF_NEZ, pc=5, target=2) == (2, 5)
+
+    def test_if_eq_behaves_like_if_nez(self):
+        assert branch_safe_region(BranchKind.IF_EQ, pc=5, target=9) == (
+            branch_safe_region(BranchKind.IF_NEZ, pc=5, target=9)
+        )
+
+
+def build_use(guarded, branch_kind=BranchKind.IF_EQZ, deref_pc=2, branch_pc=1,
+              target=3, guard_method="m", deref_first=False):
+    """A single-task trace: read p; [branch]; deref p."""
+    b = TraceBuilder()
+    b.thread("t")
+    b.begin("t")
+    b.ptr_read("t", ADDR, object_id=9, method="m", pc=0)
+    if guarded and deref_first:
+        b.deref("t", object_id=9, method="m", pc=deref_pc)
+        b.branch("t", branch_kind, pc=branch_pc, target=target, object_id=9,
+                 method=guard_method)
+    else:
+        if guarded:
+            b.branch("t", branch_kind, pc=branch_pc, target=target, object_id=9,
+                     method=guard_method)
+        b.deref("t", object_id=9, method="m", pc=deref_pc)
+    b.end("t")
+    index = extract_accesses(b.build())
+    (use,) = index.uses
+    return index, use
+
+
+class TestIfGuardCheck:
+    def test_guarded_use_is_safe(self):
+        index, use = build_use(guarded=True)
+        assert use_is_guarded(index, use)
+
+    def test_unguarded_use_is_unsafe(self):
+        index, use = build_use(guarded=False)
+        assert not use_is_guarded(index, use)
+
+    def test_deref_outside_region_is_unsafe(self):
+        index, use = build_use(guarded=True, deref_pc=7, target=3)
+        assert not use_is_guarded(index, use)
+
+    def test_guard_must_execute_before_the_deref(self):
+        index, use = build_use(guarded=True, deref_first=True)
+        assert not use_is_guarded(index, use)
+
+    def test_guard_in_other_method_does_not_apply(self):
+        """pc intervals are only meaningful within one method."""
+        index, use = build_use(guarded=True, guard_method="other")
+        assert not use_is_guarded(index, use)
+
+    def test_backward_if_nez_covers_loop_body(self):
+        index, use = build_use(
+            guarded=True, branch_kind=BranchKind.IF_NEZ,
+            branch_pc=6, target=1, deref_pc=2,
+        )
+        assert use_is_guarded(index, use)
+
+    def test_guard_on_other_pointer_does_not_apply(self):
+        b = TraceBuilder()
+        b.thread("t")
+        b.begin("t")
+        b.ptr_read("t", ADDR, object_id=9, method="m", pc=0)
+        b.ptr_read("t", ("obj", 2, "q"), object_id=4, method="m", pc=1)
+        b.branch("t", BranchKind.IF_EQZ, pc=2, target=5, object_id=4, method="m")
+        b.deref("t", object_id=9, method="m", pc=3)
+        b.end("t")
+        index = extract_accesses(b.build())
+        use = next(u for u in index.uses if u.address == ADDR)
+        assert not use_is_guarded(index, use)
+
+    def test_every_deref_must_be_covered(self):
+        """One guarded and one unguarded deref of the same read: unsafe."""
+        b = TraceBuilder()
+        b.thread("t")
+        b.begin("t")
+        b.ptr_read("t", ADDR, object_id=9, method="m", pc=0)
+        b.branch("t", BranchKind.IF_EQZ, pc=1, target=3, object_id=9, method="m")
+        b.deref("t", object_id=9, method="m", pc=2)   # inside region
+        b.deref("t", object_id=9, method="m", pc=9)   # outside region
+        b.end("t")
+        index = extract_accesses(b.build())
+        (use,) = index.uses
+        assert not use_is_guarded(index, use)
+
+
+class TestIntraEventAllocation:
+    def _index(self, ops):
+        b = TraceBuilder()
+        b.thread("t")
+        b.thread("u")
+        b.begin("t")
+        b.begin("u")
+        for op in ops:
+            op(b)
+        b.end("t")
+        b.end("u")
+        return extract_accesses(b.build())
+
+    def test_realloc_after_free_filters_the_free(self):
+        index = self._index([
+            lambda b: b.ptr_write("t", ADDR, value=None, method="m", pc=0),
+            lambda b: b.ptr_write("t", ADDR, value=7, method="m", pc=1),
+        ])
+        (free,) = index.frees
+        assert free_has_intra_event_realloc(index, free)
+
+    def test_no_realloc_keeps_the_free(self):
+        index = self._index([
+            lambda b: b.ptr_write("t", ADDR, value=None, method="m", pc=0),
+        ])
+        (free,) = index.frees
+        assert not free_has_intra_event_realloc(index, free)
+
+    def test_realloc_in_other_task_does_not_filter(self):
+        index = self._index([
+            lambda b: b.ptr_write("t", ADDR, value=None, method="m", pc=0),
+            lambda b: b.ptr_write("u", ADDR, value=7, method="m", pc=1),
+        ])
+        (free,) = index.frees
+        assert not free_has_intra_event_realloc(index, free)
+
+    def test_alloc_before_use_filters_the_use(self):
+        index = self._index([
+            lambda b: b.ptr_write("t", ADDR, value=9, method="m", pc=0),
+            lambda b: b.ptr_read("t", ADDR, object_id=9, method="m", pc=1),
+            lambda b: b.deref("t", object_id=9, method="m", pc=2),
+        ])
+        (use,) = index.uses
+        assert use_has_intra_event_alloc(index, use)
+
+    def test_alloc_after_use_does_not_filter(self):
+        index = self._index([
+            lambda b: b.ptr_read("t", ADDR, object_id=9, method="m", pc=0),
+            lambda b: b.deref("t", object_id=9, method="m", pc=1),
+            lambda b: b.ptr_write("t", ADDR, value=9, method="m", pc=2),
+        ])
+        (use,) = index.uses
+        assert not use_has_intra_event_alloc(index, use)
+
+    def test_alloc_to_other_address_does_not_filter(self):
+        index = self._index([
+            lambda b: b.ptr_write("t", ("obj", 2, "q"), value=9, method="m", pc=0),
+            lambda b: b.ptr_read("t", ADDR, object_id=9, method="m", pc=1),
+            lambda b: b.deref("t", object_id=9, method="m", pc=2),
+        ])
+        (use,) = index.uses
+        assert not use_has_intra_event_alloc(index, use)

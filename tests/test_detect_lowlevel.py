@@ -1,0 +1,128 @@
+"""Tests for the low-level conflicting-access baseline detector."""
+
+from repro.detect import LowLevelDetector, detect_low_level_races
+from repro.testing import TraceBuilder
+
+
+def unordered_rw_trace():
+    """Two events on one looper, sent by unordered threads: a
+    read-write conflict on x (Figure 2's shape)."""
+    b = TraceBuilder()
+    b.looper("L")
+    b.thread("T1")
+    b.thread("T2")
+    b.event("A", looper="L")
+    b.event("B", looper="L")
+    b.begin("T1"); b.send("T1", "A"); b.end("T1")
+    b.begin("T2"); b.send("T2", "B"); b.end("T2")
+    b.begin("A"); b.read("A", "x", site="A:rd"); b.end("A")
+    b.begin("B"); b.write("B", "x", site="B:wr"); b.end("B")
+    return b
+
+
+class TestLowLevel:
+    def test_unordered_read_write_reported(self):
+        result = detect_low_level_races(unordered_rw_trace().build())
+        assert result.race_count() == 1
+        (race,) = result.races
+        assert race.var_class == "x"
+        assert not race.write_write
+
+    def test_read_read_is_not_a_race(self):
+        b = TraceBuilder()
+        b.thread("t")
+        b.thread("u")
+        b.begin("t"); b.read("t", "x"); b.end("t")
+        b.begin("u"); b.read("u", "x"); b.end("u")
+        assert detect_low_level_races(b.build()).race_count() == 0
+
+    def test_write_write_flagged(self):
+        b = TraceBuilder()
+        b.thread("t")
+        b.thread("u")
+        b.begin("t"); b.write("t", "x", site="t:wr"); b.end("t")
+        b.begin("u"); b.write("u", "x", site="u:wr"); b.end("u")
+        (race,) = detect_low_level_races(b.build()).races
+        assert race.write_write
+
+    def test_ordered_accesses_not_reported(self):
+        b = TraceBuilder()
+        b.thread("t")
+        b.thread("u")
+        b.begin("t")
+        b.write("t", "x")
+        b.fork("t", "u")
+        b.begin("u")
+        b.read("u", "x")
+        b.end("u")
+        b.end("t")
+        assert detect_low_level_races(b.build()).race_count() == 0
+
+    def test_same_task_accesses_not_reported(self):
+        b = TraceBuilder()
+        b.thread("t")
+        b.begin("t")
+        b.write("t", "x")
+        b.read("t", "x")
+        b.end("t")
+        assert detect_low_level_races(b.build()).race_count() == 0
+
+    def test_lock_protected_pair_dismissed(self):
+        b = TraceBuilder()
+        b.thread("t")
+        b.thread("u")
+        b.begin("t")
+        b.begin("u")
+        b.acquire("t", "L")
+        b.write("t", "x")
+        b.release("t", "L")
+        b.acquire("u", "L")
+        b.read("u", "x")
+        b.release("u", "L")
+        b.end("t")
+        b.end("u")
+        assert detect_low_level_races(b.build()).race_count() == 0
+
+    def test_pointer_accesses_count_as_memory_accesses(self):
+        b = TraceBuilder()
+        b.thread("t")
+        b.thread("u")
+        b.begin("t")
+        b.begin("u")
+        b.ptr_read("t", ("obj", 1, "p"), object_id=9, method="t", pc=0)
+        b.ptr_write("u", ("obj", 1, "p"), value=None, method="u", pc=0)
+        b.end("t")
+        b.end("u")
+        (race,) = detect_low_level_races(b.build()).races
+        assert race.var_class == "ptr:*.p"
+
+    def test_static_dedup_over_dynamic_instances(self):
+        """Many dynamic pairs from the same pair of sites: one report."""
+        b = TraceBuilder()
+        b.looper("L")
+        b.thread("T1")
+        b.thread("T2")
+        readers, writers = [], []
+        for i in range(3):
+            r, w = f"R{i}", f"W{i}"
+            b.event(r, looper="L")
+            b.event(w, looper="L")
+            readers.append(r)
+            writers.append(w)
+        b.begin("T1")
+        for i, r in enumerate(readers):
+            b.send("T1", r, delay=i)
+        b.end("T1")
+        b.begin("T2")
+        for i, w in enumerate(writers):
+            b.send("T2", w, delay=i)
+        b.end("T2")
+        for i in range(3):
+            b.begin(readers[i]); b.read(readers[i], "x", site="rd"); b.end(readers[i])
+            b.begin(writers[i]); b.write(writers[i], "x", site="wr"); b.end(writers[i])
+        result = detect_low_level_races(b.build())
+        assert result.race_count() == 1
+
+    def test_sampling_budget_is_respected(self):
+        detector = LowLevelDetector(unordered_rw_trace().build(), samples_per_side=1)
+        assert detector.detect().race_count() == 1

@@ -1,0 +1,209 @@
+"""Tests for the use-free race detector (Section 4)."""
+
+import pytest
+
+from repro.detect import (
+    DetectorOptions,
+    RaceClass,
+    UseFreeDetector,
+    detect_use_free_races,
+)
+from repro.testing import TraceBuilder
+from repro.trace import BranchKind
+
+ADDR = ("obj", 1, "ptr")
+
+
+def two_event_trace(with_guard=False, with_lock=False, same_task=False,
+                    ordered=False):
+    """Use in event A, free in event B, on the same looper."""
+    b = TraceBuilder()
+    b.looper("L")
+    b.thread("T1")
+    b.thread("T2")
+    b.event("A", looper="L")
+    b.event("B", looper="L")
+    b.begin("T1"); b.send("T1", "A"); b.end("T1")
+    if ordered:
+        # B sent from within A (send rule + atomicity orders A before B)
+        pass
+    else:
+        b.begin("T2"); b.send("T2", "B"); b.end("T2")
+    b.begin("A")
+    if with_lock:
+        b.acquire("A", "lk")
+    b.ptr_read("A", ADDR, object_id=9, method="onUse", pc=0)
+    if with_guard:
+        b.branch("A", BranchKind.IF_EQZ, pc=1, target=3, object_id=9, method="onUse")
+        b.deref("A", object_id=9, method="onUse", pc=2)
+    else:
+        b.deref("A", object_id=9, method="onUse", pc=1)
+    if with_lock:
+        b.release("A", "lk")
+    if ordered:
+        b.send("A", "B")
+    b.end("A")
+    b.begin("B")
+    if with_lock:
+        b.acquire("B", "lk")
+    b.ptr_write("B", ADDR, value=None, container=1, method="onFree", pc=0)
+    if with_lock:
+        b.release("B", "lk")
+    b.end("B")
+    return b.build()
+
+
+class TestDetection:
+    def test_concurrent_use_free_is_reported(self):
+        result = detect_use_free_races(two_event_trace())
+        assert result.report_count() == 1
+        report = result.reports[0]
+        assert report.key.use_method == "onUse"
+        assert report.key.free_method == "onFree"
+        assert report.key.field == "ptr"
+
+    def test_ordered_pair_is_not_reported(self):
+        result = detect_use_free_races(two_event_trace(ordered=True))
+        assert result.report_count() == 0
+        assert result.filtered_reports == []  # not even a candidate
+
+    def test_same_task_pair_is_never_a_race(self):
+        b = TraceBuilder()
+        b.thread("t")
+        b.begin("t")
+        b.ptr_read("t", ADDR, object_id=9, method="m", pc=0)
+        b.deref("t", object_id=9, method="m", pc=1)
+        b.ptr_write("t", ADDR, value=None, method="m", pc=2)
+        b.end("t")
+        result = detect_use_free_races(b.build())
+        assert result.report_count() == 0
+
+    def test_guarded_use_filtered_by_if_guard(self):
+        result = detect_use_free_races(two_event_trace(with_guard=True))
+        assert result.report_count() == 0
+        assert len(result.filtered_reports) == 1
+        assert result.filtered_reports[0].witnesses[0].filtered_by == "if-guard"
+
+    def test_if_guard_can_be_disabled(self):
+        result = detect_use_free_races(
+            two_event_trace(with_guard=True), DetectorOptions(if_guard=False)
+        )
+        assert result.report_count() == 1
+
+    def test_common_lock_suppresses_the_pair(self):
+        result = detect_use_free_races(two_event_trace(with_lock=True))
+        assert result.report_count() == 0
+        assert result.filtered_reports == []  # lockset rejects it outright
+
+    def test_lockset_filter_can_be_disabled(self):
+        result = detect_use_free_races(
+            two_event_trace(with_lock=True), DetectorOptions(lockset_filter=False)
+        )
+        assert result.report_count() == 1
+
+    def test_heuristics_do_not_apply_across_threads(self):
+        """A guarded use still races a free in a regular thread: the
+        free can interleave between the null check and the dereference."""
+        b = TraceBuilder()
+        b.looper("L")
+        b.thread("T")
+        b.thread("F")
+        b.event("A", looper="L")
+        b.begin("T"); b.send("T", "A"); b.end("T")
+        b.begin("A")
+        b.ptr_read("A", ADDR, object_id=9, method="onUse", pc=0)
+        b.branch("A", BranchKind.IF_EQZ, pc=1, target=3, object_id=9, method="onUse")
+        b.deref("A", object_id=9, method="onUse", pc=2)
+        b.end("A")
+        b.begin("F")
+        b.ptr_write("F", ADDR, value=None, container=1, method="freeThread", pc=0)
+        b.end("F")
+        result = detect_use_free_races(b.build())
+        assert result.report_count() == 1
+
+    def test_dynamic_witnesses_deduplicate_into_one_report(self):
+        b = TraceBuilder()
+        b.looper("L")
+        b.thread("T1")
+        b.thread("T2")
+        for name in ("A1", "A2", "B1"):
+            b.event(name, looper="L")
+        b.begin("T1"); b.send("T1", "A1"); b.send("T1", "A2", delay=5); b.end("T1")
+        b.begin("T2"); b.send("T2", "B1"); b.end("T2")
+        for use_event in ("A1", "A2"):
+            b.begin(use_event)
+            b.ptr_read(use_event, ADDR, object_id=9, method="onUse", pc=0)
+            b.deref(use_event, object_id=9, method="onUse", pc=1)
+            b.end(use_event)
+        b.begin("B1")
+        b.ptr_write("B1", ADDR, value=None, method="onFree", pc=0)
+        b.end("B1")
+        result = detect_use_free_races(b.build())
+        assert result.report_count() == 1
+        assert result.reports[0].dynamic_count == 2
+
+
+class TestClassification:
+    def test_same_looper_events_classified_intra_thread(self):
+        result = detect_use_free_races(two_event_trace())
+        assert result.reports[0].race_class is RaceClass.INTRA_THREAD
+
+    def test_unsynchronized_thread_pair_classified_conventional(self):
+        b = TraceBuilder()
+        b.looper("L")
+        b.thread("T")
+        b.thread("U")
+        b.event("A", looper="L")
+        b.begin("T"); b.send("T", "A"); b.end("T")
+        b.begin("U")
+        b.ptr_read("U", ADDR, object_id=9, method="worker", pc=0)
+        b.deref("U", object_id=9, method="worker", pc=1)
+        b.end("U")
+        b.begin("A")
+        b.ptr_write("A", ADDR, value=None, method="onFree", pc=0)
+        b.end("A")
+        result = detect_use_free_races(b.build())
+        assert result.reports[0].race_class is RaceClass.CONVENTIONAL
+
+    def test_thread_ordered_only_conventionally_classified_inter_thread(self):
+        """Use in an earlier event; free in a thread woken by a later
+        event of the same looper — column (b)."""
+        b = TraceBuilder()
+        b.looper("L")
+        b.thread("P")
+        b.thread("Q")
+        b.thread("F")
+        b.event("E_use", looper="L")
+        b.event("E_trig", looper="L")
+        b.begin("P"); b.send("P", "E_use"); b.end("P")
+        b.begin("Q"); b.send("Q", "E_trig"); b.end("Q")
+        b.begin("F")
+        b.begin("E_use")
+        b.ptr_read("E_use", ADDR, object_id=9, method="onUse", pc=0)
+        b.deref("E_use", object_id=9, method="onUse", pc=1)
+        b.end("E_use")
+        ticket = b.next_ticket()
+        b.begin("E_trig")
+        b.notify("E_trig", "mon", ticket=ticket)
+        b.end("E_trig")
+        b.wait("F", "mon", ticket=ticket)
+        b.ptr_write("F", ADDR, value=None, method="freer", pc=0)
+        b.end("F")
+        result = detect_use_free_races(b.build())
+        (report,) = result.reports
+        assert report.race_class is RaceClass.INTER_THREAD
+
+
+class TestDetectorPlumbing:
+    def test_hb_is_computed_lazily_and_cached(self):
+        detector = UseFreeDetector(two_event_trace())
+        assert detector.hb is detector.hb
+
+    def test_result_find_by_field(self):
+        result = detect_use_free_races(two_event_trace())
+        assert len(result.find("ptr")) == 1
+        assert result.find("other") == []
+
+    def test_dynamic_candidates_counted(self):
+        result = detect_use_free_races(two_event_trace())
+        assert result.dynamic_candidates == 1

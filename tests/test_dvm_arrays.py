@@ -1,0 +1,201 @@
+"""Tests for array instructions (a-get/a-put and their object forms)."""
+
+import pytest
+
+from repro.detect import detect_use_free_races
+from repro.dvm import (
+    CollectingSink,
+    DvmError,
+    DvmNullPointerError,
+    Heap,
+    Interpreter,
+    MethodBuilder,
+    Program,
+)
+from repro.dvm.disassembler import disassemble_instruction
+from repro.dvm.heap import HeapArray
+from repro.dvm.instructions import AGetObject, APutObject, NewArray
+
+
+def make_interp(*methods):
+    program = Program()
+    for m in methods:
+        program.add_method(m)
+    heap = Heap()
+    sink = CollectingSink()
+    return Interpreter(program, heap, sink), heap, sink
+
+
+class TestHeapArrays:
+    def test_new_array_initialized_to_null(self):
+        heap = Heap()
+        arr = heap.new_array(3)
+        assert arr.length == 3
+        assert all(arr.fields[i] is None for i in range(3))
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            Heap().new_array(-1)
+
+    def test_arrays_share_the_object_id_space(self):
+        heap = Heap()
+        obj = heap.new("C")
+        arr = heap.new_array(1)
+        assert arr.object_id == obj.object_id + 1
+        assert isinstance(heap.get(arr.object_id), HeapArray)
+
+
+class TestArrayInstructions:
+    def test_scalar_round_trip(self):
+        m = (
+            MethodBuilder("m")
+            .const(0, 4)
+            .new_array(1, 0)        # v1 = new int[4]
+            .const(2, 2)            # index
+            .const(3, 99)
+            .aput(3, 1, 2)
+            .aget(4, 1, 2)
+            .return_value(4)
+            .build()
+        )
+        interp, _, sink = make_interp(m)
+        assert interp.invoke("m") == 99
+        assert len(sink.of_kind("read")) == 1
+        assert len(sink.of_kind("write")) == 1
+
+    def test_object_slot_write_and_read_logged(self):
+        m = (
+            MethodBuilder("m")
+            .const(0, 2)
+            .new_array(1, 0)
+            .const(2, 0)
+            .new_instance(3, "Item")
+            .aput_object(3, 1, 2)
+            .aget_object(4, 1, 2)
+            .return_value(4)
+            .build()
+        )
+        interp, heap, sink = make_interp(m)
+        item = interp.invoke("m")
+        assert item.cls == "Item"
+        (write,) = sink.of_kind("ptr_write")
+        (read,) = sink.of_kind("ptr_read")
+        assert write[1] == read[1]  # same slot address
+        assert write[1][2] == 0  # index 0
+
+    def test_null_store_is_a_free(self):
+        m = (
+            MethodBuilder("m")
+            .const(0, 1)
+            .new_array(1, 0)
+            .const(2, 0)
+            .const_null(3)
+            .aput_object(3, 1, 2)
+            .return_void()
+            .build()
+        )
+        interp, _, sink = make_interp(m)
+        interp.invoke("m")
+        (write,) = sink.of_kind("ptr_write")
+        assert write[2] is None  # free
+
+    def test_out_of_bounds_raises(self):
+        m = (
+            MethodBuilder("m")
+            .const(0, 1)
+            .new_array(1, 0)
+            .const(2, 5)
+            .aget(3, 1, 2)
+            .return_void()
+            .build()
+        )
+        interp, _, _ = make_interp(m)
+        with pytest.raises(DvmError, match="out of bounds"):
+            interp.invoke("m")
+
+    def test_null_array_raises_npe(self):
+        m = (
+            MethodBuilder("m")
+            .const_null(1)
+            .const(2, 0)
+            .aget(3, 1, 2)
+            .return_void()
+            .build()
+        )
+        interp, _, _ = make_interp(m)
+        with pytest.raises(DvmNullPointerError):
+            interp.invoke("m")
+
+    def test_array_access_on_plain_object_rejected(self):
+        m = (
+            MethodBuilder("m")
+            .new_instance(1, "C")
+            .const(2, 0)
+            .aget(3, 1, 2)
+            .return_void()
+            .build()
+        )
+        interp, _, _ = make_interp(m)
+        with pytest.raises(DvmError, match="non-array"):
+            interp.invoke("m")
+
+    def test_disassembly(self):
+        assert disassemble_instruction(NewArray(1, 0)) == "new-array v1, v0"
+        assert disassemble_instruction(AGetObject(2, 1, 0)) == "aget-object v2, v1, v0"
+        assert disassemble_instruction(APutObject(2, 1, 0)) == "aput-object v2, v1, v0"
+
+
+class TestArraySlotRaces:
+    def test_use_free_race_on_an_array_slot(self):
+        """The detector treats array slots like any other pointer slot
+        (the paper's a-put-object free)."""
+        from repro.runtime import AndroidSystem, ExternalSource
+
+        system = AndroidSystem(seed=4)
+        app = system.process("app")
+        main = app.looper("main")
+
+        use = (
+            MethodBuilder("Cache.lookup", params=1)
+            .const(1, 0)
+            .aget_object(2, 0, 1)           # the pointer read
+            .invoke("Entry.render", receiver=2)
+            .return_void()
+            .build()
+        )
+        free = (
+            MethodBuilder("Cache.evict", params=1)
+            .const(1, 0)
+            .const_null(2)
+            .aput_object(2, 0, 1)           # the free
+            .return_void()
+            .build()
+        )
+        app.program.add_method(use)
+        app.program.add_method(free)
+        app.program.add_intrinsic("Entry.render", lambda args: None)
+        cache = app.heap.new_array(2)
+        cache.fields[0] = app.heap.new("Entry")
+
+        def use_event(ctx):
+            ctx.call_method("Cache.lookup", [cache])
+
+        def free_event(ctx):
+            ctx.call_method("Cache.evict", [cache])
+
+        def poster(ctx):
+            yield from ctx.sleep(10)
+            ctx.post(main, use_event, label="lookupEvent")
+
+        app.thread("poster", poster)
+        src = ExternalSource("gc")
+        src.at(40, main, free_event, "evictEvent")
+        src.attach(system, app)
+        system.run(max_ms=1000)
+
+        result = detect_use_free_races(system.trace())
+        assert result.report_count() == 1
+        key = result.reports[0].key
+        assert key.use_method == "Cache.lookup"
+        assert key.free_method == "Cache.evict"
+        assert key.field == "0"  # slot index

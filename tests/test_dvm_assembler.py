@@ -1,0 +1,115 @@
+"""Unit tests for the method builder / assembler."""
+
+import pytest
+
+from repro.dvm import (
+    AssemblyError,
+    Goto,
+    IfEqz,
+    Method,
+    MethodBuilder,
+    Program,
+)
+
+
+class TestLabels:
+    def test_forward_label_resolution(self):
+        m = (
+            MethodBuilder("m")
+            .goto("end")
+            .const(0, 1)
+            .label("end")
+            .return_void()
+            .build()
+        )
+        assert isinstance(m.code[0], Goto)
+        assert m.code[0].target == 2
+
+    def test_backward_label_resolution(self):
+        m = (
+            MethodBuilder("m")
+            .label("head")
+            .const(0, 1)
+            .if_eqz(0, "head")
+            .return_void()
+            .build()
+        )
+        assert isinstance(m.code[1], IfEqz)
+        assert m.code[1].target == 0
+
+    def test_unresolved_label_raises(self):
+        b = MethodBuilder("m").goto("missing")
+        with pytest.raises(AssemblyError, match="unresolved label"):
+            b.build()
+
+    def test_duplicate_label_raises(self):
+        b = MethodBuilder("m").label("x").const(0, 1)
+        with pytest.raises(AssemblyError, match="duplicate label"):
+            b.label("x")
+
+    def test_numeric_targets_pass_through(self):
+        m = MethodBuilder("m").goto(1).return_void().build()
+        assert m.code[0].target == 1
+
+    def test_catch_label_resolution(self):
+        b = MethodBuilder("m")
+        b.const(0, 1)
+        b.return_void()
+        b.label("handler")
+        b.return_void()
+        b.catch_npe("handler")
+        m = b.build()
+        assert m.catch_npe_target == 2
+
+    def test_unresolved_catch_label_raises(self):
+        b = MethodBuilder("m").const(0, 1).catch_npe("nowhere")
+        with pytest.raises(AssemblyError, match="unresolved catch"):
+            b.build()
+
+
+class TestMethodAndProgram:
+    def test_empty_method_rejected(self):
+        with pytest.raises(ValueError, match="empty code"):
+            Method(name="m", code=[])
+
+    def test_len_is_code_length(self):
+        m = MethodBuilder("m").nop().nop().return_void().build()
+        assert len(m) == 3
+
+    def test_duplicate_method_rejected(self):
+        p = Program()
+        p.add_method(MethodBuilder("m").return_void().build())
+        with pytest.raises(ValueError, match="duplicate"):
+            p.add_method(MethodBuilder("m").return_void().build())
+
+    def test_intrinsic_and_method_namespaces_shared(self):
+        p = Program()
+        p.add_intrinsic("f", lambda args: None)
+        with pytest.raises(ValueError, match="duplicate"):
+            p.add_method(MethodBuilder("f").return_void().build())
+
+    def test_has_and_lookup(self):
+        p = Program()
+        p.add_method(MethodBuilder("m").return_void().build())
+        p.add_intrinsic("native", lambda args: 1)
+        assert p.has("m") and p.has("native")
+        assert not p.has("ghost")
+        assert p.method("ghost") is None
+        assert p.intrinsic("native")([]) == 1
+
+    def test_method_names_sorted(self):
+        p = Program()
+        p.add_method(MethodBuilder("b").return_void().build())
+        p.add_method(MethodBuilder("a").return_void().build())
+        assert p.method_names() == ["a", "b"]
+
+    def test_builder_is_chainable(self):
+        m = (
+            MethodBuilder("m", params=1)
+            .const(1, 2)
+            .add(2, 0, 1)
+            .return_value(2)
+            .build()
+        )
+        assert m.param_count == 1
+        assert len(m.code) == 3

@@ -1,0 +1,102 @@
+"""Tests for the mini-DVM disassembler."""
+
+import pytest
+
+from repro.dvm import (
+    MethodBuilder,
+    disassemble,
+    disassemble_instruction,
+)
+from repro.dvm.instructions import (
+    BinOp,
+    Const,
+    ConstNull,
+    Goto,
+    IfEq,
+    IfEqz,
+    IfLt,
+    IfNez,
+    IGet,
+    IGetObject,
+    Invoke,
+    IPut,
+    IPutObject,
+    Move,
+    NewInstance,
+    Nop,
+    Return,
+    SGet,
+    SGetObject,
+    SPut,
+    SPutObject,
+)
+
+
+@pytest.mark.parametrize(
+    "instr,expected",
+    [
+        (Const(0, 7), "const v0, 7"),
+        (ConstNull(1), "const v1, null"),
+        (Move(0, 1), "move v0, v1"),
+        (NewInstance(0, "Track"), "new-instance v0, Track"),
+        (IGet(0, 1, "count"), "iget v0, v1, count"),
+        (IPut(0, 1, "count"), "iput v0, v1, count"),
+        (IGetObject(0, 1, "p"), "iget-object v0, v1, p"),
+        (IPutObject(0, 1, "p"), "iput-object v0, v1, p"),
+        (SGet(0, "C", "f"), "sget v0, C.f"),
+        (SPut(0, "C", "f"), "sput v0, C.f"),
+        (SGetObject(0, "C", "f"), "sget-object v0, C.f"),
+        (SPutObject(0, "C", "f"), "sput-object v0, C.f"),
+        (Return(None), "return-void"),
+        (Return(2), "return v2"),
+        (Goto(4), "goto :4"),
+        (IfEqz(0, 9), "if-eqz v0, :9"),
+        (IfNez(0, 9), "if-nez v0, :9"),
+        (IfEq(0, 1, 9), "if-eq v0, v1, :9"),
+        (IfLt(0, 1, 9), "if-lt v0, v1, :9"),
+        (BinOp("+", 2, 0, 1), "add-int v2, v0, v1"),
+        (Nop(), "nop"),
+    ],
+)
+def test_instruction_mnemonics(instr, expected):
+    assert disassemble_instruction(instr) == expected
+
+
+class TestInvokeForms:
+    def test_virtual_invoke_shows_receiver(self):
+        text = disassemble_instruction(Invoke(method="run", receiver=1))
+        assert text == "invoke-virtual {v1} run"
+
+    def test_static_invoke_with_args_and_result(self):
+        text = disassemble_instruction(Invoke(method="f", args=(0, 1), dst=2))
+        assert text == "invoke-static {v0, v1} f -> v2"
+
+
+class TestMethodListing:
+    def test_listing_has_header_pcs_and_catch_annotation(self):
+        b = MethodBuilder("ToDoWidget.updateNote", params=1)
+        b.iget_object(1, 0, "db")
+        b.invoke("update", receiver=1)
+        b.label("done")
+        b.return_void()
+        b.catch_npe("done")
+        text = disassemble(b.build())
+        assert ".method ToDoWidget.updateNote (params=1)" in text
+        assert "0: iget-object v1, v0, db" in text
+        assert "catch-NPE handler" in text
+        assert text.endswith(".end method")
+
+    def test_every_builder_instruction_disassembles(self):
+        b = MethodBuilder("all", params=2)
+        b.const(2, 1).const_null(3).move(4, 2).new_instance(5, "X")
+        b.iget(6, 5, "f").iput(6, 5, "f")
+        b.iget_object(7, 5, "p").iput_object(3, 5, "p")
+        b.sget(6, "C", "s").sput(6, "C", "s")
+        b.sget_object(7, "C", "sp").sput_object(3, "C", "sp")
+        b.add(6, 2, 2).sub(6, 6, 2).binop("*", 6, 6, 2)
+        b.if_lt(6, 2, "end").if_eqz(3, "end").if_nez(5, "end").if_eq(5, 5, "end")
+        b.goto("end").nop()
+        b.label("end")
+        b.return_void()
+        text = disassemble(b.build())
+        assert len(text.splitlines()) == 2 + len(b.build().code)

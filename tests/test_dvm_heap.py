@@ -1,0 +1,78 @@
+"""Unit tests for the simulated heap."""
+
+import pytest
+
+from repro.dvm import Heap, HeapObject, is_reference, object_id_of
+
+
+class TestHeap:
+    def test_object_ids_are_unique_and_increasing(self):
+        heap = Heap()
+        ids = [heap.new("C").object_id for _ in range(10)]
+        assert len(set(ids)) == 10
+        assert ids == sorted(ids)
+
+    def test_get_returns_the_allocated_object(self):
+        heap = Heap()
+        obj = heap.new("Track")
+        assert heap.get(obj.object_id) is obj
+
+    def test_object_count(self):
+        heap = Heap()
+        for _ in range(5):
+            heap.new("X")
+        assert heap.object_count == 5
+
+    def test_fields_start_empty(self):
+        assert Heap().new("C").fields == {}
+
+    def test_statics_default_to_none(self):
+        heap = Heap()
+        assert heap.get_static("Cls", "field") is None
+
+    def test_statics_round_trip(self):
+        heap = Heap()
+        obj = heap.new("C")
+        heap.put_static("Cls", "instance", obj)
+        assert heap.get_static("Cls", "instance") is obj
+
+    def test_field_address_identifies_container_and_field(self):
+        heap = Heap()
+        obj = heap.new("C")
+        assert Heap.field_address(obj, "p") == ("obj", obj.object_id, "p")
+
+    def test_static_address(self):
+        assert Heap.static_address("Cls", "p") == ("static", "Cls", "p")
+
+    def test_heaps_are_independent(self):
+        h1, h2 = Heap(), Heap()
+        h1.new("A")
+        assert h2.object_count == 0
+
+
+class TestReferenceHelpers:
+    def test_object_id_of_null_is_none(self):
+        assert object_id_of(None) is None
+
+    def test_object_id_of_object(self):
+        obj = Heap().new("C")
+        assert object_id_of(obj) == obj.object_id
+
+    def test_object_id_of_scalar_raises(self):
+        with pytest.raises(TypeError):
+            object_id_of(42)
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(None, True), (3, False), ("s", False)],
+    )
+    def test_is_reference_scalars(self, value, expected):
+        assert is_reference(value) is expected
+
+    def test_is_reference_object(self):
+        assert is_reference(Heap().new("C"))
+
+    def test_repr_mentions_class_and_id(self):
+        obj = Heap().new("Track")
+        assert "Track" in repr(obj)
+        assert str(obj.object_id) in repr(obj)

@@ -1,0 +1,450 @@
+"""Unit tests for the instrumented mini-DVM interpreter."""
+
+import pytest
+
+from repro.dvm import (
+    CollectingSink,
+    DvmError,
+    DvmNullPointerError,
+    DvmStepLimitError,
+    Heap,
+    Interpreter,
+    MethodBuilder,
+    Program,
+)
+from repro.trace import BranchKind
+
+
+def make_interp(*methods, intrinsics=None, step_limit=10_000):
+    program = Program()
+    for m in methods:
+        program.add_method(m)
+    for name, fn in (intrinsics or {}).items():
+        program.add_intrinsic(name, fn)
+    heap = Heap()
+    sink = CollectingSink()
+    return Interpreter(program, heap, sink, step_limit=step_limit), heap, sink
+
+
+class TestDataMovement:
+    def test_const_and_return(self):
+        m = MethodBuilder("m").const(0, 42).return_value(0).build()
+        interp, _, _ = make_interp(m)
+        assert interp.invoke("m") == 42
+
+    def test_const_null(self):
+        m = MethodBuilder("m").const_null(0).return_value(0).build()
+        interp, _, _ = make_interp(m)
+        assert interp.invoke("m") is None
+
+    def test_move(self):
+        m = MethodBuilder("m").const(0, 7).move(1, 0).return_value(1).build()
+        interp, _, _ = make_interp(m)
+        assert interp.invoke("m") == 7
+
+    def test_new_instance_allocates(self):
+        m = MethodBuilder("m").new_instance(0, "Track").return_value(0).build()
+        interp, heap, _ = make_interp(m)
+        obj = interp.invoke("m")
+        assert obj.cls == "Track"
+        assert heap.object_count == 1
+
+    def test_fall_off_end_returns_none(self):
+        m = MethodBuilder("m").const(0, 1).build()
+        interp, _, _ = make_interp(m)
+        assert interp.invoke("m") is None
+
+
+class TestArithmeticAndControl:
+    def test_binops(self):
+        m = (
+            MethodBuilder("m")
+            .const(0, 10).const(1, 3)
+            .add(2, 0, 1).sub(3, 2, 1).binop("*", 4, 3, 1)
+            .return_value(4)
+            .build()
+        )
+        interp, _, _ = make_interp(m)
+        assert interp.invoke("m") == 30  # ((10+3)-3)*3
+
+    def test_goto_skips_code(self):
+        m = (
+            MethodBuilder("m")
+            .const(0, 1)
+            .goto("end")
+            .const(0, 2)
+            .label("end")
+            .return_value(0)
+            .build()
+        )
+        interp, _, _ = make_interp(m)
+        assert interp.invoke("m") == 1
+
+    def test_loop_with_if_lt(self):
+        # sum 0..4 via a backward branch
+        m = (
+            MethodBuilder("m")
+            .const(0, 0)       # i
+            .const(1, 0)       # acc
+            .const(2, 5)       # bound
+            .const(3, 1)       # one
+            .label("head")
+            .add(1, 1, 0)
+            .add(0, 0, 3)
+            .if_lt(0, 2, "head")
+            .return_value(1)
+            .build()
+        )
+        interp, _, _ = make_interp(m)
+        assert interp.invoke("m") == 10
+
+    def test_step_limit_stops_infinite_loop(self):
+        m = MethodBuilder("m").label("spin").goto("spin").build()
+        interp, _, _ = make_interp(m, step_limit=100)
+        with pytest.raises(DvmStepLimitError):
+            interp.invoke("m")
+
+    def test_if_eqz_on_int_not_logged(self):
+        m = (
+            MethodBuilder("m")
+            .const(0, 0)
+            .if_eqz(0, "skip")
+            .label("skip")
+            .return_void()
+            .build()
+        )
+        interp, _, sink = make_interp(m)
+        interp.invoke("m")
+        assert sink.of_kind("branch") == []
+
+
+class TestPointerInstrumentation:
+    def test_iget_object_logs_ptr_read_and_container_deref(self):
+        m = (
+            MethodBuilder("m", params=1)
+            .iget_object(1, 0, "p")
+            .return_value(1)
+            .build()
+        )
+        interp, heap, sink = make_interp(m)
+        holder = heap.new("Holder")
+        target = heap.new("Target")
+        holder.fields["p"] = target
+        assert interp.invoke("m", [holder]) is target
+        reads = sink.of_kind("ptr_read")
+        assert reads == [
+            ("ptr_read", ("obj", holder.object_id, "p"), target.object_id, "m", 0)
+        ]
+        derefs = sink.of_kind("deref")
+        assert derefs == [("deref", holder.object_id, "m", 0)]
+
+    def test_iput_object_null_is_a_free(self):
+        m = (
+            MethodBuilder("m", params=1)
+            .const_null(1)
+            .iput_object(1, 0, "p")
+            .return_void()
+            .build()
+        )
+        interp, heap, sink = make_interp(m)
+        holder = heap.new("Holder")
+        holder.fields["p"] = heap.new("Target")
+        interp.invoke("m", [holder])
+        writes = sink.of_kind("ptr_write")
+        assert writes == [
+            ("ptr_write", ("obj", holder.object_id, "p"), None, holder.object_id, "m", 1)
+        ]
+        assert holder.fields["p"] is None
+
+    def test_iput_object_reference_is_an_allocation(self):
+        m = (
+            MethodBuilder("m", params=1)
+            .new_instance(1, "Fresh")
+            .iput_object(1, 0, "p")
+            .return_void()
+            .build()
+        )
+        interp, heap, sink = make_interp(m)
+        holder = heap.new("Holder")
+        interp.invoke("m", [holder])
+        (record,) = sink.of_kind("ptr_write")
+        assert record[2] is not None  # allocation, not free
+
+    def test_iput_object_of_scalar_rejected(self):
+        m = (
+            MethodBuilder("m", params=1)
+            .const(1, 5)
+            .iput_object(1, 0, "p")
+            .return_void()
+            .build()
+        )
+        interp, heap, _ = make_interp(m)
+        with pytest.raises(DvmError, match="non-reference"):
+            interp.invoke("m", [heap.new("Holder")])
+
+    def test_static_object_accessors(self):
+        put = (
+            MethodBuilder("put")
+            .new_instance(0, "Singleton")
+            .sput_object(0, "Cls", "instance")
+            .return_void()
+            .build()
+        )
+        get = (
+            MethodBuilder("get")
+            .sget_object(0, "Cls", "instance")
+            .return_value(0)
+            .build()
+        )
+        interp, heap, sink = make_interp(put, get)
+        interp.invoke("put")
+        obj = interp.invoke("get")
+        assert obj.cls == "Singleton"
+        (read,) = sink.of_kind("ptr_read")
+        assert read[1] == ("static", "Cls", "instance")
+
+    def test_scalar_iget_iput_log_read_write_records(self):
+        m = (
+            MethodBuilder("m", params=1)
+            .const(1, 99)
+            .iput(1, 0, "count")
+            .iget(2, 0, "count")
+            .return_value(2)
+            .build()
+        )
+        interp, heap, sink = make_interp(m)
+        holder = heap.new("Holder")
+        assert interp.invoke("m", [holder]) == 99
+        assert len(sink.of_kind("write")) == 1
+        assert len(sink.of_kind("read")) == 1
+        # scalar accesses still dereference the container
+        assert len(sink.of_kind("deref")) == 2
+
+
+class TestBranchLogging:
+    def _run_guarded(self, value_is_null):
+        m = (
+            MethodBuilder("m", params=1)
+            .iget_object(1, 0, "p")   # pc 0
+            .if_eqz(1, "skip")        # pc 1
+            .invoke("use", receiver=1)  # pc 2
+            .label("skip")
+            .return_void()            # pc 3
+            .build()
+        )
+        interp, heap, sink = make_interp(m, intrinsics={"use": lambda args: None})
+        holder = heap.new("Holder")
+        holder.fields["p"] = None if value_is_null else heap.new("Target")
+        interp.invoke("m", [holder])
+        return sink
+
+    def test_if_eqz_not_taken_is_logged(self):
+        sink = self._run_guarded(value_is_null=False)
+        (branch,) = sink.of_kind("branch")
+        assert branch[1] is BranchKind.IF_EQZ
+        assert branch[2] == 1 and branch[3] == 3  # pc, target
+
+    def test_if_eqz_taken_not_logged(self):
+        sink = self._run_guarded(value_is_null=True)
+        assert sink.of_kind("branch") == []
+
+    def test_if_nez_taken_is_logged(self):
+        m = (
+            MethodBuilder("m", params=1)
+            .if_nez(0, "use")
+            .return_void()
+            .label("use")
+            .return_void()
+            .build()
+        )
+        interp, heap, sink = make_interp(m)
+        interp.invoke("m", [heap.new("X")])
+        (branch,) = sink.of_kind("branch")
+        assert branch[1] is BranchKind.IF_NEZ
+
+    def test_if_nez_not_taken_not_logged(self):
+        m = (
+            MethodBuilder("m", params=1)
+            .if_nez(0, "use")
+            .return_void()
+            .label("use")
+            .return_void()
+            .build()
+        )
+        interp, _, sink = make_interp(m)
+        interp.invoke("m", [None])
+        assert sink.of_kind("branch") == []
+
+    def test_if_eq_taken_on_same_object_logged(self):
+        m = (
+            MethodBuilder("m", params=2)
+            .if_eq(0, 1, "same")
+            .return_void()
+            .label("same")
+            .return_void()
+            .build()
+        )
+        interp, heap, sink = make_interp(m)
+        obj = heap.new("X")
+        interp.invoke("m", [obj, obj])
+        (branch,) = sink.of_kind("branch")
+        assert branch[1] is BranchKind.IF_EQ
+
+    def test_if_eq_different_objects_not_logged(self):
+        m = (
+            MethodBuilder("m", params=2)
+            .if_eq(0, 1, "same")
+            .return_void()
+            .label("same")
+            .return_void()
+            .build()
+        )
+        interp, heap, sink = make_interp(m)
+        interp.invoke("m", [heap.new("X"), heap.new("X")])
+        assert sink.of_kind("branch") == []
+
+    def test_reference_identity_not_structural_equality(self):
+        """if-eq on references compares identity, like the VM does."""
+        m = (
+            MethodBuilder("m", params=2)
+            .if_eq(0, 1, "same")
+            .const(2, 0)
+            .return_value(2)
+            .label("same")
+            .const(2, 1)
+            .return_value(2)
+            .build()
+        )
+        interp, heap, _ = make_interp(m)
+        assert interp.invoke("m", [heap.new("X"), heap.new("X")]) == 0
+
+
+class TestInvocation:
+    def test_nested_calls_and_context_records(self):
+        inner = MethodBuilder("inner").const(0, 5).return_value(0).build()
+        outer = (
+            MethodBuilder("outer")
+            .invoke("inner", dst=0)
+            .return_value(0)
+            .build()
+        )
+        interp, _, sink = make_interp(inner, outer)
+        assert interp.invoke("outer") == 5
+        enters = sink.of_kind("method_enter")
+        exits = sink.of_kind("method_exit")
+        assert [e[1] for e in enters] == ["outer", "inner"]
+        assert [e[1] for e in exits] == ["inner", "outer"]
+
+    def test_virtual_invoke_derefs_receiver(self):
+        run = MethodBuilder("run", params=1).return_void().build()
+        m = (
+            MethodBuilder("m", params=1)
+            .invoke("run", receiver=0)
+            .return_void()
+            .build()
+        )
+        interp, heap, sink = make_interp(run, m)
+        obj = heap.new("Handler")
+        interp.invoke("m", [obj])
+        assert ("deref", obj.object_id, "m", 0) in sink.of_kind("deref")
+
+    def test_intrinsic_receives_arguments(self):
+        seen = []
+        m = (
+            MethodBuilder("m")
+            .const(0, 1).const(1, 2)
+            .invoke("native", args=[0, 1], dst=2)
+            .return_value(2)
+            .build()
+        )
+        interp, _, _ = make_interp(
+            m, intrinsics={"native": lambda args: args[0] + args[1]}
+        )
+        assert interp.invoke("m") == 3
+
+    def test_unresolved_method_raises(self):
+        m = MethodBuilder("m").invoke("ghost").return_void().build()
+        interp, _, _ = make_interp(m)
+        with pytest.raises(DvmError, match="unresolved"):
+            interp.invoke("m")
+
+    def test_wrong_arity_raises(self):
+        m = MethodBuilder("m", params=2).return_void().build()
+        interp, _, _ = make_interp(m)
+        with pytest.raises(DvmError, match="expects 2"):
+            interp.invoke("m", [1])
+
+
+class TestNullPointerExceptions:
+    def test_deref_of_null_raises(self):
+        m = (
+            MethodBuilder("m", params=1)
+            .iget_object(1, 0, "p")
+            .invoke("use", receiver=1)
+            .return_void()
+            .build()
+        )
+        interp, heap, sink = make_interp(m, intrinsics={"use": lambda a: None})
+        holder = heap.new("Holder")
+        holder.fields["p"] = None
+        with pytest.raises(DvmNullPointerError):
+            interp.invoke("m", [holder])
+        # exceptional exit is logged (Section 5.3 calling-context rules)
+        (exit_record,) = sink.of_kind("method_exit")
+        assert exit_record[3] is True
+
+    def test_catch_npe_transfers_control(self):
+        """The ToDoList 'fix': try { db.update() } catch (NPE) {}."""
+        m = (
+            MethodBuilder("m", params=1)
+            .iget_object(1, 0, "db")
+            .invoke("update", receiver=1)
+            .const(2, 0)
+            .return_value(2)
+            .label("caught")
+            .const(2, 1)
+            .return_value(2)
+            .build()
+        )
+        # rebuild with the catch label registered
+        mb = MethodBuilder("m", params=1)
+        mb.iget_object(1, 0, "db")
+        mb.invoke("update", receiver=1)
+        mb.const(2, 0)
+        mb.return_value(2)
+        mb.label("caught")
+        mb.const(2, 1)
+        mb.return_value(2)
+        mb.catch_npe("caught")
+        m = mb.build()
+        interp, heap, _ = make_interp(m, intrinsics={"update": lambda a: None})
+        holder = heap.new("Holder")
+        holder.fields["db"] = None
+        assert interp.invoke("m", [holder]) == 1  # landed in the catch block
+
+    def test_npe_propagates_through_uncaught_frames(self):
+        inner = (
+            MethodBuilder("inner", params=1)
+            .invoke("use", receiver=0)
+            .return_void()
+            .build()
+        )
+        outer = (
+            MethodBuilder("outer")
+            .const_null(0)
+            .invoke("inner", args=[0])
+            .return_void()
+            .build()
+        )
+        interp, _, sink = make_interp(inner, outer, intrinsics={"use": lambda a: None})
+        with pytest.raises(DvmNullPointerError):
+            interp.invoke("outer")
+        exits = sink.of_kind("method_exit")
+        assert all(e[3] is True for e in exits)  # both unwound exceptionally
+
+    def test_executed_counter_accumulates(self):
+        m = MethodBuilder("m").const(0, 1).return_value(0).build()
+        interp, _, _ = make_interp(m)
+        interp.invoke("m")
+        interp.invoke("m")
+        assert interp.executed == 4

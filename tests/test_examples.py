@@ -1,0 +1,57 @@
+"""Smoke tests: every example script runs to completion and prints the
+result it promises."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "use-free races reported: 1" in out
+        assert "concurrent under the event-driven causality model: True" in out
+
+    def test_mytracks_bug(self):
+        out = run_example("mytracks_bug.py")
+        assert "CAFA reports 1 use-free race(s) anyway" in out
+        assert "crashed with a NullPointerException" in out
+
+    def test_queue_rules_tour(self):
+        out = run_example("queue_rules_tour.py")
+        assert "Figure 4a (atomicity rule): A happens-before B" in out
+        assert "Figure 4d (queue rule 2): B happens-before A" in out
+        assert "Figure 4e (no guarantee): A and B are concurrent" in out
+
+    def test_commutative_events(self):
+        out = run_example("commutative_events.py")
+        assert "CAFA: 0 use-free races reported" in out
+        assert "if-guard" in out
+        assert "intra-event-allocation" in out
+
+    def test_async_task_leak(self):
+        out = run_example("async_task_leak.py")
+        assert "CAFA reports: 1 use-free race(s)" in out
+        assert "the FREE" in out
+
+    @pytest.mark.slow
+    def test_full_evaluation_small_scale(self):
+        out = run_example("full_evaluation.py", "0.02")
+        assert "Overall" in out
+        assert "115" in out
+        assert "precision: 60%" in out

@@ -1,0 +1,129 @@
+"""Tests for the Graphviz export + metamorphic detector properties."""
+
+import pytest
+
+from repro import build_happens_before
+from repro.detect import detect_use_free_races
+from repro.hb.dot import to_dot
+from repro.testing import TraceBuilder
+
+
+def build_sample():
+    b = TraceBuilder()
+    b.looper("L")
+    b.thread("T")
+    b.thread("U")
+    b.event("E", looper="L")
+    b.begin("T")
+    b.fork("T", "U")
+    b.send("T", "E")
+    b.end("T")
+    b.begin("U")
+    b.end("U")
+    b.begin("E")
+    b.end("E")
+    return b.build()
+
+
+class TestDotExport:
+    def test_collapsed_view_has_tasks_and_rules(self):
+        trace = build_sample()
+        hb = build_happens_before(trace)
+        dot = to_dot(trace, hb)
+        assert dot.startswith("digraph happens_before {")
+        assert '"T" -> "U" [label="fork"];' in dot
+        assert '"T" -> "E" [label="send"];' in dot
+        assert "program-order" not in dot  # intra-task noise hidden
+
+    def test_event_nodes_drawn_as_boxes(self):
+        trace = build_sample()
+        dot = to_dot(trace, build_happens_before(trace))
+        assert '"E" [shape=box];' in dot
+
+    def test_full_view_has_one_node_per_key_op(self):
+        trace = build_sample()
+        hb = build_happens_before(trace)
+        dot = to_dot(trace, hb, collapse_tasks=False)
+        assert dot.count("label=") >= hb.graph.node_count
+
+    def test_rule_filter(self):
+        trace = build_sample()
+        hb = build_happens_before(trace)
+        dot = to_dot(trace, hb, include_rules={"fork"})
+        assert "fork" in dot
+        assert "send" not in dot
+
+    def test_quoting_of_awkward_names(self):
+        b = TraceBuilder()
+        b.thread('we"ird')
+        b.thread("other")
+        b.begin('we"ird')
+        b.fork('we"ird', "other")
+        b.begin("other")
+        b.end("other")
+        b.end('we"ird')
+        trace = b.build()
+        dot = to_dot(trace, build_happens_before(trace))
+        assert '\\"' in dot
+
+
+class TestMetamorphicDetector:
+    """Adding unrelated work to a trace never removes a race report."""
+
+    def _race_builder(self):
+        b = TraceBuilder()
+        b.looper("L")
+        b.thread("T1")
+        b.thread("T2")
+        b.event("A", looper="L")
+        b.event("B", looper="L")
+        b.begin("T1"); b.send("T1", "A"); b.end("T1")
+        b.begin("T2"); b.send("T2", "B"); b.end("T2")
+        b.begin("A")
+        b.ptr_read("A", ("obj", 1, "p"), object_id=9, method="onUse", pc=0)
+        b.deref("A", object_id=9, method="onUse", pc=1)
+        b.end("A")
+        b.begin("B")
+        b.ptr_write("B", ("obj", 1, "p"), value=None, container=1, method="onFree", pc=0)
+        b.end("B")
+        return b
+
+    def test_appending_an_independent_thread_preserves_the_report(self):
+        base = self._race_builder().build()
+        base_count = detect_use_free_races(base).report_count()
+
+        extended_builder = self._race_builder()
+        extended_builder.thread("spectator")
+        extended_builder.begin("spectator")
+        extended_builder.read("spectator", "unrelated")
+        extended_builder.write("spectator", "unrelated")
+        extended_builder.end("spectator")
+        extended = extended_builder.build()
+        assert detect_use_free_races(extended).report_count() == base_count == 1
+
+    def test_appending_independent_events_preserves_the_report(self):
+        extended_builder = self._race_builder()
+        extended_builder.thread("T3")
+        extended_builder.event("C", looper="L")
+        extended_builder.begin("T3")
+        extended_builder.send("T3", "C")
+        extended_builder.end("T3")
+        extended_builder.begin("C")
+        extended_builder.read("C", "y")
+        extended_builder.end("C")
+        extended = extended_builder.build()
+        assert detect_use_free_races(extended).report_count() == 1
+
+    def test_extra_uses_of_other_fields_do_not_collide(self):
+        extended_builder = self._race_builder()
+        extended_builder.thread("T4")
+        extended_builder.begin("T4")
+        extended_builder.ptr_read(
+            "T4", ("obj", 2, "q"), object_id=5, method="elsewhere", pc=0
+        )
+        extended_builder.deref("T4", object_id=5, method="elsewhere", pc=1)
+        extended_builder.end("T4")
+        extended = extended_builder.build()
+        result = detect_use_free_races(extended)
+        assert result.report_count() == 1
+        assert result.reports[0].key.field == "p"

@@ -1,0 +1,227 @@
+"""The six scenarios of Figure 4, written down literally.
+
+Each test constructs the trace drawn in the figure and checks that the
+happens-before builder derives exactly the relations the paper states
+(the caption's "A -> B" / crossed-out arrows).
+"""
+
+import pytest
+
+from repro import CAFA_MODEL, ModelConfig, build_happens_before
+from repro.testing import TraceBuilder
+
+
+def fig4a_trace():
+    """Atomicity rule: fork(A,T) < perform(B,L) implies A < B."""
+    b = TraceBuilder()
+    b.looper("L")
+    b.thread("S1")
+    b.thread("S2")
+    b.thread("T")
+    b.event("A", looper="L")
+    b.event("B", looper="L")
+    # A and B are sent by two unordered root threads so no queue rule
+    # can order them; the ordering must come from atomicity alone.
+    b.begin("S1"); b.send("S1", "A"); b.end("S1")
+    b.begin("S2"); b.send("S2", "B"); b.end("S2")
+    b.begin("A"); b.fork("A", "T"); b.end("A")
+    b.begin("T"); b.register("T", "Lst"); b.end("T")
+    b.begin("B"); b.perform("B", "Lst"); b.end("B")
+    return b.build()
+
+
+class TestFigure4a:
+    def test_atomicity_derives_a_before_b(self):
+        hb = build_happens_before(fig4a_trace())
+        assert hb.event_ordered("A", "B")
+        assert not hb.event_ordered("B", "A")
+
+    def test_without_atomicity_rule_no_order(self):
+        hb = build_happens_before(fig4a_trace(), ModelConfig(atomicity=False))
+        assert not hb.event_ordered("A", "B")
+
+    def test_fixpoint_ran_at_least_two_rounds(self):
+        # The atomicity conclusion depends on the listener edge, which
+        # is a base edge, so one productive round plus one empty round.
+        hb = build_happens_before(fig4a_trace())
+        assert hb.iterations >= 2
+        assert hb.derived_edges >= 1
+
+
+class TestFigure4b:
+    """Queue rule 1: ordered sends with equal delays order the events."""
+
+    def _trace(self):
+        b = TraceBuilder()
+        b.looper("L")
+        b.thread("T")
+        b.event("A", looper="L")
+        b.event("B", looper="L")
+        b.begin("T"); b.send("T", "A", delay=1); b.send("T", "B", delay=1); b.end("T")
+        b.begin("A"); b.end("A")
+        b.begin("B"); b.end("B")
+        return b.build()
+
+    def test_a_before_b(self):
+        hb = build_happens_before(self._trace())
+        assert hb.event_ordered("A", "B")
+        assert not hb.event_ordered("B", "A")
+
+    def test_without_queue_rule_1_no_order(self):
+        hb = build_happens_before(self._trace(), ModelConfig(queue_rule_1=False))
+        assert not hb.event_ordered("A", "B")
+
+
+class TestFigure4c:
+    """A larger delay on the earlier send breaks the guarantee."""
+
+    def test_no_order_between_a_and_b(self):
+        b = TraceBuilder()
+        b.looper("L")
+        b.thread("T")
+        b.event("A", looper="L")
+        b.event("B", looper="L")
+        b.begin("T"); b.send("T", "A", delay=5); b.send("T", "B", delay=0); b.end("T")
+        b.begin("B"); b.end("B")  # B executes first owing to A's delay
+        b.begin("A"); b.end("A")
+        hb = build_happens_before(b.build())
+        assert not hb.event_ordered("A", "B")
+        assert not hb.event_ordered("B", "A")
+
+    def test_smaller_delay_first_still_orders(self):
+        """delay1 <= delay2 is the exact side condition."""
+        b = TraceBuilder()
+        b.looper("L")
+        b.thread("T")
+        b.event("A", looper="L")
+        b.event("B", looper="L")
+        b.begin("T"); b.send("T", "A", delay=2); b.send("T", "B", delay=5); b.end("T")
+        b.begin("A"); b.end("A")
+        b.begin("B"); b.end("B")
+        hb = build_happens_before(b.build())
+        assert hb.event_ordered("A", "B")
+
+
+def fig4d_trace():
+    """Queue rule 2 through the fixpoint: C sends A then sendAtFronts B."""
+    b = TraceBuilder()
+    b.looper("L")
+    b.thread("S")
+    b.event("C", looper="L")
+    b.event("A", looper="L")
+    b.event("B", looper="L")
+    b.begin("S"); b.send("S", "C"); b.end("S")
+    b.begin("C"); b.send("C", "A"); b.send_at_front("C", "B"); b.end("C")
+    b.begin("B"); b.end("B")
+    b.begin("A"); b.end("A")
+    return b.build()
+
+
+class TestFigure4d:
+    def test_b_before_a(self):
+        hb = build_happens_before(fig4d_trace())
+        assert hb.event_ordered("B", "A")
+        assert not hb.event_ordered("A", "B")
+
+    def test_needs_multiple_fixpoint_rounds(self):
+        # sendAtFront(B) < begin(A) itself requires the atomicity rule
+        # (end(C) < begin(A) via send(C,A) < begin(A)), so rule 2 can
+        # only fire on a later round.
+        hb = build_happens_before(fig4d_trace())
+        assert hb.iterations >= 3
+
+    def test_without_rule_2_no_order(self):
+        hb = build_happens_before(fig4d_trace(), ModelConfig(queue_rule_2=False))
+        assert not hb.event_ordered("B", "A")
+
+    def test_c_before_both(self):
+        hb = build_happens_before(fig4d_trace())
+        assert hb.event_ordered("C", "A")
+        assert hb.event_ordered("C", "B")
+
+
+class TestFigure4e:
+    """send then sendAtFront from a regular thread: both orders possible."""
+
+    def test_no_order(self):
+        b = TraceBuilder()
+        b.looper("L")
+        b.thread("T")
+        b.event("A", looper="L")
+        b.event("B", looper="L")
+        b.begin("T"); b.send("T", "A"); b.send_at_front("T", "B"); b.end("T")
+        b.begin("B"); b.end("B")
+        b.begin("A"); b.end("A")
+        hb = build_happens_before(b.build())
+        assert not hb.event_ordered("A", "B")
+        assert not hb.event_ordered("B", "A")
+
+
+class TestFigure4f:
+    """A sendAtFront from an unrelated event cannot be ordered with A."""
+
+    def test_no_order(self):
+        b = TraceBuilder()
+        b.looper("L")
+        b.thread("T")
+        b.thread("U")
+        b.event("E", looper="L")
+        b.event("A", looper="L")
+        b.event("B", looper="L")
+        b.begin("U"); b.send("U", "E"); b.end("U")
+        b.begin("T"); b.send("T", "A"); b.end("T")
+        b.begin("E"); b.send_at_front("E", "B"); b.end("E")
+        b.begin("B"); b.end("B")
+        b.begin("A"); b.end("A")
+        hb = build_happens_before(b.build())
+        assert not hb.event_ordered("A", "B")
+        assert not hb.event_ordered("B", "A")
+
+
+class TestQueueRule3:
+    """sendAtFront(e1) < send(e2) always orders e1 before e2."""
+
+    def _trace(self):
+        b = TraceBuilder()
+        b.looper("L")
+        b.thread("T")
+        b.event("A", looper="L")
+        b.event("B", looper="L")
+        b.begin("T"); b.send_at_front("T", "A"); b.send("T", "B", delay=3); b.end("T")
+        b.begin("A"); b.end("A")
+        b.begin("B"); b.end("B")
+        return b.build()
+
+    def test_order_derived(self):
+        hb = build_happens_before(self._trace())
+        assert hb.event_ordered("A", "B")
+
+    def test_disabled_rule_drops_order(self):
+        hb = build_happens_before(self._trace(), ModelConfig(queue_rule_3=False))
+        assert not hb.event_ordered("A", "B")
+
+
+class TestQueueRule4:
+    """Two sendAtFronts from one event: the later one runs first."""
+
+    def _trace(self):
+        b = TraceBuilder()
+        b.looper("L")
+        b.thread("S")
+        b.event("C", looper="L")
+        b.event("A", looper="L")
+        b.event("B", looper="L")
+        b.begin("S"); b.send("S", "C"); b.end("S")
+        b.begin("C"); b.send_at_front("C", "A"); b.send_at_front("C", "B"); b.end("C")
+        b.begin("B"); b.end("B")  # B was pushed in front of A
+        b.begin("A"); b.end("A")
+        return b.build()
+
+    def test_b_before_a(self):
+        hb = build_happens_before(self._trace())
+        assert hb.event_ordered("B", "A")
+        assert not hb.event_ordered("A", "B")
+
+    def test_disabled_rule_drops_order(self):
+        hb = build_happens_before(self._trace(), ModelConfig(queue_rule_4=False))
+        assert not hb.event_ordered("B", "A")

@@ -1,0 +1,116 @@
+"""Unit tests for the key-node graph and its reachability index."""
+
+import pytest
+
+from repro.hb import HBCycleError, KeyGraph
+
+
+def chain_graph(n):
+    g = KeyGraph()
+    nodes = [g.add_node(i) for i in range(n)]
+    for u, v in zip(nodes, nodes[1:]):
+        g.add_edge(u, v, "po")
+    return g, nodes
+
+
+class TestKeyGraph:
+    def test_add_node_is_idempotent(self):
+        g = KeyGraph()
+        assert g.add_node(7) == g.add_node(7)
+        assert g.node_count == 1
+
+    def test_node_op_mapping(self):
+        g = KeyGraph()
+        node = g.add_node(42)
+        assert g.op_of(node) == 42
+        assert g.node_of(42) == node
+        assert g.has_node(42) and not g.has_node(43)
+
+    def test_duplicate_edge_rejected_quietly(self):
+        g, nodes = chain_graph(2)
+        assert not g.add_edge(nodes[0], nodes[1], "again")
+        assert g.edge_count == 1
+
+    def test_edge_rule_recorded(self):
+        g, nodes = chain_graph(2)
+        assert g.edge_rule(nodes[0], nodes[1]) == "po"
+        assert g.edge_rule(nodes[1], nodes[0]) is None
+
+    def test_reachability_is_reflexive_transitive(self):
+        g, nodes = chain_graph(5)
+        assert g.reaches(nodes[0], nodes[0])
+        assert g.reaches(nodes[0], nodes[4])
+        assert not g.reaches(nodes[4], nodes[0])
+
+    def test_reach_set_bitset(self):
+        g, nodes = chain_graph(3)
+        bits = g.reach_set(nodes[0])
+        assert bits == 0b111
+
+    def test_diamond_reachability(self):
+        g = KeyGraph()
+        a, b, c, d = (g.add_node(i) for i in range(4))
+        g.add_edge(a, b, "x")
+        g.add_edge(a, c, "x")
+        g.add_edge(b, d, "x")
+        g.add_edge(c, d, "x")
+        assert g.reaches(a, d)
+        assert not g.reaches(b, c)
+        assert not g.reaches(c, b)
+
+    def test_closure_invalidated_by_new_edges(self):
+        g = KeyGraph()
+        a, b = g.add_node(0), g.add_node(1)
+        assert not g.reaches(a, b)
+        g.add_edge(a, b, "late")
+        assert g.reaches(a, b)
+
+    def test_cycle_detected_with_diagnostic(self):
+        g = KeyGraph()
+        a, b, c = (g.add_node(i) for i in range(3))
+        g.add_edge(a, b, "x")
+        g.add_edge(b, c, "x")
+        g.add_edge(c, a, "x")
+        with pytest.raises(HBCycleError) as excinfo:
+            g.reaches(a, b)
+        assert set(excinfo.value.cycle) <= {0, 1, 2}
+        assert len(excinfo.value.cycle) >= 3
+
+    def test_self_loop_is_a_cycle(self):
+        g = KeyGraph()
+        a = g.add_node(0)
+        g.add_edge(a, a, "x")
+        with pytest.raises(HBCycleError):
+            g.reaches(a, a)
+
+    def test_find_path_returns_shortest(self):
+        g = KeyGraph()
+        nodes = [g.add_node(i) for i in range(4)]
+        g.add_edge(nodes[0], nodes[1], "a")
+        g.add_edge(nodes[1], nodes[3], "b")
+        g.add_edge(nodes[0], nodes[2], "c")
+        g.add_edge(nodes[2], nodes[3], "d")
+        path = g.find_path(nodes[0], nodes[3])
+        assert path is not None
+        assert len(path) == 3
+
+    def test_find_path_none_when_unreachable(self):
+        g, nodes = chain_graph(2)
+        assert g.find_path(nodes[1], nodes[0]) is None
+
+    def test_find_path_trivial(self):
+        g = KeyGraph()
+        a = g.add_node(0)
+        assert g.find_path(a, a) == [a]
+
+    def test_edges_iterator(self):
+        g, nodes = chain_graph(3)
+        edges = list(g.edges())
+        assert len(edges) == 2
+        assert all(rule == "po" for _, _, rule in edges)
+
+    def test_large_chain_closure(self):
+        g, nodes = chain_graph(500)
+        assert g.reaches(nodes[0], nodes[499])
+        assert not g.reaches(nodes[499], nodes[0])
+        assert g.reach_set(nodes[0]).bit_count() == 500

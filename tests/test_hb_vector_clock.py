@@ -1,0 +1,169 @@
+"""Tests for vector clocks and the online VC analysis of Section 4.2."""
+
+import pytest
+
+from repro import CAFA_MODEL, build_happens_before
+from repro.hb import VectorClock, VectorClockAnalysis
+from repro.testing import TraceBuilder
+
+
+class TestVectorClock:
+    def test_fresh_clocks_are_equal(self):
+        assert VectorClock() == VectorClock()
+
+    def test_tick_advances_own_component(self):
+        vc = VectorClock()
+        vc.tick("t")
+        assert vc.get("t") == 1
+        vc.tick("t")
+        assert vc.get("t") == 2
+
+    def test_join_is_pointwise_max(self):
+        a = VectorClock({"t": 3, "u": 1})
+        b = VectorClock({"t": 1, "u": 5, "v": 2})
+        a.join(b)
+        assert (a.get("t"), a.get("u"), a.get("v")) == (3, 5, 2)
+
+    def test_happens_before_is_strict(self):
+        a = VectorClock({"t": 1})
+        b = VectorClock({"t": 2})
+        assert a.happens_before(b)
+        assert not b.happens_before(a)
+        assert not a.happens_before(a.copy())
+
+    def test_incomparable_clocks_are_concurrent(self):
+        a = VectorClock({"t": 1})
+        b = VectorClock({"u": 1})
+        assert a.concurrent_with(b)
+
+    def test_copy_is_independent(self):
+        a = VectorClock({"t": 1})
+        b = a.copy()
+        b.tick("t")
+        assert a.get("t") == 1
+
+    def test_zero_components_ignored_in_equality(self):
+        assert VectorClock({"t": 0}) == VectorClock()
+
+
+class TestVectorClockAnalysis:
+    def test_program_order_respected(self):
+        b = TraceBuilder()
+        b.thread("t")
+        b.begin("t")
+        i = b.read("t", "x")
+        j = b.write("t", "x")
+        b.end("t")
+        vc = VectorClockAnalysis(b.build())
+        assert vc.ordered(i, j)
+        assert not vc.ordered(j, i)
+
+    def test_fork_join_edges(self):
+        b = TraceBuilder()
+        b.thread("t")
+        b.thread("u")
+        b.begin("t")
+        f = b.fork("t", "u")
+        b.begin("u")
+        w = b.write("u", "x")
+        b.end("u")
+        j = b.join("t", "u")
+        r = b.read("t", "x")
+        b.end("t")
+        vc = VectorClockAnalysis(b.build())
+        assert vc.ordered(f, w)
+        assert vc.ordered(w, r)
+
+    def test_send_edge(self):
+        b = TraceBuilder()
+        b.looper("L")
+        b.thread("T")
+        b.event("E", looper="L")
+        b.begin("T")
+        s = b.send("T", "E")
+        b.end("T")
+        b.begin("E")
+        r = b.read("E", "x")
+        b.end("E")
+        vc = VectorClockAnalysis(b.build())
+        assert vc.ordered(s, r)
+
+    def test_agrees_with_graph_on_conventional_rules(self):
+        """On a trace with no atomicity/queue-rule structure the VC
+        ordering must coincide with the graph ordering."""
+        b = TraceBuilder()
+        b.thread("t")
+        b.thread("u")
+        b.begin("t")
+        b.write("t", "x")
+        b.fork("t", "u")
+        b.begin("u")
+        b.read("u", "x")
+        ticket = b.next_ticket()
+        b.notify("u", "m", ticket=ticket)
+        b.end("u")
+        b.wait("t", "m", ticket=ticket)
+        b.end("t")
+        trace = b.build()
+        hb = build_happens_before(trace, CAFA_MODEL)
+        vc = VectorClockAnalysis(trace)
+        n = len(trace)
+        for i in range(n):
+            for j in range(n):
+                assert vc.ordered(i, j) == hb.ordered(i, j), (i, j)
+
+    def test_underapproximates_on_atomicity_trace(self):
+        """The paper's point: the atomicity conclusion is invisible to
+        the online algorithm, and the VC order is a strict subset."""
+        b = TraceBuilder()
+        b.looper("L")
+        b.thread("S1")
+        b.thread("S2")
+        b.thread("T")
+        b.event("A", looper="L")
+        b.event("B", looper="L")
+        b.begin("S1"); b.send("S1", "A"); b.end("S1")
+        b.begin("S2"); b.send("S2", "B"); b.end("S2")
+        b.begin("A"); b.fork("A", "T"); b.end("A")
+        b.begin("T"); b.register("T", "Lst"); b.end("T")
+        b.begin("B"); b.perform("B", "Lst"); b.end("B")
+        trace = b.build()
+        hb = build_happens_before(trace, CAFA_MODEL)
+        vc = VectorClockAnalysis(trace)
+        n = len(trace)
+        vc_pairs = {(i, j) for i in range(n) for j in range(n) if vc.ordered(i, j)}
+        hb_pairs = {(i, j) for i in range(n) for j in range(n) if hb.ordered(i, j)}
+        assert vc_pairs < hb_pairs  # strict subset
+
+    def test_external_chain_applied(self):
+        b = TraceBuilder()
+        b.looper("L")
+        b.event("e1", looper="L", external=True)
+        b.event("e2", looper="L", external=True)
+        b.begin("e1")
+        i = b.read("e1", "x")
+        b.end("e1")
+        b.begin("e2")
+        j = b.write("e2", "x")
+        b.end("e2")
+        vc = VectorClockAnalysis(b.build())
+        assert vc.ordered(i, j)
+
+    def test_ipc_edges_applied(self):
+        b = TraceBuilder()
+        b.thread("a")
+        b.thread("b")
+        b.begin("a")
+        b.begin("b")
+        w = b.write("a", "x")
+        b.ipc_call("a", txn=1, service="s")
+        b.ipc_handle("b", txn=1, service="s")
+        r = b.read("b", "x")
+        b.ipc_reply("b", txn=1, service="s")
+        b.ipc_return("a", txn=1, service="s")
+        r2 = b.read("a", "y")
+        b.end("a")
+        b.end("b")
+        vc = VectorClockAnalysis(b.build())
+        assert vc.ordered(w, r)
+        assert vc.ordered(r, r2)

@@ -1,0 +1,139 @@
+"""Property-based tests of the detector + witness on random programs
+that really contain pointer uses, frees, allocations, and guards."""
+
+import random as pyrandom
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.witness import build_witness
+from repro.detect import DetectorOptions, UseFreeDetector
+from repro.runtime import AndroidSystem, ExternalSource
+
+action_st = st.sampled_from(
+    ["use", "guarded_use", "free", "alloc", "post_use", "post_free", "sleep"]
+)
+
+
+@st.composite
+def pointer_program_specs(draw):
+    n_threads = draw(st.integers(min_value=1, max_value=3))
+    threads = [
+        draw(st.lists(action_st, min_size=1, max_size=5)) for _ in range(n_threads)
+    ]
+    n_fields = draw(st.integers(min_value=1, max_value=2))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    return threads, n_fields, seed
+
+
+def run_pointer_program(spec):
+    threads, n_fields, seed = spec
+    system = AndroidSystem(seed=seed)
+    app = system.process("app")
+    main = app.looper("main")
+    rng = pyrandom.Random(seed)
+    holder = app.heap.new("Holder")
+    fields = [f"f{i}" for i in range(n_fields)]
+    for field in fields:
+        holder.fields[field] = app.heap.new("Target")
+
+    def field_for(i):
+        return fields[i % n_fields]
+
+    def make_use(field):
+        def handler(ctx):
+            ctx.use_field(holder, field)
+
+        return handler
+
+    def make_free(field):
+        def handler(ctx):
+            ctx.put_field(holder, field, None)
+
+        return handler
+
+    counter = [0]
+
+    def make_body(actions):
+        def body(ctx):
+            for action in actions:
+                counter[0] += 1
+                field = field_for(counter[0])
+                if action == "use":
+                    try:
+                        ctx.use_field(holder, field)
+                    except Exception:
+                        pass  # simulated NPE: the use did not execute
+                elif action == "guarded_use":
+                    ctx.guarded_use(holder, field)
+                elif action == "free":
+                    ctx.put_field(holder, field, None)
+                elif action == "alloc":
+                    ctx.put_field(holder, field, ctx.new_object("Fresh"))
+                elif action == "post_use":
+                    ctx.post(main, make_use(field), label=f"useEv{counter[0]}")
+                elif action == "post_free":
+                    ctx.post(main, make_free(field), label=f"freeEv{counter[0]}")
+                elif action == "sleep":
+                    yield from ctx.sleep(rng.randrange(1, 4))
+
+        return body
+
+    for t, actions in enumerate(threads):
+        app.thread(f"t{t}", make_body(actions))
+    source = ExternalSource("life")
+    source.at(50, main, make_free(fields[0]), "lifecycleFree")
+    source.attach(system, app)
+    system.run(max_ms=2000)
+    return system.trace()
+
+
+@settings(max_examples=30, deadline=None)
+@given(pointer_program_specs())
+def test_reported_races_have_concurrent_endpoints(spec):
+    trace = run_pointer_program(spec)
+    detector = UseFreeDetector(trace)
+    result = detector.detect()
+    for report in result.reports:
+        witness = report.witness()
+        assert detector.hb.concurrent(witness.use.read_index, witness.free.index)
+
+
+@settings(max_examples=30, deadline=None)
+@given(pointer_program_specs())
+def test_every_report_admits_a_violation_witness(spec):
+    trace = run_pointer_program(spec)
+    detector = UseFreeDetector(trace)
+    result = detector.detect()
+    for report in result.reports:
+        witness = build_witness(trace, detector.hb, report)
+        assert witness.free_position < witness.use_position
+        assert sorted(witness.order) == list(range(len(trace)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(pointer_program_specs())
+def test_filtered_and_reported_are_disjoint(spec):
+    trace = run_pointer_program(spec)
+    result = UseFreeDetector(trace).detect()
+    reported = {r.key for r in result.reports}
+    filtered = {r.key for r in result.filtered_reports}
+    assert not (reported & filtered)
+
+
+@settings(max_examples=30, deadline=None)
+@given(pointer_program_specs())
+def test_heuristics_only_remove_reports(spec):
+    trace = run_pointer_program(spec)
+    full = UseFreeDetector(trace).detect()
+    raw = UseFreeDetector(
+        trace, DetectorOptions(if_guard=False, intra_event_allocation=False)
+    ).detect()
+    assert {r.key for r in full.reports} <= {r.key for r in raw.reports}
+
+
+@settings(max_examples=20, deadline=None)
+@given(pointer_program_specs())
+def test_detection_is_deterministic(spec):
+    keys1 = {r.key for r in UseFreeDetector(run_pointer_program(spec)).detect().reports}
+    keys2 = {r.key for r in UseFreeDetector(run_pointer_program(spec)).detect().reports}
+    assert keys1 == keys2

@@ -1,0 +1,78 @@
+"""Monotonicity properties of the detector's option lattice.
+
+Weakening the model or disabling filters can only *add* reports:
+
+* disabling a pruning heuristic never removes a report;
+* disabling the lockset check never removes a report;
+* dropping happens-before rules (fewer orderings) never removes a
+  report.
+
+Checked across the application workloads and random seeds — violations
+would indicate a filter that is not a pure refinement.
+"""
+
+import pytest
+
+from repro.apps import ALL_APPS
+from repro.detect import DetectorOptions, UseFreeDetector
+from repro.hb import CAFA_MODEL, NO_QUEUE_MODEL, ModelConfig
+
+
+def keys_of(result):
+    return {r.key for r in result.reports}
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return {
+        app_cls.name: app_cls(scale=0.02, seed=3).run() for app_cls in ALL_APPS[:5]
+    }
+
+
+@pytest.mark.parametrize("app_name", [a.name for a in ALL_APPS[:5]])
+class TestMonotonicity:
+    def test_disabling_heuristics_only_adds_reports(self, app_name, runs):
+        trace = runs[app_name].trace
+        full = UseFreeDetector(trace).detect()
+        raw = UseFreeDetector(
+            trace, DetectorOptions(if_guard=False, intra_event_allocation=False)
+        ).detect()
+        assert keys_of(full) <= keys_of(raw)
+
+    def test_disabling_lockset_only_adds_reports(self, app_name, runs):
+        trace = runs[app_name].trace
+        full = UseFreeDetector(trace).detect()
+        no_lockset = UseFreeDetector(
+            trace, DetectorOptions(lockset_filter=False)
+        ).detect()
+        assert keys_of(full) <= keys_of(no_lockset)
+
+    def test_dropping_queue_rules_only_adds_reports(self, app_name, runs):
+        trace = runs[app_name].trace
+        full = UseFreeDetector(trace).detect()
+        no_queue = UseFreeDetector(
+            trace, DetectorOptions(model=NO_QUEUE_MODEL)
+        ).detect()
+        assert keys_of(full) <= keys_of(no_queue)
+
+    def test_dropping_all_base_rules_only_adds_reports(self, app_name, runs):
+        trace = runs[app_name].trace
+        full = UseFreeDetector(trace).detect()
+        bare = UseFreeDetector(
+            trace,
+            DetectorOptions(
+                model=ModelConfig(
+                    fork_join=False,
+                    signal_wait=False,
+                    listener=False,
+                    external_input=False,
+                    ipc=False,
+                    atomicity=False,
+                    queue_rule_1=False,
+                    queue_rule_2=False,
+                    queue_rule_3=False,
+                    queue_rule_4=False,
+                )
+            ),
+        ).detect()
+        assert keys_of(full) <= keys_of(bare)

@@ -1,0 +1,118 @@
+"""Differential testing: the optimized builder vs. the literal model.
+
+The optimized happens-before builder (key-node graph, bitset closure,
+masked rule application, chain seeding) must agree with the brute-force
+reference implementation of Section 3.3 on *every* ordering query, for
+every generated trace and for several model configurations.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import build_happens_before
+from repro.hb import CAFA_MODEL, CONVENTIONAL_MODEL, NO_QUEUE_MODEL, ModelConfig
+from repro.hb.reference import ReferenceHappensBefore
+from repro.testing import TraceBuilder
+
+from tests.test_property_runtime_hb import program_specs, run_program
+
+
+def assert_equivalent(trace, config):
+    fast = build_happens_before(trace, config)
+    slow = ReferenceHappensBefore(trace, config)
+    n = len(trace)
+    for i in range(n):
+        for j in range(n):
+            assert fast.ordered(i, j) == slow.ordered(i, j), (
+                i,
+                j,
+                trace[i],
+                trace[j],
+                config,
+            )
+
+
+@settings(max_examples=25, deadline=None)
+@given(program_specs())
+def test_builder_matches_reference_cafa_model(spec):
+    trace = run_program(spec)
+    if len(trace) > 120:  # keep the O(n^3) oracle tractable
+        trace.ops = trace.ops  # no truncation — skip instead
+        return
+    assert_equivalent(trace, CAFA_MODEL)
+
+
+@settings(max_examples=15, deadline=None)
+@given(program_specs())
+def test_builder_matches_reference_conventional_model(spec):
+    trace = run_program(spec)
+    if len(trace) > 120:
+        return
+    assert_equivalent(trace, CONVENTIONAL_MODEL)
+
+
+@settings(max_examples=15, deadline=None)
+@given(program_specs())
+def test_builder_matches_reference_no_queue_model(spec):
+    trace = run_program(spec)
+    if len(trace) > 120:
+        return
+    assert_equivalent(trace, NO_QUEUE_MODEL)
+
+
+class TestCuratedEquivalence:
+    """The Figure 4 traces, where the fixpoint does real work."""
+
+    def _fig4d(self):
+        b = TraceBuilder()
+        b.looper("L")
+        b.thread("S")
+        b.event("C", looper="L")
+        b.event("A", looper="L")
+        b.event("B", looper="L")
+        b.begin("S"); b.send("S", "C"); b.end("S")
+        b.begin("C"); b.send("C", "A"); b.send_at_front("C", "B"); b.end("C")
+        b.begin("B"); b.end("B")
+        b.begin("A"); b.end("A")
+        return b.build()
+
+    def test_fig4d_equivalence_all_models(self):
+        trace = self._fig4d()
+        for config in (CAFA_MODEL, CONVENTIONAL_MODEL, NO_QUEUE_MODEL):
+            assert_equivalent(trace, config)
+
+    def test_fig4a_equivalence(self):
+        b = TraceBuilder()
+        b.looper("L")
+        b.thread("S1"); b.thread("S2"); b.thread("T")
+        b.event("A", looper="L"); b.event("B", looper="L")
+        b.begin("S1"); b.send("S1", "A"); b.end("S1")
+        b.begin("S2"); b.send("S2", "B"); b.end("S2")
+        b.begin("A"); b.fork("A", "T"); b.end("A")
+        b.begin("T"); b.register("T", "Lst"); b.end("T")
+        b.begin("B"); b.perform("B", "Lst"); b.end("B")
+        assert_equivalent(b.build(), CAFA_MODEL)
+
+    def test_reference_agrees_on_fig4d_verdict(self):
+        slow = ReferenceHappensBefore(self._fig4d())
+        trace = self._fig4d()
+        end_b = max(i for i, op in enumerate(trace.ops) if op.task == "B")
+        begin_a = min(i for i, op in enumerate(trace.ops) if op.task == "A")
+        assert slow.ordered(end_b, begin_a)
+
+    def test_queue_rule_seeding_adds_nothing_extra(self):
+        """A long same-task send chain: the seeded consecutive edges
+        must yield exactly the reference orderings (no more, no less)."""
+        b = TraceBuilder()
+        b.looper("L")
+        b.thread("T")
+        names = [f"E{i}" for i in range(6)]
+        for name in names:
+            b.event(name, looper="L")
+        b.begin("T")
+        for name in names:
+            b.send("T", name, delay=2)
+        b.end("T")
+        for name in names:
+            b.begin(name)
+            b.end(name)
+        assert_equivalent(b.build(), CAFA_MODEL)

@@ -1,0 +1,191 @@
+"""Property-based tests: random simulated programs, global invariants.
+
+Random event-driven programs (threads posting events with random
+delays, sendAtFront, reads/writes, sleeps) are executed on the runtime;
+the resulting traces must satisfy the structural invariants and the
+happens-before relation must satisfy the properties the causality model
+promises — on *every* generated program, not just the curated ones.
+"""
+
+import random as pyrandom
+
+from hypothesis import given, settings, strategies as st
+
+from repro import CAFA_MODEL, CONVENTIONAL_MODEL, build_happens_before
+from repro.hb import VectorClockAnalysis
+from repro.runtime import AndroidSystem, ExternalSource
+from repro.trace import TaskKind
+
+
+# ---------------------------------------------------------------------------
+# random program generation
+# ---------------------------------------------------------------------------
+
+action_st = st.sampled_from(["read", "write", "post", "post_front", "sleep"])
+
+
+@st.composite
+def program_specs(draw):
+    n_threads = draw(st.integers(min_value=1, max_value=3))
+    threads = []
+    for _ in range(n_threads):
+        actions = draw(st.lists(action_st, min_size=1, max_size=6))
+        threads.append(actions)
+    n_external = draw(st.integers(min_value=0, max_value=3))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    return threads, n_external, seed
+
+
+def run_program(spec):
+    threads, n_external, seed = spec
+    system = AndroidSystem(seed=seed)
+    app = system.process("app")
+    main = app.looper("main")
+    rng = pyrandom.Random(seed)
+    variables = ["x", "y", "z"]
+
+    def make_handler(i):
+        var = variables[i % len(variables)]
+
+        def handler(ctx):
+            ctx.read(var)
+            ctx.write(var, i)
+
+        return handler
+
+    counter = [0]
+
+    def make_body(actions):
+        def body(ctx):
+            for action in actions:
+                counter[0] += 1
+                i = counter[0]
+                if action == "read":
+                    ctx.read(variables[i % 3])
+                elif action == "write":
+                    ctx.write(variables[i % 3], i)
+                elif action == "post":
+                    ctx.post(
+                        main, make_handler(i), delay_ms=rng.randrange(4), label=f"e{i}"
+                    )
+                elif action == "post_front":
+                    ctx.post_at_front(main, make_handler(i), label=f"f{i}")
+                elif action == "sleep":
+                    yield from ctx.sleep(rng.randrange(1, 5))
+
+        return body
+
+    for t, actions in enumerate(threads):
+        app.thread(f"t{t}", make_body(actions))
+
+    if n_external:
+        src = ExternalSource("ext")
+        for k in range(n_external):
+            src.at(5 + 3 * k, main, make_handler(1000 + k), f"ext{k}")
+        src.attach(system, app)
+
+    system.run(max_ms=2000)
+    return system.trace()
+
+
+# ---------------------------------------------------------------------------
+# properties
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(program_specs())
+def test_generated_traces_are_well_formed(spec):
+    run_program(spec).validate()
+
+
+@settings(max_examples=25, deadline=None)
+@given(program_specs())
+def test_hb_is_a_strict_partial_order(spec):
+    trace = run_program(spec)
+    hb = build_happens_before(trace)
+    n = len(trace)
+    indices = list(range(n))
+    sample = indices if n <= 18 else indices[:: max(1, n // 18)]
+    for i in sample:
+        assert not hb.ordered(i, i), "irreflexivity"
+        for j in sample:
+            if hb.ordered(i, j):
+                assert not hb.ordered(j, i), "asymmetry"
+    # transitivity on a sampled triple set
+    for i in sample[:8]:
+        for j in sample[:8]:
+            if not hb.ordered(i, j):
+                continue
+            for k in sample[:8]:
+                if hb.ordered(j, k):
+                    assert hb.ordered(i, k), "transitivity"
+
+
+@settings(max_examples=25, deadline=None)
+@given(program_specs())
+def test_derived_order_is_consistent_with_execution(spec):
+    """Every derived event ordering must agree with the observed
+    dispatch order — the model derives only *guaranteed* orderings, and
+    the observed execution is one possible schedule."""
+    trace = run_program(spec)
+    hb = build_happens_before(trace)
+    events = [t for t, i in trace.tasks.items() if i.task_kind is TaskKind.EVENT]
+    started = {}
+    for idx, op in enumerate(trace.ops):
+        if op.task in events and op.task not in started:
+            started[op.task] = idx
+    dispatched = [e for e in events if e in started]
+    for e1 in dispatched:
+        for e2 in dispatched:
+            if e1 != e2 and hb.event_ordered(e1, e2):
+                assert started[e1] < started[e2], (e1, e2)
+
+
+@settings(max_examples=25, deadline=None)
+@given(program_specs())
+def test_vector_clock_order_is_a_subset_of_graph_order(spec):
+    trace = run_program(spec)
+    hb = build_happens_before(trace)
+    vc = VectorClockAnalysis(trace)
+    n = len(trace)
+    step = max(1, n // 15)
+    for i in range(0, n, step):
+        for j in range(0, n, step):
+            if i != j and vc.ordered(i, j):
+                assert hb.ordered(i, j), (i, j)
+
+
+@settings(max_examples=20, deadline=None)
+@given(program_specs())
+def test_conventional_order_is_a_superset_of_cafa_order(spec):
+    """The conventional model (total looper order) can only *add*
+    orderings — every CAFA ordering is conventionally ordered too."""
+    trace = run_program(spec)
+    cafa = build_happens_before(trace, CAFA_MODEL)
+    conventional = build_happens_before(trace, CONVENTIONAL_MODEL)
+    n = len(trace)
+    step = max(1, n // 15)
+    for i in range(0, n, step):
+        for j in range(0, n, step):
+            if i != j and cafa.ordered(i, j):
+                assert conventional.ordered(i, j), (i, j)
+
+
+@settings(max_examples=20, deadline=None)
+@given(program_specs())
+def test_serialization_round_trip_on_generated_traces(spec):
+    from repro.trace import dumps_trace, loads_trace
+
+    trace = run_program(spec)
+    back = loads_trace(dumps_trace(trace))
+    assert back.ops == trace.ops
+    assert set(back.tasks) == set(trace.tasks)
+
+
+@settings(max_examples=15, deadline=None)
+@given(program_specs())
+def test_same_seed_reproduces_the_same_trace(spec):
+    a = run_program(spec)
+    b = run_program(spec)
+    assert a.ops == b.ops

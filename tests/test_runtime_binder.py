@@ -1,0 +1,193 @@
+"""Runtime tests: Binder IPC transactions and their trace records."""
+
+import pytest
+
+from repro.runtime import AndroidSystem, SimulationError
+from repro.trace import IpcCall, IpcHandle, IpcReply, IpcReturn
+
+
+def make_client_server(method, seed=1):
+    system = AndroidSystem(seed=seed)
+    app = system.process("app")
+    server = system.process("server")
+    system.add_service("svc", server, {"m": method})
+    return system, app
+
+
+class TestRpc:
+    def test_call_returns_reply(self):
+        system, app = make_client_server(lambda ctx, x: x * 2)
+        got = []
+
+        def client(ctx):
+            reply = yield from ctx.binder_call("svc", "m", 21)
+            got.append(reply)
+
+        app.thread("client", client)
+        system.run()
+        assert got == [42]
+
+    def test_transaction_records_share_txn_id(self):
+        system, app = make_client_server(lambda ctx: "ok")
+
+        def client(ctx):
+            yield from ctx.binder_call("svc", "m")
+
+        app.thread("client", client)
+        system.run()
+        trace = system.trace()
+        call = next(op for op in trace if isinstance(op, IpcCall))
+        handle = next(op for op in trace if isinstance(op, IpcHandle))
+        reply = next(op for op in trace if isinstance(op, IpcReply))
+        ret = next(op for op in trace if isinstance(op, IpcReturn))
+        assert call.txn == handle.txn == reply.txn == ret.txn
+
+    def test_record_order_call_handle_reply_return(self):
+        system, app = make_client_server(lambda ctx: "ok")
+
+        def client(ctx):
+            yield from ctx.binder_call("svc", "m")
+
+        app.thread("client", client)
+        system.run()
+        trace = system.trace()
+        kinds = [
+            op.kind.value
+            for op in trace
+            if isinstance(op, (IpcCall, IpcHandle, IpcReply, IpcReturn))
+        ]
+        assert kinds == ["ipc_call", "ipc_handle", "ipc_reply", "ipc_return"]
+
+    def test_distinct_calls_get_distinct_txns(self):
+        system, app = make_client_server(lambda ctx: "ok")
+
+        def client(ctx):
+            yield from ctx.binder_call("svc", "m")
+            yield from ctx.binder_call("svc", "m")
+
+        app.thread("client", client)
+        system.run()
+        txns = {op.txn for op in system.trace() if isinstance(op, IpcCall)}
+        assert len(txns) == 2
+
+    def test_oneway_call_does_not_block_or_reply(self):
+        system, app = make_client_server(lambda ctx: "ignored")
+        order = []
+
+        def client(ctx):
+            yield from ctx.binder_call("svc", "m", oneway=True)
+            order.append("after-call")
+
+        app.thread("client", client)
+        system.run()
+        trace = system.trace()
+        assert not any(isinstance(op, IpcReply) for op in trace)
+        assert not any(isinstance(op, IpcReturn) for op in trace)
+        assert order == ["after-call"]
+
+    def test_service_method_can_block(self):
+        system, app = make_client_server(None)
+        system.services["svc"].methods["m"] = _slow_method
+        got = []
+
+        def client(ctx):
+            reply = yield from ctx.binder_call("svc", "m")
+            got.append((reply, ctx.now_ms))
+
+        app.thread("client", client)
+        system.run()
+        assert got[0][0] == "slow-done"
+        assert got[0][1] >= 15
+
+    def test_service_can_post_events_back(self):
+        """The MyTracks shape: the service responds by posting an event
+        into the app's looper."""
+        system = AndroidSystem(seed=1)
+        app = system.process("app")
+        main = app.looper("main")
+        server = system.process("server")
+        ran = []
+
+        def on_connected(ctx):
+            ran.append("connected")
+
+        def bind(ctx, reply_looper):
+            ctx.post(reply_looper, on_connected, label="onServiceConnected")
+            return "bound"
+
+        system.add_service("svc", server, {"bind": bind})
+
+        def client(ctx):
+            reply = yield from ctx.binder_call("svc", "bind", main)
+            ran.append(reply)
+
+        app.thread("client", client)
+        system.run()
+        assert sorted(ran) == ["bound", "connected"]
+
+    def test_unknown_service_raises(self):
+        system = AndroidSystem(seed=1)
+        app = system.process("app")
+
+        def client(ctx):
+            yield from ctx.binder_call("ghost", "m")
+
+        app.thread("client", client)
+        with pytest.raises(SimulationError, match="unknown service"):
+            system.run()
+
+    def test_unknown_method_raises(self):
+        system, app = make_client_server(lambda ctx: "ok")
+
+        def client(ctx):
+            yield from ctx.binder_call("svc", "ghost")
+
+        app.thread("client", client)
+        with pytest.raises(KeyError, match="ghost"):
+            system.run()
+
+    def test_duplicate_service_rejected(self):
+        system = AndroidSystem()
+        server = system.process("server")
+        system.add_service("svc", server, {})
+        with pytest.raises(SimulationError, match="duplicate service"):
+            system.add_service("svc", server, {})
+
+    def test_two_clients_interleave_safely(self):
+        system, app = make_client_server(lambda ctx, x: x + 1)
+        got = {}
+
+        def make_client(name, value):
+            def client(ctx):
+                reply = yield from ctx.binder_call("svc", "m", value)
+                got[name] = reply
+            return client
+
+        app.thread("c1", make_client("c1", 10))
+        app.thread("c2", make_client("c2", 20))
+        system.run()
+        assert got == {"c1": 11, "c2": 21}
+
+    def test_npe_in_service_method_records_violation(self):
+        system = AndroidSystem(seed=1)
+        app = system.process("app")
+        server = system.process("server")
+        holder = server.heap.new("Holder")
+        holder.fields["p"] = None
+
+        def bad(ctx):
+            ctx.use_field(holder, "p")
+
+        system.add_service("svc", server, {"m": bad})
+
+        def client(ctx):
+            yield from ctx.binder_call("svc", "m")
+
+        app.thread("client", client)
+        system.run()
+        assert len(system.violations) == 1
+
+
+def _slow_method(ctx):
+    yield from ctx.sleep(15)
+    return "slow-done"

@@ -1,0 +1,270 @@
+"""Runtime tests: event posting, delays, sendAtFront, listeners."""
+
+import pytest
+
+from repro.runtime import AndroidSystem, SimulationError
+from repro.trace import (
+    Begin,
+    OpKind,
+    Perform,
+    Register,
+    Send,
+    SendAtFront,
+    TaskKind,
+)
+
+
+def make_app():
+    system = AndroidSystem(seed=1)
+    app = system.process("app")
+    main = app.looper("main")
+    return system, app, main
+
+
+class TestPosting:
+    def test_posted_event_runs_and_has_begin_end(self):
+        system, app, main = make_app()
+        ran = []
+
+        def handler(ctx):
+            ran.append(True)
+
+        app.thread("t", lambda ctx: ctx.post(main, handler, label="e"))
+        system.run()
+        assert ran == [True]
+        trace = system.trace()
+        events = trace.events()
+        assert len(events) == 1
+        info = trace.info(events[0])
+        assert info.task_kind is TaskKind.EVENT
+        assert info.looper == main
+
+    def test_send_record_carries_event_queue_and_delay(self):
+        system, app, main = make_app()
+        app.thread("t", lambda ctx: ctx.post(main, lambda c: None, delay_ms=7, label="e"))
+        system.run()
+        send = next(op for op in system.trace() if isinstance(op, Send))
+        assert send.delay == 7
+        assert send.queue.endswith("main.queue")
+        assert send.event.endswith(":e")
+
+    def test_event_args_are_passed(self):
+        system, app, main = make_app()
+        got = []
+
+        def handler(ctx, a, b):
+            got.append((a, b))
+
+        app.thread("t", lambda ctx: ctx.post(main, handler, args=(1, 2)))
+        system.run()
+        assert got == [(1, 2)]
+
+    def test_events_run_in_fifo_order(self):
+        system, app, main = make_app()
+        order = []
+
+        def make(name):
+            return lambda ctx: order.append(name)
+
+        def t(ctx):
+            for name in "abc":
+                ctx.post(main, make(name), label=name)
+
+        app.thread("t", t)
+        system.run()
+        assert order == ["a", "b", "c"]
+
+    def test_delay_defers_execution(self):
+        system, app, main = make_app()
+        times = {}
+
+        def quick(ctx):
+            times["quick"] = ctx.now_ms
+
+        def slow(ctx):
+            times["slow"] = ctx.now_ms
+
+        def t(ctx):
+            ctx.post(main, slow, delay_ms=50, label="slow")
+            ctx.post(main, quick, label="quick")
+
+        app.thread("t", t)
+        system.run()
+        assert times["quick"] < 50 <= times["slow"]
+
+    def test_post_at_front_overtakes(self):
+        system, app, main = make_app()
+        order = []
+
+        def make(name):
+            return lambda ctx: order.append(name)
+
+        def seed_event(ctx):
+            # From within an event, so the looper is busy while we
+            # enqueue (Figure 4d's setup).
+            ctx.post(main, make("a"), label="a")
+            ctx.post_at_front(main, make("front"), label="front")
+
+        app.thread("t", lambda ctx: ctx.post(main, seed_event, label="seed"))
+        system.run()
+        assert order == ["front", "a"]
+        assert any(isinstance(op, SendAtFront) for op in system.trace())
+
+    def test_nested_event_posting(self):
+        system, app, main = make_app()
+        depth = []
+
+        def handler(ctx, n):
+            depth.append(n)
+            if n < 3:
+                ctx.post(main, handler, args=(n + 1,), label=f"gen{n + 1}")
+
+        app.thread("t", lambda ctx: ctx.post(main, handler, args=(1,), label="gen1"))
+        system.run()
+        assert depth == [1, 2, 3]
+
+    def test_generator_handler_can_block(self):
+        system, app, main = make_app()
+        done = []
+
+        def handler(ctx):
+            yield from ctx.sleep(10)
+            done.append(ctx.now_ms)
+
+        app.thread("t", lambda ctx: ctx.post(main, handler, label="e"))
+        system.run()
+        assert done and done[0] >= 10
+
+    def test_event_atomicity_on_looper(self):
+        """While one event blocks mid-handler, no other event of the
+        same looper may run (Section 2.1)."""
+        system, app, main = make_app()
+        order = []
+
+        def blocking(ctx):
+            order.append("block-start")
+            yield from ctx.sleep(20)
+            order.append("block-end")
+
+        def other(ctx):
+            order.append("other")
+
+        def t(ctx):
+            ctx.post(main, blocking, label="blocking")
+            ctx.post(main, other, label="other")
+
+        app.thread("t", t)
+        system.run()
+        assert order == ["block-start", "block-end", "other"]
+
+    def test_post_to_unknown_looper_raises(self):
+        system, app, main = make_app()
+        app.thread("t", lambda ctx: ctx.post("nowhere", lambda c: None))
+        with pytest.raises(SimulationError, match="not a looper"):
+            system.run()
+
+    def test_trace_validates_after_arbitrary_run(self):
+        system, app, main = make_app()
+
+        def t(ctx):
+            for i in range(5):
+                ctx.post(main, lambda c: c.write("x", 1), delay_ms=i, label=f"e{i}")
+
+        app.thread("t", t)
+        system.run()
+        system.trace().validate()
+
+
+class TestListeners:
+    def test_fire_listener_performs_registered_handler(self):
+        system, app, main = make_app()
+        performed = []
+
+        def on_click(ctx):
+            performed.append(True)
+
+        def t(ctx):
+            ctx.register_listener("click", on_click)
+            ctx.fire_listener(main, "click")
+
+        app.thread("t", t)
+        system.run()
+        assert performed == [True]
+        trace = system.trace()
+        assert any(isinstance(op, Register) for op in trace)
+        assert any(isinstance(op, Perform) for op in trace)
+
+    def test_untraced_register_emits_no_record(self):
+        system, app, main = make_app()
+
+        def t(ctx):
+            ctx.register_listener("click", lambda c: None, traced=False)
+            ctx.fire_listener(main, "click")
+
+        app.thread("t", t)
+        system.run()
+        trace = system.trace()
+        assert not any(isinstance(op, Register) for op in trace)
+        assert any(isinstance(op, Perform) for op in trace)
+
+    def test_unregistered_listener_event_is_a_noop(self):
+        system, app, main = make_app()
+        app.thread("t", lambda ctx: ctx.fire_listener(main, "ghost"))
+        system.run()  # must not raise
+        assert any(isinstance(op, Perform) for op in system.trace())
+
+    def test_register_record_precedes_perform_record(self):
+        system, app, main = make_app()
+
+        def t(ctx):
+            ctx.register_listener("l", lambda c: None)
+            ctx.fire_listener(main, "l")
+
+        app.thread("t", t)
+        system.run()
+        trace = system.trace()
+        reg = next(i for i, op in enumerate(trace) if isinstance(op, Register))
+        perf = next(i for i, op in enumerate(trace) if isinstance(op, Perform))
+        assert reg < perf
+
+
+class TestLooperLifecycle:
+    def test_looper_id_is_stable(self):
+        system = AndroidSystem()
+        app = system.process("app")
+        assert app.looper("main") == app.looper("main")
+
+    def test_multiple_loopers_per_process(self):
+        system = AndroidSystem(seed=1)
+        app = system.process("app")
+        main = app.looper("main")
+        worker = app.looper("worker")
+        seen = []
+        app.thread(
+            "t",
+            lambda ctx: (
+                ctx.post(main, lambda c: seen.append("main"), label="m"),
+                ctx.post(worker, lambda c: seen.append("worker"), label="w"),
+            ),
+        )
+        system.run()
+        assert sorted(seen) == ["main", "worker"]
+
+    def test_events_on_different_loopers_may_interleave(self):
+        system = AndroidSystem(seed=1)
+        app = system.process("app")
+        l1, l2 = app.looper("l1"), app.looper("l2")
+        starts = []
+
+        def blocker(ctx, name):
+            starts.append(name)
+            yield from ctx.sleep(20)
+
+        def t(ctx):
+            ctx.post(l1, blocker, args=("a",), label="a")
+            ctx.post(l2, blocker, args=("b",), label="b")
+
+        app.thread("t", t)
+        system.run()
+        assert sorted(starts) == ["a", "b"]
+        system.trace().validate()  # atomicity per looper still holds

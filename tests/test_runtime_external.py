@@ -1,0 +1,138 @@
+"""Runtime tests: external input sources and the tracer cost model."""
+
+import pytest
+
+from repro.runtime import AndroidSystem, ExternalSource, TimeModel, ms
+from repro.trace import Send
+
+
+class TestExternalSource:
+    def _run(self, source_builder, seed=1):
+        system = AndroidSystem(seed=seed)
+        app = system.process("app")
+        main = app.looper("main")
+        source_builder(system, app, main)
+        system.run(max_ms=5000)
+        return system
+
+    def test_injections_delivered_in_time_order(self):
+        times = []
+
+        def build(system, app, main):
+            src = ExternalSource("touch")
+            src.at(30, main, lambda ctx: times.append(("b", ctx.now_ms)), "b")
+            src.at(10, main, lambda ctx: times.append(("a", ctx.now_ms)), "a")
+            src.attach(system, app)
+
+        self._run(build)
+        assert [t[0] for t in times] == ["a", "b"]
+        assert times[0][1] >= 10 and times[1][1] >= 30
+
+    def test_events_marked_external_with_sequence(self):
+        def build(system, app, main):
+            src = ExternalSource("touch")
+            src.at(10, main, lambda ctx: None, "a")
+            src.at(20, main, lambda ctx: None, "b")
+            src.attach(system, app)
+
+        system = self._run(build)
+        trace = system.trace()
+        external = trace.external_events()
+        assert len(external) == 2
+        seqs = [trace.info(e).external_seq for e in external]
+        assert seqs == sorted(seqs)
+
+    def test_external_seq_global_across_sources(self):
+        def build(system, app, main):
+            s1 = ExternalSource("touch")
+            s1.at(10, main, lambda ctx: None, "t1")
+            s1.at(30, main, lambda ctx: None, "t2")
+            s1.attach(system, app)
+            s2 = ExternalSource("sensor")
+            s2.at(20, main, lambda ctx: None, "s1")
+            s2.attach(system, app)
+
+        system = self._run(build)
+        trace = system.trace()
+        labels = [trace.info(e).label for e in trace.external_events()]
+        assert labels == ["t1", "s1", "t2"]
+
+    def test_listener_injection_performs_listener(self):
+        performed = []
+
+        def build(system, app, main):
+            def register(ctx):
+                ctx.register_listener("onClick", lambda c: performed.append(True))
+
+            app.thread("setup", register)
+            src = ExternalSource("touch")
+            src.at_listener(50, main, "onClick")
+            src.attach(system, app)
+
+        self._run(build)
+        assert performed == [True]
+
+    def test_internal_posts_are_not_external(self):
+        def build(system, app, main):
+            app.thread("t", lambda ctx: ctx.post(main, lambda c: None, label="e"))
+
+        system = self._run(build)
+        assert system.trace().external_events() == []
+
+
+class TestCostModel:
+    def _workload(self, tracing, compute=0):
+        system = AndroidSystem(seed=1, tracing=tracing)
+        app = system.process("app")
+
+        def body(ctx):
+            for _ in range(10):
+                ctx.read("x")
+                ctx.write("x", 1)
+                if compute:
+                    ctx.compute(compute)
+
+        app.thread("t", body)
+        system.run()
+        return system
+
+    def test_tracing_costs_more_cpu(self):
+        traced = self._workload(tracing=True)
+        untraced = self._workload(tracing=False)
+        assert traced.total_cpu_time > untraced.total_cpu_time
+
+    def test_slowdown_bounded_by_cost_ratio(self):
+        model = TimeModel()
+        traced = self._workload(tracing=True)
+        untraced = self._workload(tracing=False)
+        ratio = traced.total_cpu_time / untraced.total_cpu_time
+        upper = (model.base_op_cost + model.trace_record_cost) / model.base_op_cost
+        assert ratio <= upper + 1e-9
+
+    def test_compute_dilutes_the_slowdown(self):
+        lean_ratio = (
+            self._workload(True).total_cpu_time
+            / self._workload(False).total_cpu_time
+        )
+        heavy_ratio = (
+            self._workload(True, compute=50).total_cpu_time
+            / self._workload(False, compute=50).total_cpu_time
+        )
+        assert heavy_ratio < lean_ratio
+
+    def test_disabled_tracer_collects_nothing(self):
+        system = self._workload(tracing=False)
+        with pytest.raises(RuntimeError, match="disabled"):
+            system.trace()
+
+    def test_ms_conversion(self):
+        assert ms(1) == 1000
+        assert ms(2.5) == 2500
+
+    def test_cpu_time_attributed_per_thread(self):
+        system = AndroidSystem(seed=1)
+        app = system.process("app")
+        app.thread("busy", lambda ctx: ctx.compute(500))
+        app.thread("idle", lambda ctx: None)
+        system.run()
+        assert system.cpu_time["app/busy"] > system.cpu_time["app/idle"]

@@ -1,0 +1,154 @@
+"""Tests for the Handler / AsyncTask facades."""
+
+import pytest
+
+from repro.detect import detect_use_free_races
+from repro.runtime import AndroidSystem
+from repro.runtime.handler import AsyncTask, Handler
+from repro.trace import SendAtFront
+
+
+def make_app():
+    system = AndroidSystem(seed=1)
+    app = system.process("app")
+    main = app.looper("main")
+    return system, app, main
+
+
+class TestHandler:
+    def test_post_runs_on_the_looper(self):
+        system, app, main = make_app()
+        handler = Handler(main)
+        seen = []
+        app.thread("t", lambda ctx: handler.post(ctx, lambda c: seen.append(c.current_task)))
+        system.run()
+        assert len(seen) == 1
+        assert seen[0].startswith("ev")
+
+    def test_post_delayed_defers(self):
+        system, app, main = make_app()
+        handler = Handler(main)
+        times = []
+        app.thread(
+            "t",
+            lambda ctx: handler.post_delayed(ctx, lambda c: times.append(c.now_ms), 40),
+        )
+        system.run()
+        assert times[0] >= 40
+
+    def test_post_at_front_emits_send_at_front(self):
+        system, app, main = make_app()
+        handler = Handler(main)
+
+        def seed(ctx):
+            handler.post(ctx, lambda c: None, label="tail")
+            handler.post_at_front(ctx, lambda c: None, label="front")
+
+        app.thread("t", lambda ctx: ctx.post(main, seed, label="seed"))
+        system.run()
+        assert any(isinstance(op, SendAtFront) for op in system.trace())
+
+    def test_send_message_dispatches_by_what(self):
+        system, app, main = make_app()
+        received = []
+
+        def handle_message(ctx, what, obj):
+            received.append((what, obj))
+
+        handler = Handler(main, message_handler=handle_message)
+
+        def t(ctx):
+            handler.send_message(ctx, 1, "hello")
+            handler.send_message(ctx, 2, "world", delay_ms=5)
+
+        app.thread("t", t)
+        system.run()
+        assert received == [(1, "hello"), (2, "world")]
+
+    def test_send_message_without_handler_raises(self):
+        system, app, main = make_app()
+        handler = Handler(main)
+        app.thread("t", lambda ctx: handler.send_message(ctx, 1))
+        with pytest.raises(ValueError, match="message_handler"):
+            system.run()
+
+
+class TestAsyncTask:
+    def test_background_then_post_execute(self):
+        system, app, main = make_app()
+        handler = Handler(main)
+        phases = []
+
+        def background(ctx, n):
+            phases.append(("bg", ctx.current_task))
+            return n * 2
+
+        def post_execute(ctx, result):
+            phases.append(("ui", result))
+
+        task = AsyncTask("fetch", background, post_execute)
+        app.thread("t", lambda ctx: task.execute(ctx, handler, args=(21,)))
+        system.run()
+        assert ("ui", 42) in phases
+        bg_task = next(t for p, t in phases if p == "bg")
+        assert "fetch" in bg_task  # ran on the forked worker
+
+    def test_background_may_block(self):
+        system, app, main = make_app()
+        handler = Handler(main)
+        done = []
+
+        def background(ctx):
+            yield from ctx.sleep(25)
+            return "late"
+
+        task = AsyncTask("slow", background, lambda ctx, r: done.append((r, ctx.now_ms)))
+        app.thread("t", lambda ctx: task.execute(ctx, handler))
+        system.run()
+        assert done[0][0] == "late"
+        assert done[0][1] >= 25
+
+    def test_async_task_use_after_destroy_is_detected(self):
+        """The classic Android bug: the activity frees its state in
+        onDestroy while an AsyncTask's onPostExecute still uses it."""
+        from repro.runtime import ExternalSource
+
+        system, app, main = make_app()
+        handler = Handler(main)
+        activity = app.heap.new("Activity")
+        activity.fields["adapter"] = app.heap.new("Adapter")
+
+        def background(ctx):
+            yield from ctx.sleep(10)
+            return "rows"
+
+        def post_execute(ctx, result):
+            ctx.use_field(activity, "adapter")
+
+        task = AsyncTask("load", background, post_execute)
+        app.thread("starter", lambda ctx: task.execute(ctx, handler))
+
+        def on_destroy(ctx):
+            ctx.put_field(activity, "adapter", None)
+
+        user = ExternalSource("user")
+        user.at(50, main, on_destroy, "onDestroy")
+        user.attach(system, app)
+        system.run()
+
+        result = detect_use_free_races(system.trace())
+        assert result.report_count() == 1
+        assert result.reports[0].key.field == "adapter"
+
+    def test_two_tasks_get_distinct_worker_threads(self):
+        system, app, main = make_app()
+        handler = Handler(main)
+        task = AsyncTask("job", lambda ctx: None)
+
+        def t(ctx):
+            a = task.execute(ctx, handler)
+            b = task.execute(ctx, handler)
+            assert a != b
+
+        app.thread("t", t)
+        system.run()

@@ -1,0 +1,80 @@
+"""Tests for process isolation in the simulated system."""
+
+import pytest
+
+from repro.runtime import AndroidSystem
+
+
+class TestProcessIsolation:
+    def test_process_is_created_once(self):
+        system = AndroidSystem()
+        assert system.process("app") is system.process("app")
+
+    def test_heaps_are_per_process(self):
+        system = AndroidSystem()
+        a = system.process("a")
+        b = system.process("b")
+        a.heap.new("X")
+        assert a.heap.object_count == 1
+        assert b.heap.object_count == 0
+
+    def test_stores_are_per_process(self):
+        system = AndroidSystem(seed=1)
+        a = system.process("a")
+        b = system.process("b")
+        a.thread("t", lambda ctx: ctx.write("x", "from-a"))
+        b.thread("t", lambda ctx: ctx.write("x", "from-b"))
+        system.run()
+        assert a.store["x"] == "from-a"
+        assert b.store["x"] == "from-b"
+
+    def test_variable_names_are_qualified_by_process(self):
+        """Same-named variables in different processes never conflict
+        in the trace, so no cross-process false races on names."""
+        from repro.detect import detect_low_level_races
+
+        system = AndroidSystem(seed=1)
+        a = system.process("a")
+        b = system.process("b")
+        a.thread("t", lambda ctx: ctx.write("x", 1))
+        b.thread("t", lambda ctx: ctx.write("x", 2))
+        system.run()
+        assert detect_low_level_races(system.trace()).race_count() == 0
+
+    def test_listeners_are_per_process(self):
+        system = AndroidSystem(seed=1)
+        a = system.process("a")
+        b = system.process("b")
+        main_b = b.looper("main")
+        performed = []
+
+        def setup_a(ctx):
+            ctx.register_listener("shared-name", lambda c: performed.append("a"))
+
+        def setup_b(ctx):
+            ctx.register_listener("shared-name", lambda c: performed.append("b"))
+            ctx.fire_listener(main_b, "shared-name")
+
+        a.thread("t", setup_a)
+        b.thread("t", setup_b)
+        system.run()
+        assert performed == ["b"]
+
+    def test_thread_ids_namespaced_by_process(self):
+        system = AndroidSystem(seed=1)
+        a = system.process("a")
+        b = system.process("b")
+        ta = a.thread("worker", lambda ctx: None)
+        tb = b.thread("worker", lambda ctx: None)
+        assert ta != tb
+        assert ta == "a/worker" and tb == "b/worker"
+
+    def test_dvm_programs_are_per_process(self):
+        from repro.dvm import MethodBuilder
+
+        system = AndroidSystem(seed=1)
+        a = system.process("a")
+        b = system.process("b")
+        a.program.add_method(MethodBuilder("m").const(0, 1).return_value(0).build())
+        assert a.program.has("m")
+        assert not b.program.has("m")

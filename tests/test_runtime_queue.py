@@ -1,0 +1,95 @@
+"""Unit tests for the event queue semantics of Section 2.1."""
+
+from repro.runtime import EventQueue, SimEvent
+
+
+def ev(task, when=0):
+    return SimEvent(task_id=task, label=task, handler=None, when=when)
+
+
+class TestFifoOrder:
+    def test_ready_events_pop_in_queue_order(self):
+        q = EventQueue("q")
+        q.enqueue(ev("a"))
+        q.enqueue(ev("b"))
+        q.enqueue(ev("c"))
+        assert [q.pop_ready(0).task_id for _ in range(3)] == ["a", "b", "c"]
+
+    def test_not_ready_events_are_skipped(self):
+        """Events whose constraints have elapsed are processed in the
+        order they were queued — a delayed head does not block later
+        ready events (this is what queue rule 1's side condition is
+        about)."""
+        q = EventQueue("q")
+        q.enqueue(ev("delayed", when=100))
+        q.enqueue(ev("ready", when=0))
+        assert q.pop_ready(0).task_id == "ready"
+        assert q.pop_ready(0) is None
+        assert q.pop_ready(100).task_id == "delayed"
+
+    def test_pop_ready_empty_returns_none(self):
+        assert EventQueue("q").pop_ready(0) is None
+
+    def test_equal_deadlines_keep_insertion_order(self):
+        q = EventQueue("q")
+        q.enqueue(ev("a", when=5))
+        q.enqueue(ev("b", when=5))
+        assert q.pop_ready(5).task_id == "a"
+        assert q.pop_ready(5).task_id == "b"
+
+
+class TestSendAtFront:
+    def test_front_event_jumps_the_queue(self):
+        q = EventQueue("q")
+        q.enqueue(ev("a"))
+        q.enqueue(ev("b"))
+        q.enqueue_front(ev("front"))
+        assert q.pop_ready(0).task_id == "front"
+        assert q.pop_ready(0).task_id == "a"
+
+    def test_successive_fronts_stack(self):
+        """Android's enqueue-at-front places each new front message
+        before the previous one."""
+        q = EventQueue("q")
+        q.enqueue_front(ev("f1"))
+        q.enqueue_front(ev("f2"))
+        assert q.pop_ready(0).task_id == "f2"
+        assert q.pop_ready(0).task_id == "f1"
+
+    def test_front_event_beats_ready_delayed_event(self):
+        q = EventQueue("q")
+        q.enqueue(ev("old", when=0))
+        q.enqueue_front(ev("front", when=3))
+        assert q.pop_ready(3).task_id == "front"
+
+
+class TestReadiness:
+    def test_has_ready_respects_time(self):
+        q = EventQueue("q")
+        q.enqueue(ev("a", when=10))
+        assert not q.has_ready(9)
+        assert q.has_ready(10)
+
+    def test_next_when_is_min_deadline(self):
+        q = EventQueue("q")
+        q.enqueue(ev("a", when=30))
+        q.enqueue(ev("b", when=10))
+        assert q.next_when() == 10
+
+    def test_next_when_empty_is_none(self):
+        assert EventQueue("q").next_when() is None
+
+    def test_len_and_enqueued_counter(self):
+        q = EventQueue("q")
+        q.enqueue(ev("a"))
+        q.enqueue_front(ev("b"))
+        q.pop_ready(0)
+        assert len(q) == 1
+        assert q.enqueued == 2
+
+    def test_pending_is_a_snapshot(self):
+        q = EventQueue("q")
+        q.enqueue(ev("a"))
+        snapshot = q.pending()
+        snapshot.clear()
+        assert len(q) == 1

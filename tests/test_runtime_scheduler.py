@@ -1,0 +1,155 @@
+"""Scheduler-level tests: budgets, pause, looper quit, shutdown."""
+
+import pytest
+
+from repro.runtime import AndroidSystem, SchedulerError
+from repro.trace import End, OpKind
+
+
+class TestBudgets:
+    def test_max_steps_exhaustion_raises(self):
+        system = AndroidSystem(seed=1)
+        app = system.process("app")
+
+        def spinner(ctx):
+            while True:
+                yield from ctx.pause()
+
+        app.thread("spin", spinner)
+        with pytest.raises(SchedulerError, match="step budget"):
+            system.run(max_steps=50)
+
+    def test_max_ms_stops_the_clock(self):
+        system = AndroidSystem(seed=1)
+        app = system.process("app")
+        ticks = []
+
+        def body(ctx):
+            for _ in range(100):
+                yield from ctx.sleep(10)
+                ticks.append(ctx.now_ms)
+
+        app.thread("t", body)
+        system.run(max_ms=55)
+        assert ticks and max(ticks) <= 70  # stopped well before 1000ms
+
+    def test_run_is_idempotent_after_quiescence(self):
+        system = AndroidSystem(seed=1)
+        app = system.process("app")
+        app.thread("t", lambda ctx: None)
+        system.run()
+        before = len(system.trace())
+        # scheduler.shutdown() already closed everything; a second run
+        # must not corrupt the trace
+        assert len(system.trace()) == before
+
+
+class TestPause:
+    def test_pause_allows_interleaving(self):
+        system = AndroidSystem(seed=7)
+        app = system.process("app")
+        order = []
+
+        def make(name):
+            def body(ctx):
+                for i in range(3):
+                    order.append(name)
+                    yield from ctx.pause()
+            return body
+
+        app.thread("a", make("a"))
+        app.thread("b", make("b"))
+        system.run()
+        # both threads appear, and not strictly one after the other
+        assert set(order) == {"a", "b"}
+
+
+class TestLooperQuit:
+    def test_quit_ends_the_looper(self):
+        system = AndroidSystem(seed=1)
+        app = system.process("app")
+        main = app.looper("main")
+
+        def body(ctx):
+            yield from ctx.quit_looper(main)
+
+        app.thread("t", body)
+        system.run()
+        trace = system.trace()
+        looper_ops = [trace[i].kind for i in trace.ops_of(main)]
+        assert looper_ops == [OpKind.BEGIN, OpKind.END]
+
+    def test_quit_discards_pending_delayed_events(self):
+        system = AndroidSystem(seed=1)
+        app = system.process("app")
+        main = app.looper("main")
+        ran = []
+
+        def late(ctx):
+            ran.append(True)
+
+        def body(ctx):
+            ctx.post(main, late, delay_ms=500, label="late")
+            yield from ctx.quit_looper(main)
+
+        app.thread("t", body)
+        system.run()
+        assert ran == []
+
+    def test_quit_unknown_looper_raises(self):
+        system = AndroidSystem(seed=1)
+        app = system.process("app")
+
+        def body(ctx):
+            yield from ctx.quit_looper("app/ghost")
+
+        app.thread("t", body)
+        with pytest.raises(SchedulerError, match="not a looper"):
+            system.run()
+
+
+class TestShutdown:
+    def test_all_started_tasks_get_end_records(self):
+        system = AndroidSystem(seed=1)
+        app = system.process("app")
+        main = app.looper("main")
+
+        def blocked_forever(ctx):
+            yield from ctx.sleep(1)
+            ctx.post(main, lambda c: None, label="e")
+            yield from ctx.wait("never-signalled")
+
+        app.thread("t", blocked_forever, daemon=True)
+        system.run()
+        trace = system.trace()
+        ended = {op.task for op in trace if isinstance(op, End)}
+        assert "app/t" in ended  # closed during shutdown
+        assert main in ended
+
+    def test_daemon_blocked_threads_do_not_deadlock(self):
+        system = AndroidSystem(seed=1)
+        app = system.process("app")
+
+        def daemon_body(ctx):
+            yield from ctx.wait("never")
+
+        app.thread("d", daemon_body, daemon=True)
+        app.thread("t", lambda ctx: ctx.write("x", 1))
+        system.run()  # must terminate despite the blocked daemon
+
+    def test_violation_records_capture_location(self):
+        system = AndroidSystem(seed=1)
+        app = system.process("app")
+        main = app.looper("main")
+        holder = app.heap.new("Holder")
+        holder.fields["p"] = None
+
+        def crash(ctx):
+            ctx.use_field(holder, "p")
+
+        app.thread("t", lambda ctx: ctx.post(main, crash, label="crash"))
+        system.run()
+        (violation,) = system.violations
+        assert violation.label == "crash"
+        assert violation.method == "crash"
+        assert violation.time > 0

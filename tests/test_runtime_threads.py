@@ -1,0 +1,319 @@
+"""Runtime tests: threads, fork/join, sleep, monitors, locks, deadlock."""
+
+import pytest
+
+from repro.runtime import AndroidSystem, DeadlockError, LockError
+from repro.trace import Acquire, Fork, Join, Notify, OpKind, Release, Wait
+
+
+def make_system(**kwargs):
+    return AndroidSystem(seed=1, **kwargs)
+
+
+class TestThreads:
+    def test_plain_body_runs_to_completion(self):
+        system = make_system()
+        app = system.process("app")
+        seen = []
+        app.thread("t", lambda ctx: seen.append(ctx.now_ms))
+        system.run()
+        assert len(seen) == 1
+
+    def test_begin_end_emitted_for_threads(self):
+        system = make_system()
+        app = system.process("app")
+        app.thread("t", lambda ctx: None)
+        system.run()
+        trace = system.trace()
+        ops = [trace[i].kind for i in trace.ops_of("app/t")]
+        assert ops == [OpKind.BEGIN, OpKind.END]
+
+    def test_fork_creates_running_child_with_fork_record(self):
+        system = make_system()
+        app = system.process("app")
+        results = []
+
+        def child(ctx):
+            results.append("child")
+
+        def parent(ctx):
+            ctx.fork("child", child)
+
+        app.thread("parent", parent)
+        system.run()
+        assert results == ["child"]
+        trace = system.trace()
+        forks = [op for op in trace if isinstance(op, Fork)]
+        assert len(forks) == 1
+        assert forks[0].child == "app/child"
+
+    def test_join_returns_child_result(self):
+        system = make_system()
+        app = system.process("app")
+        got = []
+
+        def child(ctx):
+            return 41
+
+        def parent(ctx):
+            tid = ctx.fork("child", child)
+            value = yield from ctx.join(tid)
+            got.append(value)
+
+        app.thread("parent", parent)
+        system.run()
+        assert got == [41]
+        trace = system.trace()
+        assert any(isinstance(op, Join) for op in trace)
+
+    def test_join_ordering_child_end_before_join_record(self):
+        system = make_system()
+        app = system.process("app")
+
+        def child(ctx):
+            ctx.write("x", 1)
+
+        def parent(ctx):
+            tid = ctx.fork("child", child)
+            yield from ctx.join(tid)
+            ctx.read("x")
+
+        app.thread("parent", parent)
+        system.run()
+        trace = system.trace()
+        join_index = next(i for i, op in enumerate(trace) if isinstance(op, Join))
+        child_end = max(trace.ops_of("app/child"))
+        assert child_end < join_index
+
+    def test_sleep_advances_virtual_time(self):
+        system = make_system()
+        app = system.process("app")
+        times = []
+
+        def body(ctx):
+            yield from ctx.sleep(25)
+            times.append(ctx.now_ms)
+
+        app.thread("t", body)
+        system.run()
+        assert times[0] >= 25
+
+    def test_two_root_threads_both_run(self):
+        system = make_system()
+        app = system.process("app")
+        seen = []
+        app.thread("a", lambda ctx: seen.append("a"))
+        app.thread("b", lambda ctx: seen.append("b"))
+        system.run()
+        assert sorted(seen) == ["a", "b"]
+
+    def test_scheduler_seed_determinism(self):
+        def trace_of(seed):
+            system = AndroidSystem(seed=seed)
+            app = system.process("app")
+            for name in ("a", "b", "c"):
+                def body(ctx, name=name):
+                    ctx.write("who", name)
+                app.thread(name, body)
+            system.run()
+            return [(op.task, op.kind.value) for op in system.trace()]
+
+        assert trace_of(3) == trace_of(3)
+
+
+class TestMonitors:
+    def test_wait_blocks_until_notify(self):
+        system = make_system()
+        app = system.process("app")
+        order = []
+
+        def waiter(ctx):
+            yield from ctx.wait("mon")
+            order.append("woke")
+
+        def notifier(ctx):
+            yield from ctx.sleep(10)
+            order.append("notify")
+            ctx.notify("mon")
+
+        app.thread("w", waiter)
+        app.thread("n", notifier)
+        system.run()
+        assert order == ["notify", "woke"]
+
+    def test_tickets_pair_notify_with_wait(self):
+        system = make_system()
+        app = system.process("app")
+
+        def waiter(ctx):
+            yield from ctx.wait("mon")
+
+        def notifier(ctx):
+            yield from ctx.sleep(5)
+            ctx.notify("mon")
+
+        app.thread("w", waiter)
+        app.thread("n", notifier)
+        system.run()
+        trace = system.trace()
+        notify = next(op for op in trace if isinstance(op, Notify))
+        wait = next(op for op in trace if isinstance(op, Wait))
+        assert notify.ticket == wait.ticket >= 0
+
+    def test_notify_all_wakes_every_waiter(self):
+        system = make_system()
+        app = system.process("app")
+        woken = []
+
+        def make_waiter(name):
+            def body(ctx):
+                yield from ctx.wait("mon")
+                woken.append(name)
+            return body
+
+        for name in ("w1", "w2", "w3"):
+            app.thread(name, make_waiter(name))
+
+        def notifier(ctx):
+            yield from ctx.sleep(5)
+            ctx.notify_all("mon")
+
+        app.thread("n", notifier)
+        system.run()
+        assert sorted(woken) == ["w1", "w2", "w3"]
+
+    def test_single_notify_wakes_one_waiter(self):
+        system = make_system()
+        app = system.process("app")
+        woken = []
+
+        def make_waiter(name):
+            def body(ctx):
+                yield from ctx.wait("mon")
+                woken.append(name)
+            return body
+
+        app.thread("w1", make_waiter("w1"))
+        app.thread("w2", make_waiter("w2"))
+
+        def notifier(ctx):
+            yield from ctx.sleep(5)
+            ctx.notify("mon")
+            yield from ctx.sleep(5)
+            ctx.notify("mon")
+
+        app.thread("n", notifier)
+        system.run()
+        assert sorted(woken) == ["w1", "w2"]
+
+    def test_wait_without_notify_deadlocks(self):
+        system = make_system()
+        app = system.process("app")
+
+        def waiter(ctx):
+            yield from ctx.wait("mon")
+
+        app.thread("w", waiter)
+        with pytest.raises(DeadlockError, match="app/w"):
+            system.run()
+
+
+class TestLocks:
+    def test_mutual_exclusion(self):
+        system = make_system()
+        app = system.process("app")
+        events = []
+
+        def body(ctx, name):
+            yield from ctx.acquire("lk")
+            events.append((name, "in"))
+            yield from ctx.pause()
+            events.append((name, "out"))
+            ctx.release("lk")
+
+        app.thread("a", lambda ctx: (yield from body(ctx, "a")))
+        app.thread("b", lambda ctx: (yield from body(ctx, "b")))
+        system.run()
+        # critical sections never interleave
+        assert events[0][0] == events[1][0]
+        assert events[2][0] == events[3][0]
+
+    def test_acquire_release_records_emitted(self):
+        system = make_system()
+        app = system.process("app")
+
+        def body(ctx):
+            yield from ctx.acquire("lk")
+            ctx.release("lk")
+
+        app.thread("t", body)
+        system.run()
+        trace = system.trace()
+        assert any(isinstance(op, Acquire) for op in trace)
+        assert any(isinstance(op, Release) for op in trace)
+
+    def test_release_of_unheld_lock_raises(self):
+        system = make_system()
+        app = system.process("app")
+        app.thread("t", lambda ctx: ctx.release("lk"))
+        with pytest.raises(LockError):
+            system.run()
+
+    def test_blocked_acquire_deadlocks_if_never_released(self):
+        system = make_system()
+        app = system.process("app")
+
+        def holder(ctx):
+            yield from ctx.acquire("lk")
+            yield from ctx.wait("never")
+
+        def contender(ctx):
+            yield from ctx.sleep(5)
+            yield from ctx.acquire("lk")
+
+        app.thread("h", holder)
+        app.thread("c", contender)
+        with pytest.raises(DeadlockError):
+            system.run()
+
+    def test_lock_must_be_released_by_acquiring_task(self):
+        """Critical sections must not span task boundaries; the offline
+        lockset reconstruction depends on it."""
+        system = make_system()
+        app = system.process("app")
+        main = app.looper("main")
+
+        # Both events run on the SAME looper frame, but they are
+        # different tasks: acquiring in one and releasing in the other
+        # must be rejected.
+        def locker(ctx):
+            yield from ctx.acquire("lk")
+
+        def releaser(ctx):
+            ctx.release("lk")
+
+        def driver(ctx):
+            ctx.post(main, locker, label="lock_event")
+            ctx.post(main, releaser, label="release_event")
+
+        app.thread("t", driver)
+        with pytest.raises(LockError, match="task"):
+            system.run()
+
+    def test_release_from_another_frame_rejected(self):
+        system = make_system()
+        app = system.process("app")
+
+        def holder(ctx):
+            yield from ctx.acquire("lk")
+            yield from ctx.sleep(5)  # let the thief reach its wait
+            ctx.notify("held")
+
+        def thief(ctx):
+            yield from ctx.wait("held")
+            ctx.release("lk")
+
+        app.thread("h", holder)
+        app.thread("thief", thief)
+        with pytest.raises(LockError, match="releasing lock"):
+            system.run()

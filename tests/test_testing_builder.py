@@ -1,0 +1,122 @@
+"""Tests for the TraceBuilder DSL itself."""
+
+import pytest
+
+from repro.testing import TraceBuilder
+from repro.trace import OpKind, TaskKind, TraceError
+
+
+class TestDeclarations:
+    def test_event_defaults_queue_to_looper_queue(self):
+        b = TraceBuilder()
+        b.looper("L")
+        b.event("E", looper="L")
+        b.begin("E"); b.end("E")
+        trace = b.build()
+        assert trace.info("E").queue == "L.queue"
+
+    def test_event_explicit_queue(self):
+        b = TraceBuilder()
+        b.looper("L")
+        b.event("E", looper="L", queue="custom")
+        b.begin("E"); b.end("E")
+        assert b.build().info("E").queue == "custom"
+
+    def test_external_events_numbered_in_declaration_order(self):
+        b = TraceBuilder()
+        b.looper("L")
+        b.event("E1", looper="L", external=True)
+        b.event("E2", looper="L", external=True)
+        b.begin("E1"); b.end("E1")
+        b.begin("E2"); b.end("E2")
+        trace = b.build()
+        assert trace.info("E1").external_seq < trace.info("E2").external_seq
+
+    def test_duplicate_task_rejected(self):
+        b = TraceBuilder()
+        b.thread("t")
+        with pytest.raises(TraceError):
+            b.thread("t")
+
+    def test_task_kinds_recorded(self):
+        b = TraceBuilder()
+        b.thread("t")
+        b.looper("L")
+        b.event("E", looper="L")
+        b.begin("t"); b.end("t")
+        b.begin("E"); b.end("E")
+        trace = b.build()
+        assert trace.info("t").task_kind is TaskKind.THREAD
+        assert trace.info("L").task_kind is TaskKind.LOOPER
+        assert trace.info("E").task_kind is TaskKind.EVENT
+
+
+class TestOperations:
+    def test_methods_return_op_indices(self):
+        b = TraceBuilder()
+        b.thread("t")
+        assert b.begin("t") == 0
+        assert b.read("t", "x") == 1
+        assert b.end("t") == 2
+
+    def test_times_strictly_increase(self):
+        b = TraceBuilder()
+        b.thread("t")
+        b.begin("t")
+        b.read("t", "x")
+        b.write("t", "x")
+        b.end("t")
+        trace = b.build()
+        times = [op.time for op in trace]
+        assert times == sorted(times)
+        assert len(set(times)) == len(times)
+
+    def test_send_fills_in_declared_queue(self):
+        b = TraceBuilder()
+        b.looper("L")
+        b.thread("t")
+        b.event("E", looper="L")
+        b.begin("t")
+        i = b.send("t", "E", delay=4)
+        b.end("t")
+        b.begin("E"); b.end("E")
+        trace = b.build()
+        assert trace[i].queue == "L.queue"
+        assert trace[i].delay == 4
+
+    def test_default_sites_derived_from_var(self):
+        b = TraceBuilder()
+        b.thread("t")
+        b.begin("t")
+        i = b.read("t", "x")
+        b.end("t")
+        assert "x" in b.build()[i].site
+
+    def test_validation_on_build_by_default(self):
+        b = TraceBuilder()
+        b.thread("t")
+        b.read("t", "x")  # before begin
+        with pytest.raises(TraceError):
+            b.build()
+
+    def test_validation_can_be_skipped(self):
+        b = TraceBuilder()
+        b.thread("t")
+        b.read("t", "x")
+        trace = b.build(validate=False)
+        assert len(trace) == 1
+
+    def test_method_records(self):
+        b = TraceBuilder()
+        b.thread("t")
+        b.begin("t")
+        i = b.method_enter("t", "m", return_pc=3)
+        j = b.method_exit("t", "m", return_pc=3, via_exception=True)
+        b.end("t")
+        trace = b.build()
+        assert trace[i].kind is OpKind.METHOD_ENTER
+        assert trace[j].via_exception is True
+
+    def test_ticket_counter_monotonic(self):
+        b = TraceBuilder()
+        assert b.next_ticket() < b.next_ticket()

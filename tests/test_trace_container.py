@@ -1,0 +1,133 @@
+"""Unit tests for the Trace container and its validation."""
+
+import pytest
+
+from repro.testing import TraceBuilder
+from repro.trace import (
+    Begin,
+    End,
+    Read,
+    TaskInfo,
+    TaskKind,
+    Trace,
+    TraceError,
+)
+
+
+def _thread_info(task):
+    return TaskInfo(task=task, task_kind=TaskKind.THREAD)
+
+
+def _event_info(task, looper="L"):
+    return TaskInfo(task=task, task_kind=TaskKind.EVENT, looper=looper, queue="Q")
+
+
+class TestTraceBasics:
+    def test_append_returns_increasing_indices(self):
+        trace = Trace()
+        trace.add_task(_thread_info("t"))
+        assert trace.append(Begin(task="t")) == 0
+        assert trace.append(End(task="t")) == 1
+
+    def test_duplicate_task_rejected(self):
+        trace = Trace()
+        trace.add_task(_thread_info("t"))
+        with pytest.raises(TraceError):
+            trace.add_task(_thread_info("t"))
+
+    def test_ops_of_filters_by_task(self):
+        b = TraceBuilder()
+        b.thread("t")
+        b.thread("u")
+        b.begin("t")
+        b.begin("u")
+        b.read("t", "x")
+        b.end("u")
+        b.end("t")
+        trace = b.build()
+        ops = trace.ops_of("t")
+        assert [trace[i].kind.value for i in ops] == ["begin", "rd", "end"]
+
+    def test_external_events_sorted_by_generation_order(self):
+        b = TraceBuilder()
+        b.looper("L")
+        b.event("e1", looper="L", external=True)
+        b.event("e2", looper="L", external=True)
+        b.event("e3", looper="L")
+        b.begin("e1"); b.end("e1")
+        b.begin("e2"); b.end("e2")
+        b.begin("e3"); b.end("e3")
+        trace = b.build()
+        assert trace.external_events() == ["e1", "e2"]
+
+    def test_info_raises_on_unknown_task(self):
+        with pytest.raises(TraceError):
+            Trace().info("missing")
+
+
+class TestValidation:
+    def test_valid_trace_passes(self):
+        b = TraceBuilder()
+        b.thread("t")
+        b.begin("t")
+        b.read("t", "x")
+        b.end("t")
+        b.build()  # validates
+
+    def test_unknown_task_rejected(self):
+        trace = Trace()
+        trace.append(Begin(task="ghost"))
+        with pytest.raises(TraceError, match="unknown task"):
+            trace.validate()
+
+    def test_op_before_begin_rejected(self):
+        trace = Trace()
+        trace.add_task(_thread_info("t"))
+        trace.append(Read(task="t", var="x"))
+        with pytest.raises(TraceError, match="precedes its begin"):
+            trace.validate()
+
+    def test_op_after_end_rejected(self):
+        trace = Trace()
+        trace.add_task(_thread_info("t"))
+        trace.append(Begin(task="t"))
+        trace.append(End(task="t", time=1))
+        trace.append(Read(task="t", var="x", time=2))
+        with pytest.raises(TraceError, match="follows its end"):
+            trace.validate()
+
+    def test_double_begin_rejected(self):
+        trace = Trace()
+        trace.add_task(_thread_info("t"))
+        trace.append(Begin(task="t"))
+        trace.append(Begin(task="t", time=1))
+        with pytest.raises(TraceError, match="begins twice"):
+            trace.validate()
+
+    def test_decreasing_time_rejected(self):
+        trace = Trace()
+        trace.add_task(_thread_info("t"))
+        trace.append(Begin(task="t", time=5))
+        trace.append(End(task="t", time=3))
+        with pytest.raises(TraceError, match="precedes previous time"):
+            trace.validate()
+
+    def test_overlapping_events_on_one_looper_rejected(self):
+        """Looper event atomicity (Section 2.1) is a trace invariant."""
+        trace = Trace()
+        trace.add_task(_event_info("e1"))
+        trace.add_task(_event_info("e2"))
+        trace.append(Begin(task="e1"))
+        trace.append(Begin(task="e2", time=1))
+        with pytest.raises(TraceError, match="still open"):
+            trace.validate()
+
+    def test_interleaved_events_on_different_loopers_allowed(self):
+        trace = Trace()
+        trace.add_task(_event_info("e1", looper="L1"))
+        trace.add_task(_event_info("e2", looper="L2"))
+        trace.append(Begin(task="e1"))
+        trace.append(Begin(task="e2", time=1))
+        trace.append(End(task="e1", time=2))
+        trace.append(End(task="e2", time=3))
+        trace.validate()

@@ -1,0 +1,119 @@
+"""Tests for trace slicing utilities."""
+
+import pytest
+
+from repro.detect import detect_use_free_races
+from repro.trace import TaskKind
+from repro.trace.filters import (
+    filter_process,
+    filter_tasks,
+    filter_time_window,
+    slice_for_field,
+    tasks_touching_field,
+)
+from repro.testing import TraceBuilder
+
+
+def two_process_trace():
+    b = TraceBuilder()
+    b.thread("t1", process="app")
+    b.thread("t2", process="service")
+    b.begin("t1")
+    b.begin("t2")
+    b.write("t1", "x")
+    b.read("t2", "y")
+    b.end("t1")
+    b.end("t2")
+    return b.build()
+
+
+class TestFilters:
+    def test_filter_process_keeps_whole_tasks(self):
+        sliced = filter_process(two_process_trace(), "app")
+        assert set(sliced.tasks) == {"t1"}
+        assert all(op.task == "t1" for op in sliced.ops)
+        sliced.validate()
+
+    def test_filter_tasks_by_kind(self):
+        b = TraceBuilder()
+        b.looper("L")
+        b.thread("t")
+        b.event("E", looper="L")
+        b.begin("t"); b.send("t", "E"); b.end("t")
+        b.begin("E"); b.end("E")
+        sliced = filter_tasks(
+            b.build(), lambda info: info.task_kind is TaskKind.EVENT
+        )
+        assert set(sliced.tasks) == {"E"}
+
+    def test_time_window_keeps_fully_contained_tasks(self):
+        b = TraceBuilder()
+        b.thread("early")
+        b.thread("late")
+        b.begin("early")
+        b.end("early")
+        b.begin("late")
+        b.end("late")
+        trace = b.build()
+        hi = trace[1].time  # end of "early"
+        sliced = filter_time_window(trace, 0, hi)
+        assert set(sliced.tasks) == {"early"}
+
+    def test_tasks_touching_field(self):
+        b = TraceBuilder()
+        b.thread("u")
+        b.thread("f")
+        b.thread("other")
+        b.begin("u"); b.begin("f"); b.begin("other")
+        b.ptr_read("u", ("obj", 1, "db"), object_id=3, method="m", pc=0)
+        b.ptr_write("f", ("obj", 1, "db"), value=None, method="m", pc=0)
+        b.read("other", "x")
+        b.end("u"); b.end("f"); b.end("other")
+        assert tasks_touching_field(b.build(), "db") == {"u", "f"}
+
+    def test_slice_for_field_preserves_the_race(self):
+        """Slicing away unrelated events keeps the race detectable."""
+        b = TraceBuilder()
+        b.looper("L")
+        b.thread("T1")
+        b.thread("T2")
+        b.event("A", looper="L")
+        b.event("B", looper="L")
+        b.event("noise", looper="L")
+        b.begin("T1"); b.send("T1", "A"); b.send("T1", "noise", delay=9); b.end("T1")
+        b.begin("T2"); b.send("T2", "B"); b.end("T2")
+        b.begin("A")
+        b.ptr_read("A", ("obj", 1, "p"), object_id=9, method="onUse", pc=0)
+        b.deref("A", object_id=9, method="onUse", pc=1)
+        b.end("A")
+        b.begin("B")
+        b.ptr_write("B", ("obj", 1, "p"), value=None, method="onFree", pc=0)
+        b.end("B")
+        b.begin("noise"); b.read("noise", "q"); b.end("noise")
+        trace = b.build()
+        sliced = slice_for_field(trace, "p")
+        assert "noise" not in sliced.tasks
+        result = detect_use_free_races(sliced)
+        assert result.report_count() == 1
+
+    def test_slice_for_missing_field_keeps_everything(self):
+        trace = two_process_trace()
+        sliced = slice_for_field(trace, "ghost")
+        assert set(sliced.tasks) == set(trace.tasks)
+
+    def test_slicing_cannot_hide_races_between_kept_tasks(self):
+        """Dropping tasks only removes HB edges: a race between kept
+        tasks survives any slice containing both."""
+        b = TraceBuilder()
+        b.thread("u")
+        b.thread("f")
+        b.thread("spectator")
+        b.begin("u"); b.begin("f"); b.begin("spectator")
+        b.ptr_read("u", ("obj", 1, "p"), object_id=9, method="use", pc=0)
+        b.deref("u", object_id=9, method="use", pc=1)
+        b.ptr_write("f", ("obj", 1, "p"), value=None, method="free", pc=0)
+        b.end("u"); b.end("f"); b.end("spectator")
+        full = b.build()
+        sliced = filter_tasks(full, lambda info: info.task != "spectator")
+        assert detect_use_free_races(full).report_count() == 1
+        assert detect_use_free_races(sliced).report_count() == 1

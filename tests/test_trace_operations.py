@@ -1,0 +1,105 @@
+"""Unit tests for the trace operation vocabulary."""
+
+import pytest
+
+from repro.trace import (
+    Begin,
+    Branch,
+    BranchKind,
+    Deref,
+    End,
+    Fork,
+    IpcCall,
+    Notify,
+    OpKind,
+    PtrRead,
+    PtrWrite,
+    Read,
+    Send,
+    SendAtFront,
+    SYNC_KINDS,
+    Wait,
+    Write,
+    operation_from_dict,
+)
+
+
+class TestOperationKinds:
+    def test_each_figure3_operation_has_its_paper_name(self):
+        assert Begin.kind.value == "begin"
+        assert End.kind.value == "end"
+        assert Read.kind.value == "rd"
+        assert Write.kind.value == "wr"
+        assert Send.kind.value == "send"
+        assert SendAtFront.kind.value == "sendAtFront"
+
+    def test_kind_is_class_attribute_not_instance_field(self):
+        op = Read(task="t", var="x")
+        assert op.kind is OpKind.READ
+        assert Read.kind is OpKind.READ
+
+    def test_sync_kinds_cover_all_cross_task_edges(self):
+        for kind in (
+            OpKind.FORK,
+            OpKind.JOIN,
+            OpKind.WAIT,
+            OpKind.NOTIFY,
+            OpKind.SEND,
+            OpKind.SEND_AT_FRONT,
+            OpKind.REGISTER,
+            OpKind.PERFORM,
+            OpKind.IPC_CALL,
+            OpKind.IPC_REPLY,
+        ):
+            assert kind in SYNC_KINDS
+
+    def test_memory_accesses_are_not_sync_kinds(self):
+        for kind in (OpKind.READ, OpKind.WRITE, OpKind.PTR_READ, OpKind.DEREF):
+            assert kind not in SYNC_KINDS
+
+
+class TestPtrWrite:
+    def test_null_write_is_a_free(self):
+        op = PtrWrite(task="e", address=("obj", 1, "f"), value=None, container=1)
+        assert op.is_free
+
+    def test_reference_write_is_an_allocation(self):
+        op = PtrWrite(task="e", address=("obj", 1, "f"), value=7, container=1)
+        assert not op.is_free
+
+
+class TestSerializationRoundTrip:
+    @pytest.mark.parametrize(
+        "op",
+        [
+            Begin(task="t", time=3),
+            End(task="t", time=9),
+            Read(task="t", time=1, var="x", site="m:1"),
+            Write(task="t", time=2, var="y", site="m:2"),
+            Fork(task="t", time=1, child="u"),
+            Wait(task="t", time=5, monitor="m", ticket=4),
+            Notify(task="t", time=5, monitor="m", ticket=4),
+            Send(task="t", time=1, event="e", delay=25, queue="q"),
+            SendAtFront(task="t", time=1, event="e", queue="q"),
+            PtrRead(task="e", time=7, address=("obj", 3, "p"), object_id=9, method="m", pc=4),
+            PtrWrite(task="e", time=8, address=("static", "C", "p"), value=None, container=None, method="m", pc=5),
+            Deref(task="e", time=9, object_id=9, method="m", pc=6),
+            Branch(task="e", time=10, branch_kind=BranchKind.IF_NEZ, pc=3, target=7, object_id=2, method="m"),
+            IpcCall(task="t", time=2, txn=17, service="gps", oneway=True),
+        ],
+    )
+    def test_round_trip(self, op):
+        assert operation_from_dict(op.to_dict()) == op
+
+    def test_address_tuples_survive_json_lists(self):
+        op = PtrRead(task="e", address=("obj", 5, "ptr"), object_id=1)
+        data = op.to_dict()
+        assert data["address"] == ["obj", 5, "ptr"]
+        back = operation_from_dict(data)
+        assert back.address == ("obj", 5, "ptr")
+
+    def test_branch_kind_enum_round_trips_as_string(self):
+        op = Branch(task="e", branch_kind=BranchKind.IF_EQ, pc=1, target=2, object_id=3)
+        data = op.to_dict()
+        assert data["branch_kind"] == "if-eq"
+        assert operation_from_dict(data).branch_kind is BranchKind.IF_EQ

@@ -1,0 +1,100 @@
+"""Tests for the JSONL trace serialization."""
+
+import io
+
+import pytest
+
+from repro.testing import TraceBuilder
+from repro.trace import (
+    TraceError,
+    dump_trace,
+    dumps_trace,
+    load_trace,
+    load_trace_file,
+    loads_trace,
+    save_trace_file,
+)
+
+
+def sample_trace():
+    b = TraceBuilder()
+    b.looper("L")
+    b.thread("T")
+    b.event("E", looper="L", external=True)
+    b.begin("T")
+    b.send("T", "E", delay=3)
+    b.write("T", "x")
+    b.notify("T", "mon", ticket=2)
+    b.end("T")
+    b.begin("E")
+    b.ptr_read("E", ("obj", 4, "p"), object_id=8, method="onE", pc=1)
+    b.deref("E", object_id=8, method="onE", pc=2)
+    b.ptr_write("E", ("obj", 4, "p"), value=None, container=4, method="onE", pc=3)
+    b.end("E")
+    return b.build()
+
+
+class TestRoundTrip:
+    def test_ops_round_trip_exactly(self):
+        trace = sample_trace()
+        back = loads_trace(dumps_trace(trace))
+        assert back.ops == trace.ops
+
+    def test_task_table_round_trips(self):
+        trace = sample_trace()
+        back = loads_trace(dumps_trace(trace))
+        assert set(back.tasks) == set(trace.tasks)
+        for task in trace.tasks:
+            assert back.tasks[task].to_dict() == trace.tasks[task].to_dict()
+
+    def test_round_tripped_trace_still_validates(self):
+        loads_trace(dumps_trace(sample_trace())).validate()
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        trace = sample_trace()
+        save_trace_file(trace, path)
+        back = load_trace_file(path)
+        assert back.ops == trace.ops
+
+    def test_format_is_line_oriented_json(self):
+        text = dumps_trace(sample_trace())
+        lines = text.strip().split("\n")
+        assert len(lines) == 1 + 3 + len(sample_trace())  # header + tasks + ops
+
+    def test_empty_trace_round_trips(self):
+        from repro.trace import Trace
+
+        back = loads_trace(dumps_trace(Trace()))
+        assert len(back) == 0 and back.tasks == {}
+
+
+class TestErrors:
+    def test_empty_stream_rejected(self):
+        with pytest.raises(TraceError, match="empty"):
+            load_trace(io.StringIO(""))
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(TraceError, match="not a cafa-trace"):
+            load_trace(io.StringIO('{"format": "something-else"}\n'))
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(TraceError, match="version"):
+            load_trace(io.StringIO('{"format": "cafa-trace", "version": 99}\n'))
+
+    def test_unknown_record_rejected(self):
+        text = '{"format": "cafa-trace", "version": 1}\n{"mystery": 1}\n'
+        with pytest.raises(TraceError, match="unrecognized"):
+            load_trace(io.StringIO(text))
+
+    def test_truncated_stream_detected(self):
+        text = dumps_trace(sample_trace())
+        lines = text.strip().split("\n")
+        truncated = "\n".join(lines[:-2]) + "\n"
+        with pytest.raises(TraceError, match="mismatch"):
+            load_trace(io.StringIO(truncated))
+
+    def test_blank_lines_tolerated(self):
+        text = dumps_trace(sample_trace()).replace("\n", "\n\n")
+        back = loads_trace(text)
+        assert len(back) == len(sample_trace())
