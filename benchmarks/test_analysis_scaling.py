@@ -7,7 +7,8 @@ monotone-growth shape; absolute times are of course incomparable.
 """
 
 from repro.analysis import analysis_scaling, bench_scale
-from repro.apps import VlcApp
+from repro.apps import CameraApp, MyTracksApp, VlcApp
+from repro.hb import build_happens_before
 
 BASE = bench_scale(default=0.05)
 
@@ -35,3 +36,50 @@ def test_hb_build_dominates_at_scale(benchmark):
     point = points[0]
     assert point.hb_seconds > 0
     assert point.detect_seconds > 0
+
+
+def test_incremental_closure_is_computed_once(benchmark):
+    """The fixpoint maintains the closure in place: one full
+    computation regardless of how many rounds the derived rules run
+    (the legacy builder recomputed it at least once per round)."""
+    points = benchmark.pedantic(
+        lambda: analysis_scaling(MyTracksApp, scales=[BASE * 2], seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    point = points[0]
+    assert point.fixpoint_rounds >= 2  # the derived rules do real work
+    assert point.closure_recomputations == 1
+
+
+def test_closure_work_grows_subquadratically(benchmark):
+    """Incrementally-propagated reachability bits must grow strictly
+    slower than the squared key-node count as the trace scales up."""
+    points = benchmark.pedantic(
+        lambda: analysis_scaling(CameraApp, scales=[BASE, BASE * 2, BASE * 4], seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    first, last = points[0], points[-1]
+    assert last.key_nodes > first.key_nodes
+    node_growth = last.key_nodes / first.key_nodes
+    bit_growth = last.bits_propagated / max(first.bits_propagated, 1)
+    assert bit_growth < node_growth**2
+
+
+def test_incremental_builder_beats_legacy_without_diverging(benchmark):
+    """Before/after comparison: the incremental build must produce the
+    bit-identical relation while doing strictly less closure work than
+    the legacy snapshot-per-round build."""
+
+    def both():
+        run = MyTracksApp(scale=BASE * 2, seed=1).run()
+        fast = build_happens_before(run.trace)
+        slow = build_happens_before(run.trace, incremental=False)
+        return fast, slow
+
+    fast, slow = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert set(fast.graph.edges()) == set(slow.graph.edges())
+    assert fast.graph.reach_vector() == slow.graph.reach_vector()
+    assert fast.graph.closure_recomputations < slow.graph.closure_recomputations
+    assert fast.profile.total_seconds > 0 and slow.profile.total_seconds > 0

@@ -58,12 +58,24 @@ def measure_slowdown(
 
 @dataclass
 class ScalingPoint:
-    """One point of the §6.4 analysis-time scaling sweep."""
+    """One point of the §6.4 analysis-time scaling sweep.
+
+    Besides wall-clock times, the point records the closure-work
+    counters of the happens-before build: how many *full* transitive
+    closures were computed and how many reachability bits incremental
+    propagation touched.  ``benchmarks/test_analysis_scaling.py`` uses
+    them to assert the fixpoint no longer recomputes the closure per
+    round and that closure work grows sub-quadratically.
+    """
 
     events: int
     trace_ops: int
     hb_seconds: float
     detect_seconds: float
+    key_nodes: int = 0
+    fixpoint_rounds: int = 0
+    closure_recomputations: int = 0
+    bits_propagated: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -74,14 +86,19 @@ def analysis_scaling(
     app_cls: Type[AppModel],
     scales: List[float],
     seed: int = 0,
+    incremental: bool = True,
 ) -> List[ScalingPoint]:
-    """Offline-analysis wall-clock time across event-count scales."""
+    """Offline-analysis wall-clock time across event-count scales.
+
+    ``incremental=False`` measures the historical
+    closure-recompute-per-round builder for before/after comparisons.
+    """
     points: List[ScalingPoint] = []
     for scale in scales:
         run = app_cls(scale=scale, seed=seed).run(tracing=True)
         assert run.trace is not None
         start = time.perf_counter()
-        hb = build_happens_before(run.trace)
+        hb = build_happens_before(run.trace, incremental=incremental)
         hb_elapsed = time.perf_counter() - start
         start = time.perf_counter()
         detect_use_free_races(run.trace)
@@ -92,6 +109,10 @@ def analysis_scaling(
                 trace_ops=len(run.trace),
                 hb_seconds=hb_elapsed,
                 detect_seconds=detect_elapsed,
+                key_nodes=hb.graph.node_count,
+                fixpoint_rounds=hb.iterations,
+                closure_recomputations=hb.graph.closure_recomputations,
+                bits_propagated=hb.graph.bits_propagated,
             )
         )
     return points

@@ -5,19 +5,30 @@
 per-app tracing slowdown.  Both accept a ``scale`` factor controlling
 the background event load (1.0 approximates the paper's event counts;
 benchmarks default to a smaller scale via the ``REPRO_BENCH_SCALE``
-environment variable).
+environment variable) and a ``jobs`` count: with ``jobs > 1`` the
+per-app pipelines fan out across worker processes.  Every app's
+simulation and analysis is deterministic in ``(scale, seed)``, so the
+parallel results are byte-identical to the serial ones and are always
+returned in app order, regardless of which worker finishes first.
+
+Worker failures are re-raised in the caller with the originating app's
+name attached, so a crash inside a pool process is as diagnosable as a
+serial one.
 """
 
 from __future__ import annotations
 
 import os
-from typing import List, Optional, Sequence, Type
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Optional, Sequence, Type, TypeVar
 
 from ..apps.base import AppModel, Table1Row
 from ..apps.catalog import ALL_APPS
 from ..detect import DetectorOptions
 from .performance import SlowdownResult, measure_slowdown
-from .precision import Table1, evaluate_run
+from .precision import AppEvaluation, Table1, evaluate_run
+
+T = TypeVar("T")
 
 #: environment variable overriding the default benchmark scale
 SCALE_ENV_VAR = "REPRO_BENCH_SCALE"
@@ -37,17 +48,78 @@ def bench_scale(default: float = 0.1) -> float:
     return value
 
 
+def _validate_jobs(jobs: int) -> int:
+    """Reject non-positive or non-integral worker counts loudly."""
+    if isinstance(jobs, bool) or not isinstance(jobs, int):
+        raise ValueError(f"jobs must be a positive integer, got {jobs!r}")
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def _evaluate_app(
+    app_cls: Type[AppModel],
+    scale: float,
+    seed: int,
+    options: Optional[DetectorOptions],
+) -> AppEvaluation:
+    """One app's simulate → detect → classify pipeline (pool worker)."""
+    run = app_cls(scale=scale, seed=seed).run()
+    return evaluate_run(run, options)
+
+
+def _fan_out(
+    fn: Callable[..., T],
+    app_list: Sequence[Type[AppModel]],
+    args: tuple,
+    jobs: int,
+    label: str,
+) -> List[T]:
+    """Run ``fn(app_cls, *args)`` for every app across ``jobs`` processes.
+
+    Results come back in app order.  A worker exception aborts the
+    fan-out and is re-raised as a ``RuntimeError`` naming the app whose
+    pipeline failed (chained to the original exception).
+    """
+    results: List[T] = [None] * len(app_list)  # type: ignore[list-item]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(app_list))) as pool:
+        futures = [
+            (i, app_cls, pool.submit(fn, app_cls, *args))
+            for i, app_cls in enumerate(app_list)
+        ]
+        for i, app_cls, future in futures:
+            try:
+                results[i] = future.result()
+            except Exception as exc:
+                raise RuntimeError(
+                    f"{label} worker for app {app_cls.name!r} failed: {exc}"
+                ) from exc
+    return results
+
+
 def reproduce_table1(
     apps: Optional[Sequence[Type[AppModel]]] = None,
     scale: float = 0.1,
     seed: int = 0,
     options: Optional[DetectorOptions] = None,
+    jobs: int = 1,
 ) -> Table1:
-    """Run the precision evaluation over the given apps (default: all ten)."""
+    """Run the precision evaluation over the given apps (default: all ten).
+
+    ``jobs > 1`` distributes the per-app pipelines over a process pool;
+    ``jobs=1`` (the default) runs serially in this process.  The rows
+    are identical and identically ordered either way.
+    """
+    _validate_jobs(jobs)
+    app_list = list(apps) if apps is not None else list(ALL_APPS)
     table = Table1()
-    for app_cls in apps if apps is not None else ALL_APPS:
-        run = app_cls(scale=scale, seed=seed).run()
-        table.evaluations.append(evaluate_run(run, options))
+    if jobs == 1 or len(app_list) <= 1:
+        for app_cls in app_list:
+            table.evaluations.append(_evaluate_app(app_cls, scale, seed, options))
+    else:
+        table.evaluations.extend(
+            _fan_out(_evaluate_app, app_list, (scale, seed, options), jobs, "table1")
+        )
     return table
 
 
@@ -62,9 +134,18 @@ def reproduce_figure8(
     apps: Optional[Sequence[Type[AppModel]]] = None,
     scale: float = 0.1,
     seed: int = 0,
+    jobs: int = 1,
 ) -> List[SlowdownResult]:
-    """Measure the tracing slowdown for the given apps (default: all ten)."""
-    return [
-        measure_slowdown(app_cls, scale=scale, seed=seed)
-        for app_cls in (apps if apps is not None else ALL_APPS)
-    ]
+    """Measure the tracing slowdown for the given apps (default: all ten).
+
+    Slowdowns are ratios of *virtual* CPU time, so fanning out over
+    ``jobs`` worker processes cannot perturb the measurement.
+    """
+    _validate_jobs(jobs)
+    app_list = list(apps) if apps is not None else list(ALL_APPS)
+    if jobs == 1 or len(app_list) <= 1:
+        return [
+            measure_slowdown(app_cls, scale=scale, seed=seed)
+            for app_cls in app_list
+        ]
+    return _fan_out(measure_slowdown, app_list, (scale, seed), jobs, "figure8")

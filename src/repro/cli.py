@@ -48,6 +48,25 @@ def _add_scale(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=1, help="scheduler seed")
 
 
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_jobs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="worker processes for the per-app pipelines (1 = serial)",
+    )
+
+
 def _cmd_apps(_args) -> int:
     for app in ALL_APPS:
         print(f"{app.name:<12} {app.description}")
@@ -126,13 +145,17 @@ def _cmd_dot(args) -> int:
 
 
 def _cmd_evaluate(args) -> int:
-    table = reproduce_table1(scale=args.scale, seed=args.seed)
+    table = reproduce_table1(scale=args.scale, seed=args.seed, jobs=args.jobs)
     print(format_table1(table, paper_table1_rows()))
     return 0
 
 
 def _cmd_slowdown(args) -> int:
-    print(format_slowdowns(reproduce_figure8(scale=args.scale, seed=args.seed)))
+    print(
+        format_slowdowns(
+            reproduce_figure8(scale=args.scale, seed=args.seed, jobs=args.jobs)
+        )
+    )
     return 0
 
 
@@ -221,10 +244,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     evaluate = sub.add_parser("evaluate", help="reproduce Table 1")
     _add_scale(evaluate)
+    _add_jobs(evaluate)
     evaluate.set_defaults(fn=_cmd_evaluate)
 
     slowdown = sub.add_parser("slowdown", help="reproduce Figure 8")
     _add_scale(slowdown)
+    _add_jobs(slowdown)
     slowdown.set_defaults(fn=_cmd_slowdown)
 
     explore = sub.add_parser(

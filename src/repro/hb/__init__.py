@@ -2,6 +2,7 @@
 happens-before analysis (Section 4.2)."""
 
 from .builder import (
+    BuildProfile,
     EventRecord,
     RULE_ATOMICITY,
     RULE_EXTERNAL,
@@ -23,17 +24,19 @@ from .builder import (
     build_happens_before,
 )
 from .config import CAFA_MODEL, CONVENTIONAL_MODEL, NO_QUEUE_MODEL, ModelConfig
-from .graph import HappensBefore, HBCycleError, KeyGraph
+from .graph import HappensBefore, HBCycleError, HBInvariantError, KeyGraph
 from .dot import to_dot
 from .stats import HBStats, hb_stats
 from .vector_clock import VectorClock, VectorClockAnalysis
 
 __all__ = [
+    "BuildProfile",
     "CAFA_MODEL",
     "CONVENTIONAL_MODEL",
     "NO_QUEUE_MODEL",
     "EventRecord",
     "HBCycleError",
+    "HBInvariantError",
     "HBStats",
     "HappensBefore",
     "KeyGraph",

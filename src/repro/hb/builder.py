@@ -8,13 +8,27 @@ The base rules (program order, fork-join, signal-and-wait, event
 listener, send, external input, IPC) produce edges directly from the
 trace.  The atomicity rule and the four event-queue rules are *derived*
 rules: their premises are happens-before facts, so they are applied to
-a fixpoint — each round computes the transitive closure, finds every
-rule instance whose premise holds and whose conclusion is not yet
-implied, adds the concluded edges, and repeats until no rule fires.
+a fixpoint — each round finds every rule instance whose premise holds
+and whose conclusion is not yet implied, adds the concluded edges, and
+repeats until no rule fires.
+
+The fixpoint is *incremental*: the transitive closure is computed once
+before round one and maintained in place by
+:meth:`repro.hb.graph.KeyGraph.add_edge` as conclusions land, so the
+rules read live reach sets instead of per-round snapshots.  Dirty
+tracking makes later rounds cheap — a looper's atomicity group or a
+queue's rule group is only re-examined when the reach set of one of
+its premise nodes (event begins, send operations) actually changed
+since the group last ran.  Edges concluded in a round are still staged
+and applied between rounds, which keeps the produced edge set
+bit-for-bit identical to the historical snapshot-per-round
+implementation (available as ``build_happens_before(...,
+incremental=False)`` for differential testing).
 """
 
 from __future__ import annotations
 
+import time
 from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -61,6 +75,47 @@ RULE_QUEUE_1 = "queue-rule-1"
 RULE_QUEUE_2 = "queue-rule-2"
 RULE_QUEUE_3 = "queue-rule-3"
 RULE_QUEUE_4 = "queue-rule-4"
+
+
+@dataclass
+class BuildProfile:
+    """Per-phase timings and closure-work counters of one build.
+
+    Attached to :class:`~repro.hb.graph.HappensBefore` as ``profile``
+    and surfaced by ``repro.hb.stats`` / ``python -m repro stats`` so
+    the cost of each phase — and the effect of the incremental closure
+    — is observable without a profiler.
+    """
+
+    #: trace scan + event-record harvesting
+    scan_seconds: float = 0.0
+    #: key-graph construction + base-rule edges
+    base_seconds: float = 0.0
+    #: full transitive-closure computations (initial + final check)
+    closure_seconds: float = 0.0
+    #: derived-rule fixpoint (rule evaluation + incremental closure upkeep)
+    fixpoint_seconds: float = 0.0
+    #: fixpoint rounds (== HappensBefore.iterations)
+    rounds: int = 0
+    #: derived edges applied after each round (excludes the final empty round)
+    edges_per_round: List[int] = field(default_factory=list)
+    #: full closure rebuilds (1 for an incremental build, ~rounds+1 legacy)
+    closure_recomputations: int = 0
+    #: reachability bits newly set by incremental propagation
+    bits_propagated: int = 0
+    #: rule groups (per looper / per queue) evaluated across all rounds
+    groups_examined: int = 0
+    #: rule groups skipped because no premise node's reach set changed
+    groups_skipped: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.scan_seconds
+            + self.base_seconds
+            + self.closure_seconds
+            + self.fixpoint_seconds
+        )
 
 
 @dataclass
@@ -157,9 +212,11 @@ def _is_key(state: _BuildState, op_index: int) -> bool:
     return False
 
 
-def _build_key_graph(state: _BuildState) -> Tuple[KeyGraph, Dict[str, List[int]], Dict[str, List[int]]]:
+def _build_key_graph(
+    state: _BuildState, incremental: bool = True
+) -> Tuple[KeyGraph, Dict[str, List[int]], Dict[str, List[int]]]:
     """Create nodes for every key op and chain them per task."""
-    graph = KeyGraph()
+    graph = KeyGraph(incremental=incremental)
     task_key_positions: Dict[str, List[int]] = {}
     task_key_nodes: Dict[str, List[int]] = {}
     for task, ops in state.task_ops.items():
@@ -308,41 +365,151 @@ def _check_one_looper_per_queue(state: _BuildState) -> None:
             )
 
 
+@dataclass
+class _AtomicityGroup:
+    """One looper's dispatched events, in execution order."""
+
+    recs: List[EventRecord]
+    begin_node: List[int]
+    #: end-node suffix masks: suffix[i] = OR of end nodes after position i-1
+    suffix: List[int]
+    event_of_end_node: Dict[int, EventRecord]
+    #: nodes whose reach sets the rule's premise reads
+    premise_mask: int
+
+
+@dataclass
+class _QueueGroup:
+    """One queue's dispatched sends (sorted by delay) and sendAtFronts."""
+
+    sends: List[EventRecord]
+    fronts: List[EventRecord]
+    delays: List[int]
+    send_node: List[int]
+    #: send-node suffix masks over the delay-sorted sends
+    suffix: List[int]
+    event_of_send_node: Dict[int, EventRecord]
+    all_sends_mask: int
+    front_node: List[int]
+    front_begin_node: List[int]
+    #: premise masks per rule — re-examine only when one of these
+    #: nodes' reach set changed
+    mask_sends: int
+    mask_fronts: int
+
+    @property
+    def mask_any(self) -> int:
+        return self.mask_sends | self.mask_fronts
+
+
 class _DerivedRules:
-    """Applies the atomicity + event-queue rules to a fixpoint."""
+    """Applies the atomicity + event-queue rules to a fixpoint.
+
+    All per-looper / per-queue candidate structures (suffix masks,
+    node maps, premise masks) are precomputed once; each round then
+    reads the graph's *live* reach vector.  When the caller hands a
+    ``dirty`` node mask, a group whose premise nodes all kept their
+    reach sets is skipped entirely — its candidates cannot have
+    changed since it last ran.
+    """
 
     def __init__(self, state: _BuildState, graph: KeyGraph) -> None:
         self.state = state
         self.graph = graph
+        self.groups_examined = 0
+        self.groups_skipped = 0
         config = state.config
         dispatched = [
             rec for rec in state.events.values() if rec.dispatched and rec.queue
         ]
         # Events grouped per looper, in actual execution order.
-        self.per_looper: Dict[str, List[EventRecord]] = {}
+        per_looper: Dict[str, List[EventRecord]] = {}
         if config.atomicity:
             for rec in dispatched:
                 if rec.looper:
-                    self.per_looper.setdefault(rec.looper, []).append(rec)
-            for recs in self.per_looper.values():
-                recs.sort(key=lambda r: r.begin_index)  # type: ignore[arg-type, return-value]
+                    per_looper.setdefault(rec.looper, []).append(rec)
+        self.atom_groups: List[_AtomicityGroup] = []
+        for recs in per_looper.values():
+            if len(recs) < 2:
+                continue
+            recs.sort(key=lambda r: r.begin_index)  # type: ignore[arg-type, return-value]
+            begin_node = [self._node(r.begin_index) for r in recs]  # type: ignore[arg-type]
+            end_node = [self._node(r.end_index) for r in recs]  # type: ignore[arg-type]
+            suffix = [0] * (len(recs) + 1)
+            for i in range(len(recs) - 1, -1, -1):
+                suffix[i] = suffix[i + 1] | (1 << end_node[i])
+            premise_mask = 0
+            for n in begin_node[:-1]:
+                premise_mask |= 1 << n
+            self.atom_groups.append(
+                _AtomicityGroup(
+                    recs=recs,
+                    begin_node=begin_node,
+                    suffix=suffix,
+                    event_of_end_node={n: r for n, r in zip(end_node, recs)},
+                    premise_mask=premise_mask,
+                )
+            )
         # Sends grouped per queue for the queue rules.
-        self.sends: Dict[str, List[EventRecord]] = {}
-        self.fronts: Dict[str, List[EventRecord]] = {}
+        sends: Dict[str, List[EventRecord]] = {}
+        fronts: Dict[str, List[EventRecord]] = {}
         if config.any_queue_rule:
             for rec in dispatched:
                 if rec.send_index is None:
                     continue
-                bucket = self.fronts if rec.at_front else self.sends
+                bucket = fronts if rec.at_front else sends
                 bucket.setdefault(rec.queue, []).append(rec)  # type: ignore[arg-type]
-            for recs in self.sends.values():
-                recs.sort(key=lambda r: r.delay)
+        self.queue_groups: List[_QueueGroup] = []
+        for queue in sorted(sends.keys() | fronts.keys()):
+            s = sorted(sends.get(queue, []), key=lambda r: r.delay)
+            f = fronts.get(queue, [])
+            send_node = [self._node(r.send_index) for r in s]  # type: ignore[arg-type]
+            suffix = [0] * (len(s) + 1)
+            for i in range(len(s) - 1, -1, -1):
+                suffix[i] = suffix[i + 1] | (1 << send_node[i])
+            front_node = [self._node(r.send_index) for r in f]  # type: ignore[arg-type]
+            mask_sends = suffix[0]
+            mask_fronts = 0
+            for n in front_node:
+                mask_fronts |= 1 << n
+            self.queue_groups.append(
+                _QueueGroup(
+                    sends=s,
+                    fronts=f,
+                    delays=[r.delay for r in s],
+                    send_node=send_node,
+                    suffix=suffix,
+                    event_of_send_node={n: r for n, r in zip(send_node, s)},
+                    all_sends_mask=suffix[0],
+                    front_node=front_node,
+                    front_begin_node=[self._node(r.begin_index) for r in f],  # type: ignore[arg-type]
+                    mask_sends=mask_sends,
+                    mask_fronts=mask_fronts,
+                )
+            )
 
     def _node(self, op_index: int) -> int:
         return self.graph.node_of(op_index)
 
-    def apply(self, reach: List[int]) -> List[Tuple[int, int, str]]:
-        """One round: all rule instances enabled by the given closure."""
+    def _fresh(self, dirty: Optional[int], premise_mask: int) -> bool:
+        """Should a group with these premise nodes run this round?"""
+        if dirty is None or (premise_mask & dirty):
+            self.groups_examined += 1
+            return True
+        self.groups_skipped += 1
+        return False
+
+    def apply(self, dirty: Optional[int] = None) -> List[Tuple[int, int, str]]:
+        """One round: all rule instances enabled by the current closure.
+
+        ``dirty`` is a node bitmask from ``KeyGraph.drain_dirty`` —
+        groups none of whose premise nodes appear in it are skipped
+        (``None`` examines everything, as in round one).  Concluded
+        edges are returned, *not* added: staging them keeps each round
+        a function of the closure at round entry, so the edge set
+        matches the historical snapshot-per-round builder exactly.
+        """
+        reach = self.graph.reach_vector()
         new_edges: List[Tuple[int, int, str]] = []
         seen = set()
 
@@ -359,15 +526,15 @@ class _DerivedRules:
 
         config = self.state.config
         if config.atomicity:
-            self._atomicity(reach, conclude)
+            self._atomicity(reach, conclude, dirty)
         if config.queue_rule_1:
-            self._queue_rule_1(reach, conclude)
+            self._queue_rule_1(reach, conclude, dirty)
         if config.queue_rule_2:
-            self._queue_rule_2(reach, conclude)
+            self._queue_rule_2(reach, conclude, dirty)
         if config.queue_rule_3:
-            self._queue_rule_3(reach, conclude)
+            self._queue_rule_3(reach, conclude, dirty)
         if config.queue_rule_4:
-            self._queue_rule_4(reach, conclude)
+            self._queue_rule_4(reach, conclude, dirty)
         return new_edges
 
     # -- Atomicity rule ---------------------------------------------------
@@ -377,59 +544,52 @@ class _DerivedRules:
     # events in dispatch order and intersect the reachability set of
     # begin(e_i) with the end-nodes of later events in one bitset AND.
 
-    def _atomicity(self, reach, conclude) -> None:
-        for recs in self.per_looper.values():
-            if len(recs) < 2:
+    def _atomicity(self, reach, conclude, dirty) -> None:
+        for g in self.atom_groups:
+            if not self._fresh(dirty, g.premise_mask):
                 continue
-            end_node = [self._node(r.end_index) for r in recs]  # type: ignore[arg-type]
-            event_of_end_node = {n: r for n, r in zip(end_node, recs)}
-            # Suffix masks of end-nodes after position i.
-            suffix = [0] * (len(recs) + 1)
-            for i in range(len(recs) - 1, -1, -1):
-                suffix[i] = suffix[i + 1] | (1 << end_node[i])
-            for i, rec in enumerate(recs[:-1]):
-                candidates = reach[self._node(rec.begin_index)] & suffix[i + 1]  # type: ignore[arg-type]
+            for i, rec in enumerate(g.recs[:-1]):
+                candidates = reach[g.begin_node[i]] & g.suffix[i + 1]
                 while candidates:
                     low = candidates & -candidates
                     candidates ^= low
-                    other = event_of_end_node[low.bit_length() - 1]
+                    other = g.event_of_end_node[low.bit_length() - 1]
                     conclude(rec, other, RULE_ATOMICITY)
 
     # -- Queue rule 1 -------------------------------------------------------
     # send(t1,e1,d1) < send(t2,e2,d2) and d1 <= d2  =>  end(e1) < begin(e2).
 
-    def _queue_rule_1(self, reach, conclude) -> None:
-        for recs in self.sends.values():
-            if len(recs) < 2:
+    def _queue_rule_1(self, reach, conclude, dirty) -> None:
+        for g in self.queue_groups:
+            if len(g.sends) < 2:
                 continue
-            delays = [r.delay for r in recs]
-            send_node = [self._node(r.send_index) for r in recs]  # type: ignore[arg-type]
-            event_of_send_node = {n: r for n, r in zip(send_node, recs)}
-            suffix = [0] * (len(recs) + 1)
-            for i in range(len(recs) - 1, -1, -1):
-                suffix[i] = suffix[i + 1] | (1 << send_node[i])
-            for i, rec in enumerate(recs):
-                # Candidate partners: delay >= d1 (recs sorted by delay).
-                mask = suffix[bisect_left(delays, rec.delay)]
-                mask &= ~(1 << send_node[i])
-                candidates = reach[send_node[i]] & mask
+            if not self._fresh(dirty, g.mask_sends):
+                continue
+            for i, rec in enumerate(g.sends):
+                # Candidate partners: delay >= d1 (sends sorted by delay).
+                mask = g.suffix[bisect_left(g.delays, rec.delay)]
+                mask &= ~(1 << g.send_node[i])
+                candidates = reach[g.send_node[i]] & mask
                 while candidates:
                     low = candidates & -candidates
                     candidates ^= low
-                    other = event_of_send_node[low.bit_length() - 1]
+                    other = g.event_of_send_node[low.bit_length() - 1]
                     conclude(rec, other, RULE_QUEUE_1)
 
     # -- Queue rule 2 -------------------------------------------------------
     # send(t1,e1,d1) < sendAtFront(t2,e2) and sendAtFront(t2,e2) < begin(e1)
     #   =>  end(e2) < begin(e1).
 
-    def _queue_rule_2(self, reach, conclude) -> None:
-        for queue, fronts in self.fronts.items():
-            sends = self.sends.get(queue, ())
-            for front in fronts:
-                f_node = self._node(front.send_index)  # type: ignore[arg-type]
-                for send in sends:
-                    s_node = self._node(send.send_index)  # type: ignore[arg-type]
+    def _queue_rule_2(self, reach, conclude, dirty) -> None:
+        for g in self.queue_groups:
+            if not g.fronts or not g.sends:
+                continue
+            if not self._fresh(dirty, g.mask_any):
+                continue
+            for j, front in enumerate(g.fronts):
+                f_node = g.front_node[j]
+                for i, send in enumerate(g.sends):
+                    s_node = g.send_node[i]
                     b_node = self._node(send.begin_index)  # type: ignore[arg-type]
                     if (reach[s_node] >> f_node) & 1 and (reach[f_node] >> b_node) & 1:
                         conclude(front, send, RULE_QUEUE_2)
@@ -437,73 +597,111 @@ class _DerivedRules:
     # -- Queue rule 3 -------------------------------------------------------
     # sendAtFront(t1,e1) < send(t2,e2,d2)  =>  end(e1) < begin(e2).
 
-    def _queue_rule_3(self, reach, conclude) -> None:
-        for queue, fronts in self.fronts.items():
-            sends = self.sends.get(queue, ())
-            if not sends:
+    def _queue_rule_3(self, reach, conclude, dirty) -> None:
+        for g in self.queue_groups:
+            if not g.fronts or not g.sends:
                 continue
-            send_node = [self._node(r.send_index) for r in sends]  # type: ignore[arg-type]
-            event_of_send_node = {n: r for n, r in zip(send_node, sends)}
-            all_sends_mask = 0
-            for n in send_node:
-                all_sends_mask |= 1 << n
-            for front in fronts:
-                candidates = reach[self._node(front.send_index)] & all_sends_mask  # type: ignore[arg-type]
+            if not self._fresh(dirty, g.mask_fronts):
+                continue
+            for j, front in enumerate(g.fronts):
+                candidates = reach[g.front_node[j]] & g.all_sends_mask
                 while candidates:
                     low = candidates & -candidates
                     candidates ^= low
-                    other = event_of_send_node[low.bit_length() - 1]
+                    other = g.event_of_send_node[low.bit_length() - 1]
                     conclude(front, other, RULE_QUEUE_3)
 
     # -- Queue rule 4 -------------------------------------------------------
     # sendAtFront(t1,e1) < sendAtFront(t2,e2) and
     # sendAtFront(t2,e2) < begin(e1)  =>  end(e2) < begin(e1).
 
-    def _queue_rule_4(self, reach, conclude) -> None:
-        for fronts in self.fronts.values():
-            for f1 in fronts:
-                n1 = self._node(f1.send_index)  # type: ignore[arg-type]
-                b1 = self._node(f1.begin_index)  # type: ignore[arg-type]
-                for f2 in fronts:
+    def _queue_rule_4(self, reach, conclude, dirty) -> None:
+        for g in self.queue_groups:
+            if len(g.fronts) < 2:
+                continue
+            if not self._fresh(dirty, g.mask_fronts):
+                continue
+            for i, f1 in enumerate(g.fronts):
+                n1 = g.front_node[i]
+                b1 = g.front_begin_node[i]
+                for j, f2 in enumerate(g.fronts):
                     if f1 is f2:
                         continue
-                    n2 = self._node(f2.send_index)  # type: ignore[arg-type]
+                    n2 = g.front_node[j]
                     if (reach[n1] >> n2) & 1 and (reach[n2] >> b1) & 1:
                         conclude(f2, f1, RULE_QUEUE_4)
 
 
 def build_happens_before(
-    trace: Trace, config: ModelConfig = CAFA_MODEL
+    trace: Trace, config: ModelConfig = CAFA_MODEL, incremental: bool = True
 ) -> HappensBefore:
     """Build the happens-before relation of ``trace`` under ``config``.
 
     Returns a :class:`~repro.hb.graph.HappensBefore` answering ordering
     queries between arbitrary operation indices.  Raises
-    :class:`~repro.hb.graph.HBCycleError` if the derived relation is
-    cyclic (an inconsistent trace).
+    :class:`~repro.hb.graph.HBCycleError` *here, at build time,* if the
+    derived relation is cyclic (an inconsistent trace) — under every
+    configuration, including the ablations that disable the derived
+    rules.
+
+    ``incremental=False`` selects the historical
+    full-closure-recompute-per-round fixpoint; it produces the exact
+    same relation and exists as a differential-testing target and
+    performance baseline.
     """
+    profile = BuildProfile()
+    tick = time.perf_counter
+    t0 = tick()
     state = _BuildState(trace=trace, config=config)
     _scan(state)
     _check_one_looper_per_queue(state)
-    graph, task_key_positions, task_key_nodes = _build_key_graph(state)
+    profile.scan_seconds = tick() - t0
+
+    t0 = tick()
+    graph, task_key_positions, task_key_nodes = _build_key_graph(state, incremental)
     _add_base_edges(state, graph)
+    profile.base_seconds = tick() - t0
+
+    # Build-time consistency check: close (and thereby cycle-check) the
+    # base graph unconditionally, so a cyclic trace fails here rather
+    # than from whichever ordered() query happens to run first.
+    t0 = tick()
+    graph.close()
+    profile.closure_seconds += tick() - t0
 
     iterations = 0
     derived_edges = 0
     if not config.sequential_events and (config.atomicity or config.any_queue_rule):
+        t0 = tick()
         rules = _DerivedRules(state, graph)
+        graph.drain_dirty()  # the initial closure marked every node dirty
+        dirty: Optional[int] = None  # round one examines every group
         while True:
             iterations += 1
-            reach = [graph.reach_set(v) for v in range(graph.node_count)]
-            new_edges = rules.apply(reach)
+            new_edges = rules.apply(dirty)
             if not new_edges:
                 break
+            added = 0
             for u, v, rule in new_edges:
                 if graph.add_edge(u, v, rule):
-                    derived_edges += 1
-        # Force a final closure (also performs the cycle check).
-        if graph.node_count:
-            graph.reach_set(0)
+                    added += 1
+            derived_edges += added
+            profile.edges_per_round.append(added)
+            # Only candidates whose reachability changed need another look.
+            dirty = graph.drain_dirty() if incremental else None
+        profile.fixpoint_seconds = tick() - t0
+        profile.groups_examined = rules.groups_examined
+        profile.groups_skipped = rules.groups_skipped
+        # Legacy mode invalidated the closure on every added edge; make
+        # sure the final state is closed and cycle-checked.  A no-op for
+        # incremental builds, whose closure is maintained live.
+        t0 = tick()
+        graph.close()
+        profile.closure_seconds += tick() - t0
+
+    profile.rounds = iterations
+    profile.closure_recomputations = graph.closure_recomputations
+    profile.bits_propagated = graph.bits_propagated
 
     bounds: Dict[str, Tuple[int, int]] = {}
     for task, begin in state.task_begin.items():
@@ -522,6 +720,7 @@ def build_happens_before(
         event_bounds=bounds,
         iterations=iterations,
         derived_edges=derived_edges,
+        profile=profile,
     )
 
 

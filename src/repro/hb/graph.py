@@ -17,11 +17,21 @@ in the same task, so ordering queries between arbitrary operations
 reduce to key-node reachability plus two index comparisons.
 
 Reachability over key nodes is kept as one Python big-int bitset per
-node, recomputed in reverse topological order.  This gives O(K^2/64)
-closure time and O(1) amortized queries, which is what makes the
-fixpoint over the atomicity/queue rules tractable (Section 4.2 reports
-offline analysis times of minutes to hours on real traces; the same
-asymptotics apply here).
+node.  The *first* closure is computed in reverse topological order —
+O(K^2/64) — and from then on the index is maintained *incrementally*:
+``add_edge(u, v)`` on a closed graph ORs ``reach[v]`` into ``reach[u]``
+and propagates the gained bits backward through predecessors with a
+worklist, stopping as soon as a bitset stops changing.  The builder's
+fixpoint therefore pays one full closure total instead of one per
+round, which is what makes it scale (Section 4.2 reports offline
+analysis times of minutes to hours on real traces; see
+``docs/model.md`` for the algorithm's invariants).
+
+Two counters make the closure work observable:
+``closure_recomputations`` (full from-scratch closure builds) and
+``bits_propagated`` (reachability bits newly set by incremental
+propagation).  ``benchmarks/test_analysis_scaling.py`` asserts the
+former stays constant across the fixpoint.
 """
 
 from __future__ import annotations
@@ -44,22 +54,44 @@ class HBCycleError(Exception):
         super().__init__(f"happens-before cycle through ops {self.cycle}")
 
 
+class HBInvariantError(RuntimeError):
+    """An internal consistency invariant of the reachability index broke.
+
+    Raised instead of ``assert`` so the checks survive ``python -O``
+    and fail with a descriptive message rather than a downstream
+    ``TypeError``.  Seeing this exception always indicates a bug in
+    :mod:`repro.hb`, never a property of the analyzed trace.
+    """
+
+
 class KeyGraph:
     """A DAG over key operations with bitset transitive closure.
 
     Nodes are identified by dense integer ids; each node corresponds to
     one trace operation index.  Edges carry a provenance label (the
     name of the rule that created them) for explanation output.
+
+    With ``incremental=True`` (the default) the transitive closure is
+    maintained across ``add_node``/``add_edge`` once it has been
+    computed; ``incremental=False`` restores the historical behaviour
+    of invalidating and rebuilding the whole closure, kept only as a
+    differential-testing target.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, incremental: bool = True) -> None:
         self._op_of_node: List[int] = []
         self._node_of_op: Dict[int, int] = {}
         self._succ: List[List[int]] = []
         self._pred: List[List[int]] = []
         self._edge_rule: Dict[Tuple[int, int], str] = {}
         self._reach: Optional[List[int]] = None
-        self._topo: Optional[List[int]] = None
+        self._incremental = incremental
+        #: nodes whose reach set changed since the last :meth:`drain_dirty`
+        self._dirty = 0
+        #: full from-scratch transitive-closure builds performed
+        self.closure_recomputations = 0
+        #: reachability bits newly set by incremental edge propagation
+        self.bits_propagated = 0
 
     # -- construction -----------------------------------------------------
 
@@ -73,7 +105,12 @@ class KeyGraph:
         self._node_of_op[op_index] = node
         self._succ.append([])
         self._pred.append([])
-        self._reach = None
+        if self._incremental and self._reach is not None:
+            # A fresh node has no edges yet: it reaches only itself.
+            self._reach.append(1 << node)
+            self._dirty |= 1 << node
+        else:
+            self._reach = None
         return node
 
     def node_of(self, op_index: int) -> int:
@@ -88,13 +125,23 @@ class KeyGraph:
         return op_index in self._node_of_op
 
     def add_edge(self, u: int, v: int, rule: str) -> bool:
-        """Add edge ``u -> v`` between node ids; returns False if present."""
+        """Add edge ``u -> v`` between node ids; returns False if present.
+
+        On a graph whose closure is already computed (incremental mode)
+        the reachability index is updated in place, and an edge that
+        closes a cycle raises :class:`HBCycleError` immediately; on a
+        never-closed graph cycles are detected by the next closure
+        computation, as before.
+        """
         if (u, v) in self._edge_rule:
             return False
         self._succ[u].append(v)
         self._pred[v].append(u)
         self._edge_rule[(u, v)] = rule
-        self._reach = None
+        if self._incremental and self._reach is not None:
+            self._propagate(u, v)
+        else:
+            self._reach = None
         return True
 
     def edge_rule(self, u: int, v: int) -> Optional[str]:
@@ -114,6 +161,38 @@ class KeyGraph:
             yield u, v, rule
 
     # -- closure -----------------------------------------------------------
+
+    def _propagate(self, u: int, v: int) -> None:
+        """Fold the new edge ``u -> v`` into the live closure.
+
+        OR ``reach[v]`` into ``reach[u]``, then push the gained bits
+        backward through predecessors with a worklist; a node is
+        revisited only while its bitset actually changes, so already-
+        implied edges cost one big-int AND and nothing else.
+        """
+        reach = self._reach
+        if reach is None:  # pragma: no cover - guarded by add_edge/add_node
+            raise HBInvariantError("_propagate called without a closure")
+        if (reach[v] >> u) & 1:
+            # v already reaches u, so u -> v closes a cycle.
+            raise HBCycleError(self._find_cycle())
+        gained = reach[v] & ~reach[u]
+        if not gained:
+            return
+        reach[u] |= gained
+        self.bits_propagated += gained.bit_count()
+        self._dirty |= 1 << u
+        stack = [u]
+        while stack:
+            x = stack.pop()
+            rx = reach[x]
+            for p in self._pred[x]:
+                gained = rx & ~reach[p]
+                if gained:
+                    reach[p] |= gained
+                    self.bits_propagated += gained.bit_count()
+                    self._dirty |= 1 << p
+                    stack.append(p)
 
     def _toposort(self) -> List[int]:
         n = self.node_count
@@ -175,8 +254,36 @@ class KeyGraph:
                 mask |= reach[w]
             reach[v] = mask
         self._reach = reach
-        self._topo = order
+        self.closure_recomputations += 1
+        self._dirty = (1 << self.node_count) - 1
         return reach
+
+    def close(self) -> None:
+        """Force the transitive closure (and with it the cycle check).
+
+        A no-op when the closure is already current; raises
+        :class:`HBCycleError` if the graph is cyclic.
+        """
+        if self.node_count:
+            self._closure()
+
+    def reach_vector(self) -> List[int]:
+        """The live list of per-node reach bitsets, indexed by node id.
+
+        This is the graph's own closure storage, not a copy: entries
+        change under ``add_edge``/``add_node``.  Callers must treat it
+        as read-only.
+        """
+        return self._closure()
+
+    def drain_dirty(self) -> int:
+        """Bitmask of nodes whose reach set changed since the last drain.
+
+        A full closure recomputation marks every node dirty.
+        """
+        dirty = self._dirty
+        self._dirty = 0
+        return dirty
 
     def reaches(self, u: int, v: int) -> bool:
         """Reflexive-transitive reachability between node ids."""
@@ -225,6 +332,7 @@ class HappensBefore:
         event_bounds: Dict[str, Tuple[int, int]],
         iterations: int,
         derived_edges: int,
+        profile: Optional[object] = None,
     ) -> None:
         self.graph = graph
         self._op_task = op_task
@@ -236,6 +344,9 @@ class HappensBefore:
         self.iterations = iterations
         #: number of edges contributed by the derived (fixpoint) rules
         self.derived_edges = derived_edges
+        #: per-phase :class:`repro.hb.builder.BuildProfile`, when built
+        #: by :func:`repro.hb.builder.build_happens_before`
+        self.profile = profile
 
     # -- core queries -------------------------------------------------------
 
@@ -296,7 +407,12 @@ class HappensBefore:
         if ta == tb:
             return [(a, "start"), (b, "program-order")]
         ka = self._first_key_at_or_after(ta, self._op_pos[a])
-        assert ka is not None
+        if ka is None:
+            raise HBInvariantError(
+                f"ordered({a}, {b}) holds but op {a} has no key node at or "
+                f"after position {self._op_pos[a]} in task {ta!r}; the "
+                "per-task key index disagrees with the reachability index"
+            )
         reach = self.graph.reach_set(ka)
         positions = self._task_key_positions[tb]
         nodes = self._task_key_nodes[tb]
@@ -306,9 +422,19 @@ class HappensBefore:
             if (reach >> nodes[i]) & 1:
                 target = nodes[i]
                 break
-        assert target is not None
+        if target is None:
+            raise HBInvariantError(
+                f"ordered({a}, {b}) holds but no key node of task {tb!r} at "
+                f"or before position {self._op_pos[b]} is reachable from "
+                f"node {ka}; the closure bitsets are inconsistent"
+            )
         path = self.graph.find_path(ka, target)
-        assert path is not None
+        if path is None:
+            raise HBInvariantError(
+                f"node {target} is in the reach set of node {ka} but no "
+                "edge path connects them; the closure bitsets disagree "
+                "with the edge lists"
+            )
         steps: List[Tuple[int, str]] = [(a, "start")]
         prev = None
         for node in path:

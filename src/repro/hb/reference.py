@@ -2,13 +2,17 @@
 
 This module exists for *differential testing only*: it implements the
 rules of Section 3.3 in the most literal way possible — one vertex per
-trace operation, a dense boolean reachability matrix recomputed from
-scratch, and a fixpoint that re-scans every rule instance on every
+trace operation, a dense reachability matrix recomputed from scratch
+every round, and a fixpoint that re-scans every rule instance on every
 round quantifying over **all** operation pairs.  No key-node reduction,
-no bitsets, no seeding, no candidate masks.  It is O(n^3)-ish and only
-usable on small traces, which is exactly what the property tests feed
-it: the optimized builder in :mod:`repro.hb.builder` must agree with
-this oracle on every ordering query.
+no incremental maintenance, no seeding, no candidate masks.  (The
+matrix rows are stored as big-int bitsets and each round's conclusions
+are staged and applied together — pure mechanics that keep the oracle
+usable on whole app traces without changing the computed relation.)
+It is O(n^3/64)-ish and only usable on small traces, which is exactly
+what the property and differential tests feed it: the optimized
+builder in :mod:`repro.hb.builder` must agree with this oracle on
+every ordering query.
 """
 
 from __future__ import annotations
@@ -46,7 +50,8 @@ class ReferenceHappensBefore:
         self._n = n
         #: adjacency: edge[i][j] True if i -> j directly
         self._edge: List[Set[int]] = [set() for _ in range(n)]
-        self._reach: Optional[List[List[bool]]] = None
+        #: per-row reachability bitsets: bit j of _reach[i] set iff i ->* j
+        self._reach: Optional[List[int]] = None
         self._build()
 
     # -- construction -----------------------------------------------------
@@ -58,31 +63,26 @@ class ReferenceHappensBefore:
         self._reach = None
         return True
 
-    def _closure(self) -> List[List[bool]]:
+    def _closure(self) -> List[int]:
         if self._reach is not None:
             return self._reach
         n = self._n
-        reach = [[False] * n for _ in range(n)]
-        for i in range(n):
-            reach[i][i] = True
+        reach = [(1 << i) for i in range(n)]
         for i in range(n):
             for j in self._edge[i]:
-                reach[i][j] = True
-        # Floyd-Warshall
+                reach[i] |= 1 << j
+        # Floyd-Warshall, one big-int row per vertex
         for k in range(n):
             row_k = reach[k]
             for i in range(n):
-                if reach[i][k]:
-                    row_i = reach[i]
-                    for j in range(n):
-                        if row_k[j]:
-                            row_i[j] = True
+                if (reach[i] >> k) & 1:
+                    reach[i] |= row_k
         self._reach = reach
         return reach
 
     def _lt(self, a: int, b: int) -> bool:
         """Strict: a < b (reflexive closure minus identity)."""
-        return a != b and self._closure()[a][b]
+        return a != b and (self._closure()[a] >> b) & 1 == 1
 
     def _build(self) -> None:
         trace, config = self.trace, self.config
@@ -180,49 +180,55 @@ class ReferenceHappensBefore:
             elif isinstance(op, SendAtFront) and op.event in begin_of and op.event in end_of:
                 fronts.append((i, op))
 
+        # Each round scans every rule instance against the closure of the
+        # edges known at the start of the round; the round's conclusions
+        # are applied together afterwards.  The loop still runs to the
+        # least fixpoint (the rules are monotone), it just rebuilds the
+        # closure once per round instead of once per added edge.
         changed = True
         while changed:
-            changed = False
+            staged: List[Tuple[int, int]] = []
             if config.atomicity:
                 for t1, i1 in events:
                     for t2, i2 in events:
                         if t1 == t2 or i1.looper != i2.looper or not i1.looper:
                             continue
                         if self._lt(begin_of[t1], end_of[t2]):
-                            if self._add(end_of[t1], begin_of[t2]):
-                                changed = True
+                            staged.append((end_of[t1], begin_of[t2]))
             if config.queue_rule_1:
                 for i, s1 in sends:
                     for j, s2 in sends:
                         if i == j or s1.queue != s2.queue:
                             continue
                         if s1.delay <= s2.delay and self._lt(i, j):
-                            if self._add(end_of[s1.event], begin_of[s2.event]):
-                                changed = True
+                            staged.append((end_of[s1.event], begin_of[s2.event]))
             if config.queue_rule_2:
                 for i, s1 in sends:
                     for j, f2 in fronts:
                         if s1.queue != f2.queue:
                             continue
                         if self._lt(i, j) and self._lt(j, begin_of[s1.event]):
-                            if self._add(end_of[f2.event], begin_of[s1.event]):
-                                changed = True
+                            staged.append((end_of[f2.event], begin_of[s1.event]))
             if config.queue_rule_3:
                 for i, f1 in fronts:
                     for j, s2 in sends:
                         if f1.queue != s2.queue:
                             continue
                         if self._lt(i, j):
-                            if self._add(end_of[f1.event], begin_of[s2.event]):
-                                changed = True
+                            staged.append((end_of[f1.event], begin_of[s2.event]))
             if config.queue_rule_4:
                 for i, f1 in fronts:
                     for j, f2 in fronts:
                         if i == j or f1.queue != f2.queue:
                             continue
                         if self._lt(i, j) and self._lt(j, begin_of[f1.event]):
-                            if self._add(end_of[f2.event], begin_of[f1.event]):
-                                changed = True
+                            staged.append((end_of[f2.event], begin_of[f1.event]))
+            reach = self._closure()
+            changed = False
+            for src, dst in staged:
+                if not (reach[src] >> dst) & 1:
+                    if self._add(src, dst):
+                        changed = True
 
     # -- queries ----------------------------------------------------------
 

@@ -5,15 +5,24 @@ model rule that created it — useful for understanding which parts of
 the causality model do the work on a given trace (e.g. how many
 orderings only exist because of the event-queue rules), and exposed by
 the diagnostics in the CLI and EXPERIMENTS.md.
+
+When the relation was produced by
+:func:`repro.hb.builder.build_happens_before`, the stats also carry
+the build's :class:`~repro.hb.builder.BuildProfile` — per-phase wall
+times (scan, base edges, closure, fixpoint), derived edges per round,
+and the closure-work counters (full recomputations, bits propagated
+incrementally, dirty-groups skipped) that make the incremental
+fixpoint's speedup observable from ``python -m repro stats``.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass
-from typing import Dict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
 
 from ..trace import TaskKind, Trace
+from .builder import BuildProfile
 from .graph import HappensBefore
 
 
@@ -29,6 +38,14 @@ class HBStats:
     events: int
     loopers: int
     threads: int
+    #: full transitive-closure rebuilds (1 for an incremental build)
+    closure_recomputations: int = 0
+    #: reachability bits set by incremental closure propagation
+    bits_propagated: int = 0
+    #: derived edges applied per fixpoint round
+    edges_per_round: List[int] = field(default_factory=list)
+    #: per-phase timings of the build, when available
+    profile: Optional[BuildProfile] = None
 
     def format(self) -> str:
         lines = [
@@ -38,8 +55,33 @@ class HBStats:
             f"{self.derived_edges} derived edges)",
             f"tasks: {self.events} events, {self.loopers} loopers, "
             f"{self.threads} threads",
-            "edges by rule:",
         ]
+        lines.append(
+            f"closure work: {self.closure_recomputations} full "
+            f"recomputation(s), {self.bits_propagated} bits propagated "
+            "incrementally"
+        )
+        if self.edges_per_round:
+            lines.append(
+                "derived edges per round: "
+                + ", ".join(str(n) for n in self.edges_per_round)
+            )
+        if self.profile is not None:
+            p = self.profile
+            lines.append(
+                "phase timings: "
+                f"scan {p.scan_seconds * 1e3:.1f} ms, "
+                f"base edges {p.base_seconds * 1e3:.1f} ms, "
+                f"closure {p.closure_seconds * 1e3:.1f} ms, "
+                f"fixpoint {p.fixpoint_seconds * 1e3:.1f} ms "
+                f"(total {p.total_seconds * 1e3:.1f} ms)"
+            )
+            if p.groups_examined or p.groups_skipped:
+                lines.append(
+                    f"fixpoint groups: {p.groups_examined} examined, "
+                    f"{p.groups_skipped} skipped as clean"
+                )
+        lines.append("edges by rule:")
         for rule, count in sorted(
             self.rule_counts.items(), key=lambda kv: -kv[1]
         ):
@@ -53,6 +95,7 @@ def hb_stats(trace: Trace, hb: HappensBefore) -> HBStats:
     for _u, _v, rule in hb.graph.edges():
         counts[rule] += 1
     kinds = Counter(info.task_kind for info in trace.tasks.values())
+    profile = hb.profile if isinstance(hb.profile, BuildProfile) else None
     return HBStats(
         key_nodes=hb.graph.node_count,
         edges=hb.graph.edge_count,
@@ -62,4 +105,8 @@ def hb_stats(trace: Trace, hb: HappensBefore) -> HBStats:
         events=kinds.get(TaskKind.EVENT, 0),
         loopers=kinds.get(TaskKind.LOOPER, 0),
         threads=kinds.get(TaskKind.THREAD, 0),
+        closure_recomputations=hb.graph.closure_recomputations,
+        bits_propagated=hb.graph.bits_propagated,
+        edges_per_round=list(profile.edges_per_round) if profile else [],
+        profile=profile,
     )

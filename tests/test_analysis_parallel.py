@@ -1,0 +1,98 @@
+"""The parallel evaluation pipeline: jobs validation, determinism,
+and worker-failure diagnostics."""
+
+import pytest
+
+from repro.analysis import (
+    format_table1,
+    paper_table1_rows,
+    reproduce_figure8,
+    reproduce_table1,
+)
+from repro.apps import ALL_APPS
+
+
+def table_fingerprint(table):
+    """Everything observable about a Table1, comparably."""
+    return [
+        (
+            e.name,
+            e.events,
+            e.row(),
+            [(r.key, r.verdict) for r in e.result.reports],
+            [(r.key, r.verdict) for r in e.matched],
+            [r.key for r in e.unmatched],
+            list(e.missed),
+        )
+        for e in table.evaluations
+    ]
+
+
+class FailingApp:
+    """A stand-in app whose pipeline always crashes (module level so
+    the process pool can pickle it by reference)."""
+
+    name = "kaput"
+
+    def __init__(self, scale=0.1, seed=0):
+        pass
+
+    def run(self, tracing=True):
+        raise RuntimeError("simulated workload crash")
+
+
+class TestJobsValidation:
+    @pytest.mark.parametrize("jobs", [0, -1, -7])
+    def test_table1_rejects_nonpositive_jobs(self, jobs):
+        with pytest.raises(ValueError, match="jobs must be >= 1"):
+            reproduce_table1(jobs=jobs)
+
+    @pytest.mark.parametrize("jobs", [0, -3])
+    def test_figure8_rejects_nonpositive_jobs(self, jobs):
+        with pytest.raises(ValueError, match="jobs must be >= 1"):
+            reproduce_figure8(jobs=jobs)
+
+    @pytest.mark.parametrize("jobs", [1.5, "2", None, True])
+    def test_non_integer_jobs_rejected(self, jobs):
+        with pytest.raises(ValueError, match="positive integer"):
+            reproduce_table1(jobs=jobs)
+
+
+class TestParallelMatchesSerial:
+    APPS = ALL_APPS[:3]
+
+    def test_table1_parallel_equals_serial(self):
+        serial = reproduce_table1(apps=self.APPS, scale=0.02, seed=0)
+        parallel = reproduce_table1(apps=self.APPS, scale=0.02, seed=0, jobs=2)
+        assert table_fingerprint(parallel) == table_fingerprint(serial)
+        rows = paper_table1_rows(self.APPS)
+        assert format_table1(parallel, rows) == format_table1(serial, rows)
+
+    def test_figure8_parallel_equals_serial(self):
+        serial = reproduce_figure8(apps=self.APPS, scale=0.02, seed=0)
+        parallel = reproduce_figure8(apps=self.APPS, scale=0.02, seed=0, jobs=2)
+        assert parallel == serial
+
+    def test_results_stay_in_app_order(self):
+        table = reproduce_table1(apps=self.APPS, scale=0.02, seed=0, jobs=3)
+        assert [e.name for e in table.evaluations] == [a.name for a in self.APPS]
+
+
+class TestWorkerFailures:
+    def test_table1_failure_names_the_app(self):
+        apps = [ALL_APPS[0], FailingApp]
+        with pytest.raises(RuntimeError, match="table1 worker for app 'kaput'") as ei:
+            reproduce_table1(apps=apps, scale=0.02, seed=0, jobs=2)
+        assert "simulated workload crash" in str(ei.value)
+        assert isinstance(ei.value.__cause__, RuntimeError)
+
+    def test_figure8_failure_names_the_app(self):
+        apps = [FailingApp, ALL_APPS[0]]
+        with pytest.raises(RuntimeError, match="figure8 worker for app 'kaput'"):
+            reproduce_figure8(apps=apps, scale=0.02, seed=0, jobs=2)
+
+    def test_serial_failure_is_not_wrapped(self):
+        # jobs=1 takes the plain serial path: the original exception
+        # propagates unchanged.
+        with pytest.raises(RuntimeError, match="simulated workload crash"):
+            reproduce_table1(apps=[FailingApp], scale=0.02, seed=0)

@@ -76,6 +76,24 @@ class TestEvaluate:
         with pytest.raises(KeyError):
             main(["record", "ghost", "-o", str(tmp_path / "x.jsonl")])
 
+    def test_evaluate_jobs_matches_serial(self, capsys):
+        assert main(["evaluate", "--scale", "0.02"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["evaluate", "--scale", "0.02", "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    @pytest.mark.parametrize("bad", ["0", "-2", "1.5", "many"])
+    def test_evaluate_rejects_bad_jobs(self, bad, capsys):
+        with pytest.raises(SystemExit):
+            main(["evaluate", "--scale", "0.02", "--jobs", bad])
+        err = capsys.readouterr().err
+        assert "--jobs" in err
+
+    def test_slowdown_accepts_jobs(self, capsys):
+        assert main(["slowdown", "--scale", "0.01", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "slowdown" in out.lower()
+
 
 class TestDot:
     def test_dot_export(self, tmp_path, capsys):

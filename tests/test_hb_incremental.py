@@ -1,0 +1,194 @@
+"""The incremental reachability index vs. rebuild-from-scratch.
+
+``KeyGraph(incremental=True)`` maintains its transitive closure across
+``add_node``/``add_edge`` once computed; ``incremental=False`` is the
+historical invalidate-and-rebuild behaviour.  The two must agree on
+every query and produce identical reach bitsets under any interleaving
+of construction and queries — hypothesis drives randomized scripts,
+and the app traces exercise the full builder both ways.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+import pytest
+
+from repro.analysis import bench_scale
+from repro.hb import HBCycleError, KeyGraph, build_happens_before
+from repro.hb.reference import ReferenceHappensBefore
+
+#: scale for the whole-app differentials (REPRO_BENCH_SCALE overrides)
+SCALE = bench_scale(default=0.02)
+
+
+@st.composite
+def graph_scripts(draw):
+    """A random interleaving of add_node / add_edge / reaches steps.
+
+    Edges always point from a lower to a higher node id, so the graph
+    stays acyclic by construction.
+    """
+    initial = draw(st.integers(min_value=2, max_value=5))
+    steps = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["edge", "query", "node"]),
+                st.integers(min_value=0, max_value=10_000),
+                st.integers(min_value=0, max_value=10_000),
+            ),
+            max_size=60,
+        )
+    )
+    return initial, steps
+
+
+def replay(script):
+    """Run one script on an incremental and a legacy graph in lockstep."""
+    initial, steps = script
+    inc = KeyGraph(incremental=True)
+    legacy = KeyGraph(incremental=False)
+    count = 0
+    for _ in range(initial):
+        inc.add_node(count)
+        legacy.add_node(count)
+        count += 1
+    for kind, x, y in steps:
+        if kind == "node":
+            inc.add_node(count)
+            legacy.add_node(count)
+            count += 1
+        elif kind == "edge":
+            a, b = x % count, y % count
+            if a == b:
+                continue
+            u, v = min(a, b), max(a, b)
+            assert inc.add_edge(u, v, "r") == legacy.add_edge(u, v, "r")
+        else:  # query — forces closure at an arbitrary point
+            a, b = x % count, y % count
+            assert inc.reaches(a, b) == legacy.reaches(a, b), (a, b)
+    return inc, legacy
+
+
+@settings(max_examples=200, deadline=None)
+@given(graph_scripts())
+def test_incremental_closure_matches_rebuild(script):
+    inc, legacy = replay(script)
+    assert inc.reach_vector() == legacy.reach_vector()
+    assert inc.edge_count == legacy.edge_count
+
+
+@settings(max_examples=100, deadline=None)
+@given(graph_scripts())
+def test_incremental_computes_at_most_one_full_closure(script):
+    inc, legacy = replay(script)
+    assert inc.closure_recomputations <= 1
+    assert legacy.bits_propagated == 0
+
+
+class TestIncrementalMechanics:
+    def closed_chain(self, n=4):
+        g = KeyGraph()
+        nodes = [g.add_node(i) for i in range(n)]
+        for u, v in zip(nodes, nodes[1:]):
+            g.add_edge(u, v, "po")
+        g.close()
+        return g, nodes
+
+    def test_edge_on_closed_graph_updates_in_place(self):
+        g, nodes = self.closed_chain()
+        before = g.closure_recomputations
+        extra = g.add_node(99)
+        g.add_edge(nodes[-1], extra, "x")
+        assert g.reaches(nodes[0], extra)
+        assert g.closure_recomputations == before
+        assert g.bits_propagated > 0
+
+    def test_implied_edge_propagates_nothing(self):
+        g, nodes = self.closed_chain()
+        spent = g.bits_propagated
+        g.add_edge(nodes[0], nodes[2], "shortcut")
+        assert g.bits_propagated == spent
+
+    def test_back_edge_on_closed_graph_raises_immediately(self):
+        g, nodes = self.closed_chain()
+        with pytest.raises(HBCycleError) as excinfo:
+            g.add_edge(nodes[3], nodes[0], "back")
+        assert len(excinfo.value.cycle) >= 2
+
+    def test_self_loop_on_closed_graph_raises_immediately(self):
+        g, nodes = self.closed_chain()
+        with pytest.raises(HBCycleError):
+            g.add_edge(nodes[1], nodes[1], "self")
+
+    def test_drain_dirty_reports_changed_nodes_once(self):
+        g, nodes = self.closed_chain()
+        assert g.drain_dirty() == (1 << g.node_count) - 1  # initial closure
+        assert g.drain_dirty() == 0
+        g.add_edge(g.add_node(50), nodes[0], "pre")
+        dirty = g.drain_dirty()
+        assert dirty  # the new source node gained reach bits
+        assert g.drain_dirty() == 0
+
+    def test_close_is_idempotent(self):
+        g, nodes = self.closed_chain()
+        g.close()
+        g.close()
+        assert g.closure_recomputations == 1
+
+
+def _sample_pairs(n, k, seed=0):
+    rng = random.Random(seed)
+    return [(rng.randrange(n), rng.randrange(n)) for _ in range(k)]
+
+
+class TestBuilderDifferential:
+    """The incremental builder vs. the legacy builder vs. the oracle."""
+
+    APPS = None  # filled lazily to keep import time down
+
+    @classmethod
+    def apps(cls):
+        if cls.APPS is None:
+            from repro.apps import ALL_APPS
+
+            cls.APPS = ALL_APPS
+        return cls.APPS
+
+    @pytest.mark.parametrize(
+        "app_name", "connectbot mytracks zxing todolist browser firefox "
+        "vlc fbreader camera music".split()
+    )
+    def test_incremental_build_is_bit_identical(self, app_name):
+        app_cls = next(a for a in self.apps() if a.name == app_name)
+        run = app_cls(scale=SCALE, seed=0).run()
+        fast = build_happens_before(run.trace)
+        slow = build_happens_before(run.trace, incremental=False)
+        assert set(fast.graph.edges()) == set(slow.graph.edges())
+        assert fast.graph.reach_vector() == slow.graph.reach_vector()
+        assert fast.iterations == slow.iterations
+        assert fast.derived_edges == slow.derived_edges
+        for a, b in _sample_pairs(len(run.trace), 500):
+            assert fast.ordered(a, b) == slow.ordered(a, b), (a, b)
+
+    @pytest.mark.parametrize("app_name", ["mytracks", "browser", "camera"])
+    def test_incremental_build_matches_reference_oracle(self, app_name):
+        app_cls = next(a for a in self.apps() if a.name == app_name)
+        run = app_cls(scale=0.01, seed=0).run()
+        fast = build_happens_before(run.trace)
+        oracle = ReferenceHappensBefore(run.trace)
+        for a, b in _sample_pairs(len(run.trace), 1000, seed=7):
+            assert fast.ordered(a, b) == oracle.ordered(a, b), (
+                a,
+                b,
+                run.trace[a],
+                run.trace[b],
+            )
+
+    def test_incremental_build_closes_once_despite_rounds(self):
+        app_cls = next(a for a in self.apps() if a.name == "mytracks")
+        run = app_cls(scale=0.05, seed=0).run()
+        hb = build_happens_before(run.trace)
+        assert hb.iterations >= 2  # the fixpoint does real work here
+        assert hb.graph.closure_recomputations == 1
+        legacy = build_happens_before(run.trace, incremental=False)
+        assert legacy.graph.closure_recomputations > hb.graph.closure_recomputations

@@ -81,3 +81,27 @@ class TestHbStats:
         assert "key nodes" in text
         assert "edges by rule" in text
         assert "program-order" in text
+
+    def test_closure_work_counters_populated(self):
+        trace = build_mixed_trace()
+        hb = build_happens_before(trace)
+        stats = hb_stats(trace, hb)
+        assert stats.closure_recomputations == 1
+        assert stats.bits_propagated == hb.graph.bits_propagated
+        assert stats.profile is hb.profile
+        assert sum(stats.edges_per_round) == stats.derived_edges
+
+    def test_format_reports_phases_and_closure_work(self):
+        trace = build_mixed_trace()
+        stats = hb_stats(trace, build_happens_before(trace))
+        text = stats.format()
+        assert "closure work: 1 full recomputation(s)" in text
+        assert "phase timings: scan" in text
+        assert "fixpoint groups:" in text
+
+    def test_legacy_build_reports_its_recomputations(self):
+        trace = build_mixed_trace()
+        hb = build_happens_before(trace, incremental=False)
+        stats = hb_stats(trace, hb)
+        assert stats.closure_recomputations >= 1
+        assert stats.bits_propagated == 0
