@@ -4,13 +4,32 @@
 events in a trace" (30 minutes to a day on the paper's hardware).
 The benchmark sweeps the background event load and checks the
 monotone-growth shape; absolute times are of course incomparable.
+
+The detection-phase benchmarks at the bottom compare the prefix-mask +
+memo query path against the historical bit-scan on the largest catalog
+workload: the fast path must answer the phase's exact query workload
+at least ``min_replay_speedup`` times faster, bit-for-bit identically,
+and its memoized query work per candidate pair must stay under the
+bound recorded in ``bounds_pr2.json`` (the workload is deterministic,
+so that ratio is exact and machine-independent).
 """
 
-from repro.analysis import analysis_scaling, bench_scale
-from repro.apps import CameraApp, MyTracksApp, VlcApp
+import json
+from pathlib import Path
+
+from repro.analysis import analysis_scaling, bench_scale, detection_benchmark
+from repro.apps import CameraApp, MusicApp, MyTracksApp, VlcApp
 from repro.hb import build_happens_before
 
 BASE = bench_scale(default=0.05)
+
+#: the detection benchmark runs the largest catalog app at this scale
+#: (the acceptance floor, regardless of REPRO_BENCH_SCALE)
+DETECTION_SCALE = max(bench_scale(default=0.5), 0.5)
+
+BOUNDS = json.loads(
+    (Path(__file__).parent / "bounds_pr2.json").read_text(encoding="utf-8")
+)
 
 
 def test_analysis_time_grows_with_events(benchmark):
@@ -83,3 +102,39 @@ def test_incremental_builder_beats_legacy_without_diverging(benchmark):
     assert fast.graph.reach_vector() == slow.graph.reach_vector()
     assert fast.graph.closure_recomputations < slow.graph.closure_recomputations
     assert fast.profile.total_seconds > 0 and slow.profile.total_seconds > 0
+
+
+def test_detection_query_path_beats_scan(benchmark):
+    """Before/after comparison of the query layer: the prefix-mask +
+    memo path must answer the detection phase's exact query workload
+    ≥3x faster than the historical bit-scan, with bit-identical
+    results, and must not regress the end-to-end detection phase."""
+    result = benchmark.pedantic(
+        lambda: detection_benchmark(MusicApp, scale=DETECTION_SCALE, seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.reports_identical
+    assert result.low_level_identical
+    assert result.workload_pairs > 1000  # a real workload, not a toy
+    assert result.replay_speedup >= BOUNDS["min_replay_speedup"]
+    # the full phase shares indexing work between both paths, so the
+    # bar is no-regression (with allowance for timer noise), not 3x
+    assert result.fast_detect_seconds <= result.scan_detect_seconds * 1.25
+
+
+def test_detection_query_work_is_sublinear(benchmark):
+    """The memo must collapse the per-candidate-pair query work to
+    well below one reachability test per pair; the exact ratio is
+    deterministic, so it is pinned by the recorded bound."""
+    result = benchmark.pedantic(
+        lambda: detection_benchmark(
+            MusicApp, scale=BOUNDS["scale"], seed=BOUNDS["seed"]
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    profile = result.fast_profile
+    assert profile.batched_pairs > 0
+    assert profile.memo_misses < profile.batched_pairs  # sub-linear
+    assert result.memo_misses_per_pair <= BOUNDS["max_memo_misses_per_pair"]

@@ -3,9 +3,11 @@ slowdowns, and the §6.4 analysis-time scaling study."""
 
 from .exploration import ExplorationResult, explore_seeds
 from .performance import (
+    DetectionBenchmark,
     ScalingPoint,
     SlowdownResult,
     analysis_scaling,
+    detection_benchmark,
     measure_slowdown,
 )
 from .pipeline import (
@@ -21,8 +23,10 @@ from .witness import ViolationWitness, WitnessError, build_witness
 
 __all__ = [
     "AppEvaluation",
+    "DetectionBenchmark",
     "ExplorationResult",
     "explore_seeds",
+    "detection_benchmark",
     "SCALE_ENV_VAR",
     "ScalingPoint",
     "SlowdownResult",

@@ -16,12 +16,17 @@ time across a sweep of event counts.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import List, Optional, Type
+from dataclasses import dataclass, replace
+from typing import Iterable, List, Optional, Tuple, Type
 
 from ..apps.base import AppModel
-from ..detect import detect_use_free_races
-from ..hb import build_happens_before
+from ..detect import (
+    DetectorOptions,
+    LowLevelDetector,
+    UseFreeDetector,
+    detect_use_free_races,
+)
+from ..hb import HappensBefore, QueryProfile, build_happens_before
 
 
 @dataclass
@@ -76,6 +81,12 @@ class ScalingPoint:
     fixpoint_rounds: int = 0
     closure_recomputations: int = 0
     bits_propagated: int = 0
+    #: ordering queries the detection phase evaluated
+    hb_queries: int = 0
+    #: candidate pairs answered through the batched query API
+    batched_pairs: int = 0
+    #: queries that had to touch the reachability bitsets (memo misses)
+    query_memo_misses: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -101,8 +112,9 @@ def analysis_scaling(
         hb = build_happens_before(run.trace, incremental=incremental)
         hb_elapsed = time.perf_counter() - start
         start = time.perf_counter()
-        detect_use_free_races(run.trace)
+        result = detect_use_free_races(run.trace)
         detect_elapsed = time.perf_counter() - start
+        query_profile = result.hb.query_profile
         points.append(
             ScalingPoint(
                 events=run.event_count,
@@ -113,6 +125,166 @@ def analysis_scaling(
                 fixpoint_rounds=hb.iterations,
                 closure_recomputations=hb.graph.closure_recomputations,
                 bits_propagated=hb.graph.bits_propagated,
+                hb_queries=query_profile.queries,
+                batched_pairs=query_profile.batched_pairs,
+                query_memo_misses=query_profile.memo_misses,
             )
         )
     return points
+
+
+class _RecordingHB:
+    """Happens-before stand-in that records every batched query.
+
+    Duck-types the one method the detectors use (plus attribute
+    passthrough), so the detection benchmark can capture the exact
+    query workload a detection phase issues and replay it through both
+    query paths.
+    """
+
+    def __init__(self, hb: HappensBefore, sink: List[Tuple[int, int]]):
+        self._hb = hb
+        self._sink = sink
+
+    def concurrent_pairs(self, pairs: Iterable[Tuple[int, int]]) -> List[bool]:
+        pairs = list(pairs)
+        self._sink.extend(pairs)
+        return self._hb.concurrent_pairs(pairs)
+
+    def __getattr__(self, name):
+        return getattr(self._hb, name)
+
+
+@dataclass
+class DetectionBenchmark:
+    """Fast-vs-scan measurement of one trace's detection phase.
+
+    Two timings per query path: the *detection phase* (use-free +
+    low-level detectors, with the happens-before relation, access
+    index, and site index prebuilt) and a *query-workload replay* (the
+    exact ``concurrent_pairs`` workload the phase issued, replayed
+    against a fresh relation with warmed per-op indexes and a cold
+    memo — steady-state query cost with no detector overhead mixed
+    in).  The fast path must win the replay outright and must not
+    regress the full phase; the results must be bit-identical.
+    """
+
+    app: str
+    scale: float
+    trace_ops: int
+    #: concurrency probes the detection phase issued
+    workload_pairs: int
+    #: full detection phase, prefix-mask + memo path
+    fast_detect_seconds: float
+    #: full detection phase, historical bit-scan path
+    scan_detect_seconds: float
+    #: workload replay through the fast path (cold memo)
+    fast_replay_seconds: float
+    #: workload replay through the scan path
+    scan_replay_seconds: float
+    #: query counters of the fast detection phase
+    fast_profile: QueryProfile
+    #: use-free reports identical between the two paths
+    reports_identical: bool = False
+    #: low-level baseline races identical between the two paths
+    low_level_identical: bool = False
+    use_free_reports: int = 0
+    low_level_races: int = 0
+
+    @property
+    def replay_speedup(self) -> float:
+        """How much faster the fast path answers the same workload."""
+        return self.scan_replay_seconds / max(self.fast_replay_seconds, 1e-12)
+
+    @property
+    def detect_speedup(self) -> float:
+        return self.scan_detect_seconds / max(self.fast_detect_seconds, 1e-12)
+
+    @property
+    def memo_misses_per_pair(self) -> float:
+        """Reachability tests per batched candidate pair (< 1 means the
+        memo collapses the workload to sub-linear query work)."""
+        return self.fast_profile.memo_misses / max(
+            self.fast_profile.batched_pairs, 1
+        )
+
+
+def detection_benchmark(
+    app_cls: Type[AppModel], scale: float = 0.5, seed: int = 1
+) -> DetectionBenchmark:
+    """Measure the detection phase fast-vs-scan on one app workload."""
+    run = app_cls(scale=scale, seed=seed).run(tracing=True)
+    assert run.trace is not None
+    trace = run.trace
+
+    def detect_phase(fast: bool):
+        options = DetectorOptions(fast_queries=fast)
+        detector = UseFreeDetector(trace, options=options)
+        hb = detector.hb  # prebuilt: the phase times queries, not builds
+        accesses = detector.accesses
+        low = LowLevelDetector(trace, hb=hb, accesses=accesses)
+        low.sites  # prebuilt site index, common to both paths
+        start = time.perf_counter()
+        result = detector.detect()
+        low_result = low.detect()
+        elapsed = time.perf_counter() - start
+        return elapsed, result, low_result, hb, accesses
+
+    fast_elapsed, fast_result, fast_low, fast_hb, accesses = detect_phase(True)
+    # snapshot before the recording pass below adds its own queries
+    fast_profile = replace(fast_hb.query_profile)
+    scan_elapsed, scan_result, scan_low, _, _ = detect_phase(False)
+
+    # Capture the exact query workload of the phase ...
+    workload: List[Tuple[int, int]] = []
+    recorder = _RecordingHB(fast_hb, workload)
+    UseFreeDetector(
+        trace, hb=recorder, accesses=accesses  # type: ignore[arg-type]
+    ).detect()
+    LowLevelDetector(
+        trace, hb=recorder, accesses=accesses  # type: ignore[arg-type]
+    ).detect()
+
+    # ... and replay it through each path.  The fast relation gets its
+    # one-time per-op indexes and prefix masks warmed by a throwaway
+    # replay, then the memo is reset: the timing below is steady-state
+    # query work, every verdict recomputed.
+    fast_replay_hb = build_happens_before(trace, fast_queries=True)
+    fast_replay_hb.concurrent_pairs(workload)
+    fast_replay_hb.reset_query_memo()
+    start = time.perf_counter()
+    fast_verdicts = fast_replay_hb.concurrent_pairs(workload)
+    fast_replay = time.perf_counter() - start
+
+    scan_replay_hb = build_happens_before(trace, fast_queries=False)
+    start = time.perf_counter()
+    scan_verdicts = scan_replay_hb.concurrent_pairs(workload)
+    scan_replay = time.perf_counter() - start
+    if fast_verdicts != scan_verdicts:  # pragma: no cover - differential bug
+        raise AssertionError(
+            "fast and scan query paths disagree on the replayed workload"
+        )
+
+    return DetectionBenchmark(
+        app=app_cls.name,
+        scale=scale,
+        trace_ops=len(trace),
+        workload_pairs=len(workload),
+        fast_detect_seconds=fast_elapsed,
+        scan_detect_seconds=scan_elapsed,
+        fast_replay_seconds=fast_replay,
+        scan_replay_seconds=scan_replay,
+        fast_profile=fast_profile,
+        reports_identical=(
+            [str(r) for r in fast_result.reports]
+            == [str(r) for r in scan_result.reports]
+            and [str(r) for r in fast_result.filtered_reports]
+            == [str(r) for r in scan_result.filtered_reports]
+            and fast_result.dynamic_candidates == scan_result.dynamic_candidates
+        ),
+        low_level_identical=(
+            [str(r) for r in fast_low.races] == [str(r) for r in scan_low.races]
+        ),
+        use_free_reports=len(fast_result.reports),
+        low_level_races=fast_low.race_count(),
+    )

@@ -70,29 +70,35 @@ def _evaluate_app(
 
 def _fan_out(
     fn: Callable[..., T],
-    app_list: Sequence[Type[AppModel]],
+    items: Sequence,
     args: tuple,
     jobs: int,
     label: str,
+    describe: Optional[Callable[[object], str]] = None,
 ) -> List[T]:
-    """Run ``fn(app_cls, *args)`` for every app across ``jobs`` processes.
+    """Run ``fn(item, *args)`` for every item across ``jobs`` processes.
 
-    Results come back in app order.  A worker exception aborts the
-    fan-out and is re-raised as a ``RuntimeError`` naming the app whose
-    pipeline failed (chained to the original exception).
+    Results come back in item order.  A worker exception aborts the
+    fan-out and is re-raised as a ``RuntimeError`` naming the item
+    whose pipeline failed (chained to the original exception).  Items
+    default to app classes — ``describe`` renders the item for that
+    error message (``"app 'music'"``); fan-outs over other domains
+    (e.g. the per-seed exploration) pass their own.
     """
-    results: List[T] = [None] * len(app_list)  # type: ignore[list-item]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(app_list))) as pool:
+    if describe is None:
+        describe = lambda item: f"app {item.name!r}"  # noqa: E731
+    results: List[T] = [None] * len(items)  # type: ignore[list-item]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
         futures = [
-            (i, app_cls, pool.submit(fn, app_cls, *args))
-            for i, app_cls in enumerate(app_list)
+            (i, item, pool.submit(fn, item, *args))
+            for i, item in enumerate(items)
         ]
-        for i, app_cls, future in futures:
+        for i, item, future in futures:
             try:
                 results[i] = future.result()
             except Exception as exc:
                 raise RuntimeError(
-                    f"{label} worker for app {app_cls.name!r} failed: {exc}"
+                    f"{label} worker for {describe(item)} failed: {exc}"
                 ) from exc
     return results
 

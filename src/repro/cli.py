@@ -125,6 +125,9 @@ def _cmd_stats(args) -> int:
 
     trace = load_trace_file(args.trace)
     hb = build_happens_before(trace)
+    # Run the detector so the query-side counters describe a real
+    # workload rather than an idle relation.
+    UseFreeDetector(trace, hb=hb).detect()
     print(hb_stats(trace, hb).format())
     return 0
 
@@ -165,7 +168,9 @@ def _cmd_explore(args) -> int:
 
     app_cls = type(make_app(args.app))
     seeds = list(range(args.seeds))
-    result = explore_seeds(app_cls, seeds=seeds, scale=args.scale)
+    result = explore_seeds(
+        app_cls, seeds=seeds, scale=args.scale, jobs=args.jobs
+    )
     print(
         f"{args.app}: {result.reports_per_seed} reports across seeds "
         f"{seeds}; stability {result.stability:.0%}"
@@ -184,6 +189,7 @@ def _cmd_report(args) -> int:
         scale=args.scale,
         seed=args.seed,
         include_slowdowns=not args.no_slowdowns,
+        jobs=args.jobs,
     )
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fp:
@@ -258,6 +264,12 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("app", help="application name (see `apps`)")
     explore.add_argument("--seeds", type=int, default=5, help="number of seeds")
     explore.add_argument("--scale", type=float, default=0.05)
+    explore.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="worker processes for the per-seed runs (1 = serial)",
+    )
     explore.set_defaults(fn=_cmd_explore)
 
     report = sub.add_parser(
@@ -270,6 +282,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the Figure 8 section (halves the runtime)",
     )
     _add_scale(report)
+    _add_jobs(report)
     report.set_defaults(fn=_cmd_report)
 
     return parser

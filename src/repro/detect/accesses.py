@@ -97,12 +97,42 @@ class AccessIndex:
     guards: List[Guard] = field(default_factory=list)
     #: op index -> frozenset of held lock names
     locksets: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+    # lazy per-address groupings (built on first access, after the
+    # extraction pass has fully populated the lists above)
+    _uses_by_address: Optional[Dict[Address, List[Use]]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _frees_by_address: Optional[Dict[Address, List[PointerWrite]]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def uses_by_address(self) -> Dict[Address, List[Use]]:
+        """Uses grouped per address, in trace order (cached).
+
+        Keys appear in the order their first use appears in ``uses``.
+        Callers must treat the mapping and its lists as read-only.
+        """
+        if self._uses_by_address is None:
+            grouped: Dict[Address, List[Use]] = {}
+            for use in self.uses:
+                grouped.setdefault(use.address, []).append(use)
+            self._uses_by_address = grouped
+        return self._uses_by_address
+
+    def frees_by_address(self) -> Dict[Address, List[PointerWrite]]:
+        """Frees grouped per address, in trace order (cached)."""
+        if self._frees_by_address is None:
+            grouped: Dict[Address, List[PointerWrite]] = {}
+            for free in self.frees:
+                grouped.setdefault(free.address, []).append(free)
+            self._frees_by_address = grouped
+        return self._frees_by_address
 
     def uses_of(self, address: Address) -> List[Use]:
-        return [u for u in self.uses if u.address == address]
+        return list(self.uses_by_address().get(address, ()))
 
     def frees_of(self, address: Address) -> List[PointerWrite]:
-        return [f for f in self.frees if f.address == address]
+        return list(self.frees_by_address().get(address, ()))
 
     def lockset(self, op_index: int) -> FrozenSet[str]:
         return self.locksets.get(op_index, frozenset())

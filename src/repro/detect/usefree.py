@@ -9,6 +9,11 @@ causality model.  The detector:
 2. builds the happens-before relation (:mod:`repro.hb`);
 3. pairs up concurrent uses and frees of the same slot, dismissing
    pairs protected by a common lock (the lockset check of Section 3.2);
+   the cheap lockset intersection runs *before* the happens-before
+   query, and the surviving candidates are answered in one
+   :meth:`~repro.hb.graph.HappensBefore.concurrent_pairs` batch so the
+   query memo collapses repeated event pairs — the filters are
+   conjunctive, so the reordering cannot change which pairs survive;
 4. prunes pairs the if-guard or intra-event-allocation heuristics
    prove commutative — only for pairs whose events run on the same
    looper thread, where event atomicity makes the heuristics valid;
@@ -19,9 +24,8 @@ causality model.  The detector:
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass, field as dataclass_field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..hb import (
     CAFA_MODEL,
@@ -50,6 +54,9 @@ class DetectorOptions:
     model: ModelConfig = CAFA_MODEL
     #: model used to decide column (b) vs (c); the Table 1 baseline
     conventional_model: ModelConfig = CONVENTIONAL_MODEL
+    #: use the prefix-mask + memo happens-before query path; False
+    #: selects the historical per-query bit-scan (differential target)
+    fast_queries: bool = True
 
 
 @dataclass
@@ -97,14 +104,20 @@ class UseFreeDetector:
     @property
     def hb(self) -> HappensBefore:
         if self._hb is None:
-            self._hb = build_happens_before(self.trace, self.options.model)
+            self._hb = build_happens_before(
+                self.trace,
+                self.options.model,
+                fast_queries=self.options.fast_queries,
+            )
         return self._hb
 
     @property
     def conventional_hb(self) -> HappensBefore:
         if self._conventional_hb is None:
             self._conventional_hb = build_happens_before(
-                self.trace, self.options.conventional_model
+                self.trace,
+                self.options.conventional_model,
+                fast_queries=self.options.fast_queries,
             )
         return self._conventional_hb
 
@@ -124,67 +137,88 @@ class UseFreeDetector:
             trace=self.trace, options=options, hb=hb, accesses=accesses
         )
 
-        uses_by_address: Dict[Address, List[Use]] = defaultdict(list)
-        for use in accesses.uses:
-            uses_by_address[use.address].append(use)
-        frees_by_address: Dict[Address, List[PointerWrite]] = defaultdict(list)
-        for free in accesses.frees:
-            frees_by_address[free.address].append(free)
-
-        by_key: Dict[RaceSiteKey, RaceReport] = {}
-        for address, frees in frees_by_address.items():
+        # Stage 1: enumerate candidate (use, free) pairs per address —
+        # through the AccessIndex's cached per-address groupings — and
+        # pre-filter by task identity and, when enabled, by the lockset
+        # intersection.  The lockset check is two dict lookups and a
+        # frozenset AND, always cheaper than even a memoized ordering
+        # query, so it runs first; both filters are conjunctive, so the
+        # surviving set (and ``dynamic_candidates``) is unchanged.
+        candidates: List[Tuple[Use, PointerWrite, Address]] = []
+        uses_by_address = accesses.uses_by_address()
+        for address, frees in accesses.frees_by_address().items():
             uses = uses_by_address.get(address)
             if not uses:
                 continue
             for use in uses:
                 for free in frees:
-                    race = self._check_pair(use, free, address)
-                    if race is None:
-                        continue
-                    result.dynamic_candidates += 1
-                    report = by_key.get(race.key)
-                    if report is None:
-                        report = by_key[race.key] = RaceReport(key=race.key)
-                    report.witnesses.append(race)
+                    if use.task == free.task:
+                        continue  # ordered by the task's program order
+                    if options.lockset_filter and (
+                        accesses.lockset(use.read_index)
+                        & accesses.lockset(free.index)
+                    ):
+                        continue  # mutually excluded by a common lock
+                    candidates.append((use, free, address))
 
+        # Stage 2: one batched concurrency query for every survivor.
+        # The batch deduplicates repeated operation pairs and the
+        # happens-before memo collapses distinct pairs between the same
+        # event pair to a single reachability test.
+        verdicts = hb.concurrent_pairs(
+            (use.read_index, free.index) for use, free, _ in candidates
+        )
+
+        by_key: Dict[RaceSiteKey, RaceReport] = {}
+        for (use, free, address), concurrent in zip(candidates, verdicts):
+            if not concurrent:
+                continue
+            result.dynamic_candidates += 1
+            race = UseFreeRace(use=use, free=free, address=address)
+            if self._same_looper_events(use.task, free.task):
+                if options.if_guard and use_is_guarded(accesses, use):
+                    race.filtered_by = "if-guard"
+                elif options.intra_event_allocation and (
+                    free_has_intra_event_realloc(accesses, free)
+                    or use_has_intra_event_alloc(accesses, use)
+                ):
+                    race.filtered_by = "intra-event-allocation"
+            report = by_key.get(race.key)
+            if report is None:
+                report = by_key[race.key] = RaceReport(key=race.key)
+            report.witnesses.append(race)
+
+        # Stage 3: classification.  Intra-thread verdicts need no
+        # second model; the rest are answered in one batch against the
+        # conventional relation (built only when actually needed).
+        pending: List[Tuple[RaceReport, UseFreeRace]] = []
         for report in by_key.values():
             live = [w for w in report.witnesses if w.filtered_by is None]
             if live:
                 report.witnesses = live + [
                     w for w in report.witnesses if w.filtered_by is not None
                 ]
-                report.race_class = self._classify(live[0])
+                race = live[0]
+                if self._same_looper_events(race.use.task, race.free.task):
+                    report.race_class = RaceClass.INTRA_THREAD
+                else:
+                    pending.append((report, race))
                 result.reports.append(report)
             else:
                 result.filtered_reports.append(report)
+        if pending:
+            conventional = self.conventional_hb.concurrent_pairs(
+                (race.use.read_index, race.free.index) for _, race in pending
+            )
+            for (report, _), concurrent in zip(pending, conventional):
+                report.race_class = (
+                    RaceClass.CONVENTIONAL
+                    if concurrent
+                    else RaceClass.INTER_THREAD
+                )
         result.reports.sort(key=lambda r: str(r.key))
         result.filtered_reports.sort(key=lambda r: str(r.key))
         return result
-
-    # ------------------------------------------------------------------
-
-    def _check_pair(
-        self, use: Use, free: PointerWrite, address: Address
-    ) -> Optional[UseFreeRace]:
-        """A :class:`UseFreeRace` if the pair is concurrent, else None."""
-        if use.task == free.task:
-            return None  # ordered by the task's program order
-        if not self.hb.concurrent(use.read_index, free.index):
-            return None
-        if self.options.lockset_filter:
-            accesses = self.accesses
-            if accesses.lockset(use.read_index) & accesses.lockset(free.index):
-                return None  # mutually excluded by a common lock
-        race = UseFreeRace(use=use, free=free, address=address)
-        if self._same_looper_events(use.task, free.task):
-            if self.options.if_guard and use_is_guarded(self.accesses, use):
-                race.filtered_by = "if-guard"
-            elif self.options.intra_event_allocation and (
-                free_has_intra_event_realloc(self.accesses, free)
-                or use_has_intra_event_alloc(self.accesses, use)
-            ):
-                race.filtered_by = "intra-event-allocation"
-        return race
 
     def _same_looper_events(self, task_a: str, task_b: str) -> bool:
         tasks = self.trace.tasks
@@ -197,14 +231,6 @@ class UseFreeDetector:
             and info_a.looper is not None
             and info_a.looper == info_b.looper
         )
-
-    def _classify(self, race: UseFreeRace) -> RaceClass:
-        if self._same_looper_events(race.use.task, race.free.task):
-            return RaceClass.INTRA_THREAD
-        if self.conventional_hb.concurrent(race.use.read_index, race.free.index):
-            return RaceClass.CONVENTIONAL
-        return RaceClass.INTER_THREAD
-
 
 def detect_use_free_races(
     trace: Trace, options: Optional[DetectorOptions] = None

@@ -24,7 +24,13 @@ from .builder import (
     build_happens_before,
 )
 from .config import CAFA_MODEL, CONVENTIONAL_MODEL, NO_QUEUE_MODEL, ModelConfig
-from .graph import HappensBefore, HBCycleError, HBInvariantError, KeyGraph
+from .graph import (
+    HappensBefore,
+    HBCycleError,
+    HBInvariantError,
+    KeyGraph,
+    QueryProfile,
+)
 from .dot import to_dot
 from .stats import HBStats, hb_stats
 from .vector_clock import VectorClock, VectorClockAnalysis
@@ -42,6 +48,7 @@ __all__ = [
     "KeyGraph",
     "ModelConfig",
     "ModelNotApplicableError",
+    "QueryProfile",
     "RULE_ATOMICITY",
     "RULE_EXTERNAL",
     "RULE_FORK",

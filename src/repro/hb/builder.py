@@ -633,7 +633,10 @@ class _DerivedRules:
 
 
 def build_happens_before(
-    trace: Trace, config: ModelConfig = CAFA_MODEL, incremental: bool = True
+    trace: Trace,
+    config: ModelConfig = CAFA_MODEL,
+    incremental: bool = True,
+    fast_queries: bool = True,
 ) -> HappensBefore:
     """Build the happens-before relation of ``trace`` under ``config``.
 
@@ -647,7 +650,10 @@ def build_happens_before(
     ``incremental=False`` selects the historical
     full-closure-recompute-per-round fixpoint; it produces the exact
     same relation and exists as a differential-testing target and
-    performance baseline.
+    performance baseline.  ``fast_queries=False`` likewise restores the
+    historical per-query bit-scan in place of the prefix-mask +
+    memoization query path — same verdicts, kept for differential
+    testing and before/after measurement.
     """
     profile = BuildProfile()
     tick = time.perf_counter
@@ -721,6 +727,7 @@ def build_happens_before(
         iterations=iterations,
         derived_edges=derived_edges,
         profile=profile,
+        fast_queries=fast_queries,
     )
 
 

@@ -32,12 +32,31 @@ Two counters make the closure work observable:
 ``bits_propagated`` (reachability bits newly set by incremental
 propagation).  ``benchmarks/test_analysis_scaling.py`` asserts the
 former stays constant across the fixpoint.
+
+Querying is O(1) big-int operations per lookup.  Historically
+``ordered(a, b)`` scanned the target task's key-node prefix one
+``reach >> node & 1`` test at a time — each test shifts a K-bit
+integer, so one query cost O(prefix · K/64) words.  The fast path
+(``fast_queries=True``, the default) instead precomputes, per task,
+*prefix bitmasks* over that task's key nodes: ``prefix[t][i]`` ORs the
+node bits of the first ``i`` key nodes, so the scan collapses to a
+single ``reach & prefix[t][hi]`` AND.  Because an arbitrary operation
+pair ``(a, b)`` reduces to the triple ``(ka, tb, hi)`` — first key
+node at-or-after ``a``, ``b``'s task, ``b``'s key-prefix length — the
+result is memoized at that granularity, which makes the detector's
+repeated event-pair queries dictionary lookups.  A
+:class:`QueryProfile` (query counts, memo hits, mask memory) makes the
+query work observable, and ``fast_queries=False`` keeps the historical
+scan alive as a differential-testing target, mirroring the builder's
+``incremental=False`` escape hatch.
 """
 
 from __future__ import annotations
 
+import sys
 from bisect import bisect_left, bisect_right
 from collections import deque
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 
@@ -62,6 +81,43 @@ class HBInvariantError(RuntimeError):
     ``TypeError``.  Seeing this exception always indicates a bug in
     :mod:`repro.hb`, never a property of the analyzed trace.
     """
+
+
+@dataclass
+class QueryProfile:
+    """Work counters of the happens-before *query* side.
+
+    Attached to every :class:`HappensBefore` and surfaced by
+    ``repro.hb.stats`` / ``python -m repro stats``, the counters make
+    the cost of ordering queries — and the effect of the prefix-mask +
+    memoization fast path — observable without a profiler, the query
+    counterpart of the builder's ``BuildProfile``.
+    """
+
+    #: whether the prefix-mask + memo path is active
+    fast: bool = True
+    #: total ``ordered()`` calls (including via ``concurrent``)
+    queries: int = 0
+    #: queries answered by a same-task position comparison
+    same_task: int = 0
+    #: cross-task lookups answered from a memo — the directional
+    #: ``(ka, tb, hi)`` memo in :meth:`HappensBefore.ordered`, the
+    #: pair-signature memo in :meth:`HappensBefore.concurrent_pairs`
+    memo_hits: int = 0
+    #: cross-task lookups that had to touch the reachability bitsets
+    memo_misses: int = 0
+    #: pairs answered through :meth:`HappensBefore.concurrent_pairs`
+    batched_pairs: int = 0
+    #: tasks whose prefix masks have been materialized
+    mask_tasks: int = 0
+    #: memory held by the materialized prefix masks
+    mask_bytes: int = 0
+
+    @property
+    def memo_hit_rate(self) -> float:
+        """Fraction of cross-task queries served from the memo."""
+        total = self.memo_hits + self.memo_misses
+        return self.memo_hits / total if total else 0.0
 
 
 class KeyGraph:
@@ -333,6 +389,7 @@ class HappensBefore:
         iterations: int,
         derived_edges: int,
         profile: Optional[object] = None,
+        fast_queries: bool = True,
     ) -> None:
         self.graph = graph
         self._op_task = op_task
@@ -347,30 +404,151 @@ class HappensBefore:
         #: per-phase :class:`repro.hb.builder.BuildProfile`, when built
         #: by :func:`repro.hb.builder.build_happens_before`
         self.profile = profile
+        #: query-side work counters (see :class:`QueryProfile`)
+        self.query_profile = QueryProfile(fast=fast_queries)
+        self._fast = fast_queries
+        #: task -> prefix masks over its key nodes; masks[i] ORs the
+        #: node bits of the first i key nodes (built lazily per task)
+        self._prefix_masks: Dict[str, List[int]] = {}
+        #: (ka, tb, hi) -> ordered verdict
+        self._memo: Dict[Tuple[int, str, int], bool] = {}
+        #: per-op source key node (id, or -1) / key-prefix length,
+        #: indexed by operation index (built lazily, one linear pass)
+        self._op_key: Optional[List[int]] = None
+        self._op_prefix_len: Optional[List[int]] = None
+        #: per-op interned query signature: ops sharing
+        #: (op_key, task, op_prefix_len) share a signature id
+        self._op_sig: Optional[List[int]] = None
+        #: signature id -> (op_key, task, op_prefix_len)
+        self._sig_parts: List[Tuple[int, str, int]] = []
+        #: (sig_a * len(sig_parts) + sig_b) -> concurrent verdict
+        self._pair_memo: Dict[int, bool] = {}
 
     # -- core queries -------------------------------------------------------
 
     def ordered(self, a: int, b: int) -> bool:
         """Strict happens-before between operation indices: ``a < b``."""
+        prof = self.query_profile
+        prof.queries += 1
         ta, tb = self._op_task[a], self._op_task[b]
-        pa, pb = self._op_pos[a], self._op_pos[b]
         if ta == tb:
-            return pa < pb
-        ka = self._first_key_at_or_after(ta, pa)
-        if ka is None:
+            prof.same_task += 1
+            return self._op_pos[a] < self._op_pos[b]
+        if not self._fast:
+            ka = self._first_key_at_or_after(ta, self._op_pos[a])
+            if ka is None:
+                return False
+            positions = self._task_key_positions.get(tb)
+            if not positions:
+                return False
+            hi = bisect_right(positions, self._op_pos[b])
+            if hi == 0:
+                return False
+            reach = self.graph.reach_set(ka)
+            return self._first_reachable_key(reach, tb, hi) is not None
+        op_key, op_prefix_len = self._op_index()
+        ka = op_key[a]
+        if ka < 0:
             return False
-        reach = self.graph.reach_set(ka)
-        positions = self._task_key_positions.get(tb, ())
-        nodes = self._task_key_nodes.get(tb, ())
-        hi = bisect_right(positions, pb)
-        for i in range(hi):
-            if (reach >> nodes[i]) & 1:
-                return True
-        return False
+        hi = op_prefix_len[b]
+        if hi == 0:
+            return False
+        key = (ka, tb, hi)
+        cached = self._memo.get(key)
+        if cached is not None:
+            prof.memo_hits += 1
+            return cached
+        prof.memo_misses += 1
+        result = bool(self.graph.reach_set(ka) & self._masks_of(tb)[hi])
+        self._memo[key] = result
+        return result
 
     def concurrent(self, a: int, b: int) -> bool:
         """True when neither ``a < b`` nor ``b < a``."""
         return not self.ordered(a, b) and not self.ordered(b, a)
+
+    def concurrent_pairs(
+        self, pairs: Iterable[Tuple[int, int]]
+    ) -> List[bool]:
+        """Batched :meth:`concurrent` over ``(a, b)`` operation pairs.
+
+        The workhorse of the batched detector.  A cross-task pair's
+        verdict is fully determined by the two operations' query
+        signatures — the interned ``(op_key, task, op_prefix_len)``
+        triples of :meth:`_sig_index` — so the batch memoizes whole
+        *concurrency verdicts* keyed by the signature pair, collapsing
+        all operation pairs between the same key-node neighborhoods
+        (for event tasks, effectively one entry per event pair) into a
+        single integer-keyed dictionary probe.  Only a pair-memo miss
+        touches the reachability bitsets, with at most two prefix-mask
+        ANDs.  Returns verdicts in input order; identical to calling
+        :meth:`concurrent` per pair (which the ``fast_queries=False``
+        path literally does).
+        """
+        prof = self.query_profile
+        if not self._fast:
+            verdicts = []
+            for a, b in pairs:
+                prof.batched_pairs += 1
+                verdicts.append(self.concurrent(a, b))
+            return verdicts
+        op_task, op_pos = self._op_task, self._op_pos
+        sig, sig_parts = self._sig_index()
+        nsigs = len(sig_parts)
+        masks = self._prefix_masks
+        reach_of = self.graph.reach_set
+        pair_memo = self._pair_memo
+        memo_get = pair_memo.get
+        verdicts: List[bool] = []
+        append = verdicts.append
+        batched = queries = same_task = hits = misses = 0
+        for a, b in pairs:
+            batched += 1
+            ta, tb = op_task[a], op_task[b]
+            if ta == tb:
+                # ordered one way unless the positions coincide
+                same_task += 1
+                queries += 1
+                append(op_pos[a] == op_pos[b])
+                continue
+            key = sig[a] * nsigs + sig[b]
+            cached = memo_get(key)
+            if cached is not None:
+                hits += 1
+                append(cached)
+                continue
+            misses += 1
+            queries += 1
+            ka, _, hia = sig_parts[sig[a]]
+            kb, _, hib = sig_parts[sig[b]]
+            # ordered(a, b)
+            if ka >= 0 and hib:
+                task_masks = masks.get(tb)
+                if task_masks is None:
+                    task_masks = self._masks_of(tb)
+                forward = bool(reach_of(ka) & task_masks[hib])
+            else:
+                forward = False
+            if forward:
+                cached = False
+            else:
+                # ordered(b, a)
+                queries += 1
+                if kb >= 0 and hia:
+                    task_masks = masks.get(ta)
+                    if task_masks is None:
+                        task_masks = self._masks_of(ta)
+                    cached = not (reach_of(kb) & task_masks[hia])
+                else:
+                    cached = True
+            pair_memo[key] = cached
+            append(cached)
+        prof.batched_pairs += batched
+        prof.queries += queries
+        prof.same_task += same_task
+        prof.memo_hits += hits
+        prof.memo_misses += misses
+        return verdicts
 
     def event_ordered(self, e1: str, e2: str) -> bool:
         """``end(e1) < begin(e2)`` — the paper's shorthand "e1 happens-
@@ -383,6 +561,17 @@ class HappensBefore:
         """(begin op index, end op index) of a task."""
         return self._event_bounds[task]
 
+    def reset_query_memo(self) -> None:
+        """Drop the memoized query verdicts (both the directional memo
+        and the batch's pair memo).
+
+        The per-op indexes and prefix masks are kept — they are derived
+        structure, not caches of answers.  Used by the benchmarks to
+        measure steady-state query cost with a cold memo.
+        """
+        self._memo.clear()
+        self._pair_memo.clear()
+
     def _first_key_at_or_after(self, task: str, pos: int) -> Optional[int]:
         positions = self._task_key_positions.get(task)
         if not positions:
@@ -391,6 +580,108 @@ class HappensBefore:
         if i == len(positions):
             return None
         return self._task_key_nodes[task][i]
+
+    def _first_reachable_key(
+        self, reach: int, task: str, hi: int
+    ) -> Optional[int]:
+        """First of ``task``'s initial ``hi`` key nodes present in
+        ``reach``, or None.
+
+        The one scan shared by the ``fast_queries=False`` query path
+        and :meth:`explain` (which needs the *witness node*, not just
+        existence, so it cannot use the prefix-mask AND).
+        """
+        nodes = self._task_key_nodes[task]
+        for i in range(hi):
+            if (reach >> nodes[i]) & 1:
+                return nodes[i]
+        return None
+
+    def _op_index(self) -> Tuple[List[int], List[int]]:
+        """Per-operation key-node lookup arrays (built lazily, O(n)).
+
+        ``op_key[i]`` is the node id of the first key node at-or-after
+        operation ``i`` in its task (-1 if none), i.e. the memoized
+        result of :meth:`_first_key_at_or_after`; ``op_prefix_len[i]``
+        is the number of key nodes of ``i``'s task at-or-before ``i``'s
+        position, i.e. the ``hi`` bound of a query targeting ``i``.
+        Together they replace the two per-query bisections with two
+        list indexings.
+        """
+        if self._op_key is None:
+            n = len(self._op_task)
+            op_key = [-1] * n
+            op_prefix_len = [0] * n
+            by_task: Dict[str, List[int]] = {}
+            for i in range(n):
+                by_task.setdefault(self._op_task[i], []).append(i)
+            for task, ops in by_task.items():
+                positions = self._task_key_positions.get(task, ())
+                nodes = self._task_key_nodes.get(task, ())
+                m = len(positions)
+                j = 0
+                # ops arrive in increasing position order, so one
+                # monotone pointer sweep replaces per-op bisection
+                for op in ops:
+                    pos = self._op_pos[op]
+                    while j < m and positions[j] < pos:
+                        j += 1
+                    if j < m:
+                        op_key[op] = nodes[j]
+                        op_prefix_len[op] = j + 1 if positions[j] == pos else j
+                    else:
+                        op_prefix_len[op] = j
+            self._op_key = op_key
+            self._op_prefix_len = op_prefix_len
+        return self._op_key, self._op_prefix_len  # type: ignore[return-value]
+
+    def _sig_index(self) -> Tuple[List[int], List[Tuple[int, str, int]]]:
+        """Per-operation interned query signatures (built lazily, O(n)).
+
+        Two operations are query-equivalent when they share
+        ``(op_key, task, op_prefix_len)``: every ordering query
+        involving them — in either role — evaluates identically.  This
+        interns those triples into dense signature ids so the batched
+        query path can memoize whole concurrency verdicts under a
+        single small-int key instead of hashing tuples.
+        """
+        if self._op_sig is None:
+            op_key, op_prefix_len = self._op_index()
+            op_task = self._op_task
+            sig_of: Dict[Tuple[int, str, int], int] = {}
+            sig_parts: List[Tuple[int, str, int]] = []
+            sig = [0] * len(op_task)
+            for i in range(len(op_task)):
+                triple = (op_key[i], op_task[i], op_prefix_len[i])
+                s = sig_of.get(triple)
+                if s is None:
+                    s = sig_of[triple] = len(sig_parts)
+                    sig_parts.append(triple)
+                sig[i] = s
+            self._op_sig = sig
+            self._sig_parts = sig_parts
+        return self._op_sig, self._sig_parts
+
+    def _masks_of(self, task: str) -> List[int]:
+        """The task's prefix masks, materializing them on first use.
+
+        ``masks[i]`` ORs ``1 << node`` for the task's first ``i`` key
+        nodes, so "is any key node at-or-before a position reachable"
+        is one AND against ``masks[hi]`` instead of ``hi`` shifted bit
+        tests.
+        """
+        masks = self._prefix_masks.get(task)
+        if masks is None:
+            acc = 0
+            masks = [0]
+            for node in self._task_key_nodes.get(task, ()):
+                acc |= 1 << node
+                masks.append(acc)
+            self._prefix_masks[task] = masks
+            prof = self.query_profile
+            prof.mask_tasks += 1
+            prof.mask_bytes += sum(sys.getsizeof(m) for m in masks)
+        return masks
 
     # -- explanations ---------------------------------------------------
 
@@ -415,13 +706,8 @@ class HappensBefore:
             )
         reach = self.graph.reach_set(ka)
         positions = self._task_key_positions[tb]
-        nodes = self._task_key_nodes[tb]
         hi = bisect_right(positions, self._op_pos[b])
-        target = None
-        for i in range(hi):
-            if (reach >> nodes[i]) & 1:
-                target = nodes[i]
-                break
+        target = self._first_reachable_key(reach, tb, hi)
         if target is None:
             raise HBInvariantError(
                 f"ordered({a}, {b}) holds but no key node of task {tb!r} at "

@@ -23,7 +23,7 @@ from typing import Dict, List, Optional
 
 from ..trace import TaskKind, Trace
 from .builder import BuildProfile
-from .graph import HappensBefore
+from .graph import HappensBefore, QueryProfile
 
 
 @dataclass
@@ -46,6 +46,8 @@ class HBStats:
     edges_per_round: List[int] = field(default_factory=list)
     #: per-phase timings of the build, when available
     profile: Optional[BuildProfile] = None
+    #: query-side work counters (prefix masks, memoization)
+    query_profile: Optional[QueryProfile] = None
 
     def format(self) -> str:
         lines = [
@@ -81,6 +83,19 @@ class HBStats:
                     f"fixpoint groups: {p.groups_examined} examined, "
                     f"{p.groups_skipped} skipped as clean"
                 )
+        if self.query_profile is not None:
+            q = self.query_profile
+            path = "prefix-mask+memo" if q.fast else "bit-scan (legacy)"
+            lines.append(
+                f"query path [{path}]: {q.queries} queries "
+                f"({q.same_task} same-task, {q.batched_pairs} batched), "
+                f"memo {q.memo_hits} hits / {q.memo_misses} misses "
+                f"({q.memo_hit_rate:.0%} hit rate)"
+            )
+            lines.append(
+                f"prefix masks: {q.mask_tasks} tasks materialized, "
+                f"{q.mask_bytes} bytes"
+            )
         lines.append("edges by rule:")
         for rule, count in sorted(
             self.rule_counts.items(), key=lambda kv: -kv[1]
@@ -109,4 +124,5 @@ def hb_stats(trace: Trace, hb: HappensBefore) -> HBStats:
         bits_propagated=hb.graph.bits_propagated,
         edges_per_round=list(profile.edges_per_round) if profile else [],
         profile=profile,
+        query_profile=getattr(hb, "query_profile", None),
     )

@@ -4,11 +4,13 @@ and worker-failure diagnostics."""
 import pytest
 
 from repro.analysis import (
+    explore_seeds,
     format_table1,
     paper_table1_rows,
     reproduce_figure8,
     reproduce_table1,
 )
+from repro.analysis.report_doc import generate_report
 from repro.apps import ALL_APPS
 
 
@@ -57,6 +59,16 @@ class TestJobsValidation:
         with pytest.raises(ValueError, match="positive integer"):
             reproduce_table1(jobs=jobs)
 
+    @pytest.mark.parametrize("jobs", [0, -2])
+    def test_explore_rejects_nonpositive_jobs(self, jobs):
+        with pytest.raises(ValueError, match="jobs must be >= 1"):
+            explore_seeds(ALL_APPS[0], seeds=[0, 1], jobs=jobs)
+
+    @pytest.mark.parametrize("jobs", [0, -5])
+    def test_report_rejects_nonpositive_jobs(self, jobs):
+        with pytest.raises(ValueError, match="jobs must be >= 1"):
+            generate_report(jobs=jobs)
+
 
 class TestParallelMatchesSerial:
     APPS = ALL_APPS[:3]
@@ -77,6 +89,21 @@ class TestParallelMatchesSerial:
         table = reproduce_table1(apps=self.APPS, scale=0.02, seed=0, jobs=3)
         assert [e.name for e in table.evaluations] == [a.name for a in self.APPS]
 
+    def test_explore_parallel_equals_serial(self):
+        app_cls = ALL_APPS[0]
+        serial = explore_seeds(app_cls, seeds=range(4), scale=0.02)
+        parallel = explore_seeds(app_cls, seeds=range(4), scale=0.02, jobs=3)
+        assert parallel == serial
+        assert parallel.seeds == [0, 1, 2, 3]  # seed order, not finish order
+
+    def test_report_parallel_is_byte_identical(self):
+        kwargs = dict(
+            scale=0.02, seed=0, apps=self.APPS, include_slowdowns=False
+        )
+        serial = generate_report(**kwargs)
+        parallel = generate_report(jobs=3, **kwargs)
+        assert parallel == serial
+
 
 class TestWorkerFailures:
     def test_table1_failure_names_the_app(self):
@@ -96,3 +123,19 @@ class TestWorkerFailures:
         # propagates unchanged.
         with pytest.raises(RuntimeError, match="simulated workload crash"):
             reproduce_table1(apps=[FailingApp], scale=0.02, seed=0)
+
+    def test_explore_failure_names_the_seed(self):
+        with pytest.raises(
+            RuntimeError, match="explore worker for seed 0 of app 'kaput'"
+        ) as ei:
+            explore_seeds(FailingApp, seeds=[0, 1], scale=0.02, jobs=2)
+        assert "simulated workload crash" in str(ei.value)
+
+    def test_report_failure_names_the_app(self):
+        apps = [ALL_APPS[0], FailingApp]
+        with pytest.raises(
+            RuntimeError, match="report worker for app 'kaput'"
+        ):
+            generate_report(
+                scale=0.02, seed=0, apps=apps, include_slowdowns=False, jobs=2
+            )

@@ -1,0 +1,215 @@
+"""Differential testing: the prefix-mask + memo query path vs. the
+historical bit-scan.
+
+``fast_queries=False`` keeps the original per-query scan alive exactly
+so these tests can demand bit-for-bit agreement on ``ordered``,
+``concurrent``, ``concurrent_pairs``, and ``event_ordered`` — for
+generated traces under the stock models and a set of rule ablations,
+and for the full batched detector on a real workload.
+"""
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+
+from repro.apps import MusicApp
+from repro.detect import DetectorOptions, UseFreeDetector
+from repro.hb import (
+    CAFA_MODEL,
+    CONVENTIONAL_MODEL,
+    NO_QUEUE_MODEL,
+    build_happens_before,
+    hb_stats,
+)
+from repro.testing import TraceBuilder
+
+from tests.test_property_runtime_hb import program_specs, run_program
+
+#: the stock models plus ablations that stress different rule subsets
+MODELS = [
+    CAFA_MODEL,
+    CONVENTIONAL_MODEL,
+    NO_QUEUE_MODEL,
+    replace(CAFA_MODEL, atomicity=False),
+    replace(CAFA_MODEL, listener=False, ipc=False),
+    replace(CAFA_MODEL, external_input=False, fork_join=False),
+    replace(CAFA_MODEL, queue_rule_2=False, queue_rule_4=False),
+    replace(CONVENTIONAL_MODEL, lock_edges=False, signal_wait=False),
+]
+
+
+def assert_query_paths_agree(trace, config):
+    fast = build_happens_before(trace, config, fast_queries=True)
+    scan = build_happens_before(trace, config, fast_queries=False)
+    n = len(trace)
+    pairs = [(i, j) for i in range(n) for j in range(n)]
+    for i, j in pairs:
+        assert fast.ordered(i, j) == scan.ordered(i, j), (i, j, config)
+        assert fast.concurrent(i, j) == scan.concurrent(i, j), (i, j, config)
+    assert fast.concurrent_pairs(pairs) == scan.concurrent_pairs(pairs)
+    events = trace.events()
+    for e1 in events:
+        for e2 in events:
+            if e1 == e2:
+                continue
+            try:
+                verdict = fast.event_ordered(e1, e2)
+            except KeyError:
+                with pytest.raises(KeyError):
+                    scan.event_ordered(e1, e2)
+                continue
+            assert verdict == scan.event_ordered(e1, e2), (e1, e2, config)
+
+
+@settings(max_examples=20, deadline=None)
+@given(program_specs())
+def test_fast_queries_match_scan_cafa_model(spec):
+    trace = run_program(spec)
+    if len(trace) > 120:  # keep the all-pairs sweep tractable
+        return
+    assert_query_paths_agree(trace, CAFA_MODEL)
+
+
+@settings(max_examples=10, deadline=None)
+@given(program_specs())
+def test_fast_queries_match_scan_all_ablations(spec):
+    trace = run_program(spec)
+    if len(trace) > 80:
+        return
+    for config in MODELS:
+        assert_query_paths_agree(trace, config)
+
+
+class TestCuratedAgreement:
+    """Traces where the queue rules and sendAtFront reordering bite."""
+
+    def _fig4d(self):
+        b = TraceBuilder()
+        b.looper("L")
+        b.thread("S")
+        b.event("C", looper="L")
+        b.event("A", looper="L")
+        b.event("B", looper="L")
+        b.begin("S"); b.send("S", "C"); b.end("S")
+        b.begin("C"); b.send("C", "A"); b.send_at_front("C", "B"); b.end("C")
+        b.begin("B"); b.end("B")
+        b.begin("A"); b.end("A")
+        return b.build()
+
+    def test_fig4d_agreement_all_models(self):
+        trace = self._fig4d()
+        for config in MODELS:
+            assert_query_paths_agree(trace, config)
+
+
+class TestQueryProfile:
+    """The fast path's observability contract."""
+
+    def _two_event_trace(self):
+        b = TraceBuilder()
+        b.looper("L")
+        b.thread("T")
+        b.event("A", looper="L")
+        b.event("B", looper="L")
+        b.begin("T"); b.send("T", "A"); b.send("T", "B"); b.end("T")
+        b.begin("A"); b.read("A", "x"); b.end("A")
+        b.begin("B"); b.write("B", "x"); b.end("B")
+        return b.build()
+
+    def test_counters_attribute_queries(self):
+        hb = build_happens_before(self._two_event_trace())
+        prof = hb.query_profile
+        assert prof.fast and prof.queries == 0
+        hb.ordered(0, 1)
+        assert prof.queries == 1
+        assert prof.same_task == 1  # ops 0 and 1 are both in task T
+        before = prof.memo_misses
+        a = next(i for i, op in enumerate(hb._op_task) if op == "A")
+        b = next(i for i, op in enumerate(hb._op_task) if op == "B")
+        hb.ordered(a, b)
+        hb.ordered(a, b)  # second call must be a memo hit
+        assert prof.memo_misses == before + 1
+        assert prof.memo_hits >= 1
+        assert 0.0 < prof.memo_hit_rate <= 1.0
+
+    def test_masks_materialize_lazily_and_are_counted(self):
+        hb = build_happens_before(self._two_event_trace())
+        prof = hb.query_profile
+        assert prof.mask_tasks == 0 and prof.mask_bytes == 0
+        a = next(i for i, op in enumerate(hb._op_task) if op == "A")
+        b = next(i for i, op in enumerate(hb._op_task) if op == "B")
+        hb.ordered(a, b)
+        assert prof.mask_tasks >= 1
+        assert prof.mask_bytes > 0
+
+    def test_batched_pairs_counted_in_both_modes(self):
+        trace = self._two_event_trace()
+        for fast in (True, False):
+            hb = build_happens_before(trace, fast_queries=fast)
+            hb.concurrent_pairs([(0, 1), (1, 2), (2, 3)])
+            assert hb.query_profile.batched_pairs == 3
+            assert hb.query_profile.fast is fast
+
+    def test_reset_query_memo_keeps_verdicts_stable(self):
+        trace = self._two_event_trace()
+        hb = build_happens_before(trace)
+        n = len(trace)
+        pairs = [(i, j) for i in range(n) for j in range(n)]
+        first = hb.concurrent_pairs(pairs)
+        hb.reset_query_memo()
+        assert hb._memo == {} and hb._pair_memo == {}
+        assert hb.concurrent_pairs(pairs) == first
+
+    def test_stats_surface_the_query_profile(self):
+        trace = self._two_event_trace()
+        hb = build_happens_before(trace)
+        hb.concurrent_pairs([(0, 1)])
+        text = hb_stats(trace, hb).format()
+        assert "query path [prefix-mask+memo]" in text
+        assert "prefix masks:" in text
+        scan = build_happens_before(trace, fast_queries=False)
+        scan.ordered(0, 1)
+        assert "query path [bit-scan (legacy)]" in hb_stats(trace, scan).format()
+
+
+class TestBatchedDetectorRegression:
+    """The batched detector must be invisible in its results."""
+
+    @pytest.fixture(scope="class")
+    def run(self):
+        return MusicApp(scale=0.05, seed=1).run()
+
+    def _fingerprint(self, result):
+        return (
+            [
+                (str(r.key), r.race_class, [str(w) for w in r.witnesses])
+                for r in result.reports
+            ],
+            [
+                (str(r.key), [w.filtered_by for w in r.witnesses])
+                for r in result.filtered_reports
+            ],
+            result.dynamic_candidates,
+        )
+
+    def test_reports_identical_under_both_query_paths(self, run):
+        fast = UseFreeDetector(
+            run.trace, options=DetectorOptions(fast_queries=True)
+        ).detect()
+        scan = UseFreeDetector(
+            run.trace, options=DetectorOptions(fast_queries=False)
+        ).detect()
+        assert self._fingerprint(fast) == self._fingerprint(scan)
+
+    def test_ablation_options_identical_under_both_query_paths(self, run):
+        options = DetectorOptions(
+            if_guard=False, intra_event_allocation=False, lockset_filter=False
+        )
+        fast = UseFreeDetector(
+            run.trace, options=replace(options, fast_queries=True)
+        ).detect()
+        scan = UseFreeDetector(
+            run.trace, options=replace(options, fast_queries=False)
+        ).detect()
+        assert self._fingerprint(fast) == self._fingerprint(scan)
