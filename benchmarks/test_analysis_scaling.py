@@ -31,6 +31,11 @@ BOUNDS = json.loads(
     (Path(__file__).parent / "bounds_pr2.json").read_text(encoding="utf-8")
 )
 
+#: recorded build-side counters (see the comment inside the file)
+BUILD_BOUNDS = json.loads(
+    (Path(__file__).parent / "bounds_pr3.json").read_text(encoding="utf-8")
+)
+
 
 def test_analysis_time_grows_with_events(benchmark):
     points = benchmark.pedantic(
@@ -102,6 +107,30 @@ def test_incremental_builder_beats_legacy_without_diverging(benchmark):
     assert fast.graph.reach_vector() == slow.graph.reach_vector()
     assert fast.graph.closure_recomputations < slow.graph.closure_recomputations
     assert fast.profile.total_seconds > 0 and slow.profile.total_seconds > 0
+
+
+def test_build_side_counters_stay_under_recorded_bounds(benchmark):
+    """The closure-build counters are deterministic in (app, scale,
+    seed), so the recorded bounds pin them exactly: one full closure
+    computation, and no more incrementally-propagated bits than the
+    build that recorded ``bounds_pr3.json`` needed — regardless of how
+    many fixpoint rounds the derived rules run."""
+    points = benchmark.pedantic(
+        lambda: analysis_scaling(
+            MyTracksApp, scales=[BUILD_BOUNDS["scale"]], seed=BUILD_BOUNDS["seed"]
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    point = points[0]
+    assert point.fixpoint_rounds >= BUILD_BOUNDS["min_fixpoint_rounds"]
+    assert (
+        point.closure_recomputations
+        <= BUILD_BOUNDS["max_closure_recomputations"]
+    )
+    assert point.bits_propagated <= BUILD_BOUNDS["max_bits_propagated"]
+    benchmark.extra_info["closure_recomputations"] = point.closure_recomputations
+    benchmark.extra_info["bits_propagated"] = point.bits_propagated
 
 
 def test_detection_query_path_beats_scan(benchmark):

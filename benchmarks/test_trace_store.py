@@ -1,0 +1,143 @@
+"""The columnar trace store vs. the legacy object list — memory,
+build/serialize/load timings, and the streaming-reader guarantee.
+
+Run with ``--benchmark-json=BENCH_pr3.json`` (CI uploads the result
+next to ``BENCH_pr2.json``).  The memory comparisons use the
+:class:`~repro.trace.store.TraceProfile` accounting, which deliberately
+*undercounts* the object backend (per-instance cost only, payload
+references excluded), so every ratio asserted here favors the legacy
+path; the columnar store must clear the 2x bar anyway.
+"""
+
+import time
+import tracemalloc
+
+from repro.analysis import bench_scale, reproduce_table1
+from repro.apps import MusicApp
+from repro.trace import load_trace_file, save_trace_file
+
+BASE = bench_scale(default=0.05)
+
+#: the memory and streaming measurements run at least at this scale —
+#: below it the columnar store's fixed overhead (one bucket per
+#: occurring kind) distorts the bytes/op amortization
+MEMORY_SCALE = max(bench_scale(default=0.1), 0.1)
+
+
+def record(scale, columnar=True):
+    return MusicApp(scale=scale, seed=1).run(columnar=columnar).trace
+
+
+def test_columnar_store_halves_memory_per_op(benchmark):
+    """The struct-of-arrays layout must hold the same operations in
+    less than half the bytes/op of the object list (exact, deterministic
+    accounting on both sides)."""
+
+    def both():
+        return record(MEMORY_SCALE).profile(), record(
+            MEMORY_SCALE, columnar=False
+        ).profile()
+
+    columnar, legacy = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert columnar.backend == "columnar" and legacy.backend == "object"
+    assert columnar.ops == legacy.ops
+    ratio = legacy.bytes_per_op / columnar.bytes_per_op
+    benchmark.extra_info["columnar_bytes_per_op"] = round(columnar.bytes_per_op, 1)
+    benchmark.extra_info["object_bytes_per_op"] = round(legacy.bytes_per_op, 1)
+    benchmark.extra_info["memory_ratio"] = round(ratio, 2)
+    assert ratio >= 2.0
+
+
+def test_trace_build_and_serialize_timings(benchmark, tmp_path):
+    """One build/dump/load cycle per backend and format version, with
+    the wall-clock split recorded for the artifact.  v2 must be the
+    smaller wire format."""
+
+    def cycle():
+        timings = {}
+        t0 = time.perf_counter()
+        trace = record(BASE)
+        timings["build_columnar_s"] = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        record(BASE, columnar=False)
+        timings["build_object_s"] = time.perf_counter() - t0
+        paths = {
+            "v1": (tmp_path / "t.v1.jsonl", 1),
+            "v2": (tmp_path / "t.v2.jsonl", 2),
+            "v2_gz": (tmp_path / "t.v2.jsonl.gz", 2),
+        }
+        sizes = {}
+        for name, (path, version) in paths.items():
+            t0 = time.perf_counter()
+            save_trace_file(trace, path, version=version)
+            timings[f"dump_{name}_s"] = time.perf_counter() - t0
+            sizes[name] = path.stat().st_size
+            t0 = time.perf_counter()
+            back = load_trace_file(path)
+            timings[f"load_{name}_s"] = time.perf_counter() - t0
+            assert len(back) == len(trace)
+        return timings, sizes
+
+    timings, sizes = benchmark.pedantic(cycle, rounds=1, iterations=1)
+    for key, value in timings.items():
+        benchmark.extra_info[key] = round(value, 4)
+    for name, size in sizes.items():
+        benchmark.extra_info[f"size_{name}_bytes"] = size
+    assert sizes["v2"] < sizes["v1"]
+    assert sizes["v2_gz"] < sizes["v2"]
+
+
+def test_table1_end_to_end_no_slower_on_columnar(benchmark):
+    """The whole reproduce_table1 pipeline on the columnar backend must
+    not be slower than on the object backend (1.25x tolerance for timer
+    noise; in practice the two run at parity while the columnar store
+    holds the trace in less than half the memory)."""
+
+    def both():
+        t0 = time.perf_counter()
+        columnar = reproduce_table1(scale=BASE, seed=0, columnar=True)
+        columnar_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        legacy = reproduce_table1(scale=BASE, seed=0, columnar=False)
+        object_s = time.perf_counter() - t0
+        rows = [e.row() for e in columnar.evaluations]
+        assert rows == [e.row() for e in legacy.evaluations]
+        return columnar_s, object_s
+
+    columnar_s, object_s = benchmark.pedantic(both, rounds=1, iterations=1)
+    benchmark.extra_info["table1_columnar_s"] = round(columnar_s, 3)
+    benchmark.extra_info["table1_object_s"] = round(object_s, 3)
+    benchmark.extra_info["table1_ratio"] = round(columnar_s / object_s, 3)
+    assert columnar_s <= object_s * 1.25
+
+
+def test_v2_reader_streams_in_constant_transient_memory(benchmark, tmp_path):
+    """The v2 reader's transient allocation (peak minus the resident
+    trace it returns) must grow sub-linearly with trace length — the
+    streaming contract: live reader state is the line buffer plus the
+    interning tables, which grow with *distinct* symbols only."""
+
+    def load_transient(scale):
+        trace = record(scale)
+        path = tmp_path / f"t_{scale}.jsonl"
+        save_trace_file(trace, path)
+        tracemalloc.start()
+        back = load_trace_file(path)
+        current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        return len(back), peak - current
+
+    def sweep():
+        small_scale, large_scale = MEMORY_SCALE, MEMORY_SCALE * 4
+        return load_transient(small_scale), load_transient(large_scale)
+
+    (small_ops, small_transient), (large_ops, large_transient) = benchmark.pedantic(
+        sweep, rounds=1, iterations=1
+    )
+    ops_ratio = large_ops / small_ops
+    transient_ratio = large_transient / max(small_transient, 1)
+    benchmark.extra_info["ops_ratio"] = round(ops_ratio, 2)
+    benchmark.extra_info["transient_ratio"] = round(transient_ratio, 2)
+    assert ops_ratio > 2  # the sweep really scaled the trace
+    # Sub-linear: transient growth stays well under the op-count growth.
+    assert transient_ratio <= ops_ratio * 0.75

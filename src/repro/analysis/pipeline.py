@@ -62,9 +62,10 @@ def _evaluate_app(
     scale: float,
     seed: int,
     options: Optional[DetectorOptions],
+    columnar: bool = True,
 ) -> AppEvaluation:
     """One app's simulate → detect → classify pipeline (pool worker)."""
-    run = app_cls(scale=scale, seed=seed).run()
+    run = app_cls(scale=scale, seed=seed).run(columnar=columnar)
     return evaluate_run(run, options)
 
 
@@ -109,22 +110,33 @@ def reproduce_table1(
     seed: int = 0,
     options: Optional[DetectorOptions] = None,
     jobs: int = 1,
+    columnar: bool = True,
 ) -> Table1:
     """Run the precision evaluation over the given apps (default: all ten).
 
     ``jobs > 1`` distributes the per-app pipelines over a process pool;
     ``jobs=1`` (the default) runs serially in this process.  The rows
-    are identical and identically ordered either way.
+    are identical and identically ordered either way.  ``columnar``
+    selects the trace backend of every run (the legacy object path is
+    the differential-testing baseline).
     """
     _validate_jobs(jobs)
     app_list = list(apps) if apps is not None else list(ALL_APPS)
     table = Table1()
     if jobs == 1 or len(app_list) <= 1:
         for app_cls in app_list:
-            table.evaluations.append(_evaluate_app(app_cls, scale, seed, options))
+            table.evaluations.append(
+                _evaluate_app(app_cls, scale, seed, options, columnar)
+            )
     else:
         table.evaluations.extend(
-            _fan_out(_evaluate_app, app_list, (scale, seed, options), jobs, "table1")
+            _fan_out(
+                _evaluate_app,
+                app_list,
+                (scale, seed, options, columnar),
+                jobs,
+                "table1",
+            )
         )
     return table
 

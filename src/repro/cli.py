@@ -34,8 +34,66 @@ from .analysis import (
     reproduce_table1,
 )
 from .apps import ALL_APPS, make_app
-from .detect import LowLevelDetector, UseFreeDetector
+from .detect import DetectorOptions, LowLevelDetector, UseFreeDetector
 from .trace import load_trace_file, save_trace_file
+
+#: CLI spelling -> on-disk trace format version
+_FORMAT_VERSIONS = {"v1": 1, "v2": 2}
+
+
+def _add_format(parser: argparse.ArgumentParser, writing: bool) -> None:
+    if writing:
+        parser.add_argument(
+            "--format",
+            choices=sorted(_FORMAT_VERSIONS),
+            default="v2",
+            help="trace format version to write (default: v2)",
+        )
+    else:
+        parser.add_argument(
+            "--format",
+            choices=sorted(_FORMAT_VERSIONS),
+            default=None,
+            help="require the trace file to be this format version "
+            "(default: accept any supported version)",
+        )
+
+
+def _add_store_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--legacy-store",
+        action="store_true",
+        help="use the legacy object-list trace backend instead of the "
+        "columnar store (differential-testing escape hatch)",
+    )
+
+
+def _nonnegative_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _add_memo_capacity(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--memo-capacity",
+        type=_nonnegative_int,
+        default=None,
+        metavar="N",
+        help="LRU bound of the happens-before query memo tables "
+        "(0 = unbounded; default: 1048576 entries per table)",
+    )
+
+
+def _load_input_trace(args):
+    expect = _FORMAT_VERSIONS[args.format] if args.format else None
+    return load_trace_file(
+        args.trace, expect_version=expect, columnar=not args.legacy_store
+    )
 
 
 def _add_scale(parser: argparse.ArgumentParser) -> None:
@@ -76,18 +134,20 @@ def _cmd_apps(_args) -> int:
 
 def _cmd_record(args) -> int:
     app = make_app(args.app, scale=args.scale, seed=args.seed)
-    run = app.run()
-    save_trace_file(run.trace, args.output)
+    run = app.run(columnar=not args.legacy_store)
+    save_trace_file(run.trace, args.output, version=_FORMAT_VERSIONS[args.format])
     print(
         f"recorded {args.app}: {len(run.trace)} operations, "
-        f"{run.event_count} events -> {args.output}"
+        f"{run.event_count} events -> {args.output} [{args.format}]"
     )
     return 0
 
 
 def _cmd_detect(args) -> int:
-    trace = load_trace_file(args.trace)
-    detector = UseFreeDetector(trace)
+    trace = _load_input_trace(args)
+    detector = UseFreeDetector(
+        trace, DetectorOptions(memo_capacity=args.memo_capacity)
+    )
     result = detector.detect()
     print(
         f"{len(trace)} operations, {len(trace.events())} events, "
@@ -121,10 +181,13 @@ def _cmd_witness(args) -> int:
 
 
 def _cmd_stats(args) -> int:
+    import os
+
     from .hb import build_happens_before, hb_stats
 
-    trace = load_trace_file(args.trace)
-    hb = build_happens_before(trace)
+    trace = _load_input_trace(args)
+    print(trace.profile(disk_bytes=os.path.getsize(args.trace)).format())
+    hb = build_happens_before(trace, memo_capacity=args.memo_capacity)
     # Run the detector so the query-side counters describe a real
     # workload rather than an idle relation.
     UseFreeDetector(trace, hb=hb).detect()
@@ -215,6 +278,8 @@ def build_parser() -> argparse.ArgumentParser:
     record.add_argument("app", help="application name (see `apps`)")
     record.add_argument("-o", "--output", required=True, help="output .jsonl path")
     _add_scale(record)
+    _add_format(record, writing=True)
+    _add_store_options(record)
     record.set_defaults(fn=_cmd_record)
 
     detect = sub.add_parser("detect", help="offline analysis of a saved trace")
@@ -224,6 +289,9 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also run the conflicting-access baseline",
     )
+    _add_format(detect, writing=False)
+    _add_store_options(detect)
+    _add_memo_capacity(detect)
     detect.set_defaults(fn=_cmd_detect)
 
     witness = sub.add_parser(
@@ -236,6 +304,9 @@ def build_parser() -> argparse.ArgumentParser:
         "stats", help="happens-before graph statistics for a saved trace"
     )
     stats.add_argument("trace", help="trace .jsonl path")
+    _add_format(stats, writing=False)
+    _add_store_options(stats)
+    _add_memo_capacity(stats)
     stats.set_defaults(fn=_cmd_stats)
 
     dot = sub.add_parser(

@@ -27,11 +27,13 @@ from ..trace import (
     Address,
     Branch,
     Deref,
+    OpKind,
     PtrRead,
     PtrWrite,
     Release,
     Trace,
 )
+from ..trace.store import KIND_CODES
 
 
 @dataclass
@@ -142,8 +144,28 @@ class AccessIndex:
 MATCH_WINDOW = 64
 
 
+#: the only operation kinds the extraction pass reads — on the
+#: columnar backend every other kind is skipped without materialization
+_EXTRACT_KINDS = (
+    OpKind.ACQUIRE,
+    OpKind.RELEASE,
+    OpKind.READ,
+    OpKind.WRITE,
+    OpKind.PTR_READ,
+    OpKind.PTR_WRITE,
+    OpKind.DEREF,
+    OpKind.BRANCH,
+)
+
+
 def extract_accesses(trace: Trace) -> AccessIndex:
-    """Recover uses, frees, allocations, guards, and locksets."""
+    """Recover uses, frees, allocations, guards, and locksets.
+
+    On the columnar backend only the kinds carrying access facts are
+    materialized (merged per-kind index walk); the legacy object path
+    scans every operation.  Both record lockset snapshots at access
+    and lock operations — the only indices the detectors query.
+    """
     index = AccessIndex(trace=trace)
     # Per-task rolling history of pointer reads for the matcher, and the
     # Use objects already created per read op index.
@@ -152,8 +174,7 @@ def extract_accesses(trace: Trace) -> AccessIndex:
     use_by_read: Dict[int, Use] = {}
     held: Dict[str, set] = {}
 
-    for i, op in enumerate(trace.ops):
-        task = op.task
+    def step(i: int, op, task: str) -> None:
         if isinstance(op, Acquire):
             held.setdefault(task, set()).add(op.lock)
         elif isinstance(op, Release):
@@ -186,7 +207,7 @@ def extract_accesses(trace: Trace) -> AccessIndex:
                 read_history.get(task, ()), read_op_index.get(task, ()), op.object_id
             )
             if matched is None:
-                continue
+                return
             read_op, read_idx = matched
             use = use_by_read.get(read_idx)
             if use is None:
@@ -215,6 +236,26 @@ def extract_accesses(trace: Trace) -> AccessIndex:
                     task=task,
                 )
             )
+
+    store = trace.store
+    if store is None:
+        for i, op in enumerate(trace.ops):
+            step(i, op, op.task)
+        return index
+    kinds = store.kinds
+    task_of = store.task_of
+    op_of = store.op
+    read_c, write_c = KIND_CODES[OpKind.READ], KIND_CODES[OpKind.WRITE]
+    for i in store.indices_of(*_EXTRACT_KINDS):
+        code = kinds[i]
+        if code == read_c or code == write_c:
+            # High-level reads/writes only need their lockset snapshot;
+            # skip materializing the (dense) operation records.
+            current_locks = held.get(task_of(i))
+            if current_locks:
+                index.locksets[i] = frozenset(current_locks)
+            continue
+        step(i, op_of(i), task_of(i))
     return index
 
 

@@ -36,7 +36,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..hb import CAFA_MODEL, HappensBefore, ModelConfig, build_happens_before
-from ..trace import PtrRead, PtrWrite, Read, Trace, Write
+from ..trace import OpKind, PtrRead, PtrWrite, Read, Trace, Write
+from ..trace.store import KIND_CODES
 from .accesses import AccessIndex, extract_accesses
 from .report import MemoryRace
 
@@ -60,6 +61,9 @@ class _SiteKey:
 
 
 def _collect_sites(trace: Trace) -> Dict[_SiteKey, List[_Access]]:
+    store = trace.store
+    if store is not None:
+        return _collect_sites_store(store)
     sites: Dict[_SiteKey, List[_Access]] = defaultdict(list)
     for i, op in enumerate(trace.ops):
         if isinstance(op, Read):
@@ -77,6 +81,58 @@ def _collect_sites(trace: Trace) -> Dict[_SiteKey, List[_Access]]:
         else:
             continue
         sites[key].append(_Access(i, op.task, key.is_write))
+    return sites
+
+
+def _collect_sites_store(store) -> Dict[_SiteKey, List[_Access]]:
+    """Columnar site collection: decode the four access kinds straight
+    from their payload columns, walking the merged index arrays so the
+    dict insertion order — which seeds the detector's site-pair
+    enumeration — matches the legacy full scan exactly."""
+    sites: Dict[_SiteKey, List[_Access]] = defaultdict(list)
+    sym = store.symbols.value
+    addr = store.addresses.value
+    kinds, rows, task_ids = store.kinds, store.rows, store.task_ids
+    read_c = KIND_CODES[OpKind.READ]
+    write_c = KIND_CODES[OpKind.WRITE]
+    ptr_read_c = KIND_CODES[OpKind.PTR_READ]
+    columns = {}
+    for code, kind in (
+        (read_c, OpKind.READ),
+        (write_c, OpKind.WRITE),
+        (ptr_read_c, OpKind.PTR_READ),
+        (KIND_CODES[OpKind.PTR_WRITE], OpKind.PTR_WRITE),
+    ):
+        if kind in (OpKind.READ, OpKind.WRITE):
+            columns[code] = (
+                store.column(kind, "var")[1],
+                store.column(kind, "site")[1],
+            )
+        else:
+            columns[code] = (
+                store.column(kind, "address")[1],
+                store.column(kind, "method")[1],
+                store.column(kind, "pc")[1],
+            )
+    for i in store.indices_of(
+        OpKind.READ, OpKind.WRITE, OpKind.PTR_READ, OpKind.PTR_WRITE
+    ):
+        code = kinds[i]
+        row = rows[i]
+        if code == read_c or code == write_c:
+            var_col, site_col = columns[code]
+            var = sym(var_col[row])
+            key = _SiteKey(var, var, sym(site_col[row]), code == write_c)
+        else:
+            addr_col, method_col, pc_col = columns[code]
+            address = addr(addr_col[row])
+            key = _SiteKey(
+                f"ptr:{address}",
+                f"ptr:*.{address[2]}",
+                f"{sym(method_col[row])}:{pc_col[row]}",
+                code != ptr_read_c,
+            )
+        sites[key].append(_Access(i, sym(task_ids[i]), key.is_write))
     return sites
 
 

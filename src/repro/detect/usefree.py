@@ -57,6 +57,9 @@ class DetectorOptions:
     #: use the prefix-mask + memo happens-before query path; False
     #: selects the historical per-query bit-scan (differential target)
     fast_queries: bool = True
+    #: LRU bound of the query memo tables: None = the default
+    #: (:data:`repro.hb.DEFAULT_MEMO_CAPACITY`), 0 = unbounded
+    memo_capacity: Optional[int] = None
 
 
 @dataclass
@@ -108,6 +111,7 @@ class UseFreeDetector:
                 self.trace,
                 self.options.model,
                 fast_queries=self.options.fast_queries,
+                memo_capacity=self.options.memo_capacity,
             )
         return self._hb
 
@@ -118,6 +122,7 @@ class UseFreeDetector:
                 self.trace,
                 self.options.conventional_model,
                 fast_queries=self.options.fast_queries,
+                memo_capacity=self.options.memo_capacity,
             )
         return self._conventional_hb
 

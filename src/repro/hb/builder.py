@@ -55,6 +55,7 @@ from ..trace import (
     Trace,
     Wait,
 )
+from ..trace.store import KIND_LIST
 from .config import CAFA_MODEL, ModelConfig
 from .graph import HappensBefore, KeyGraph
 
@@ -148,6 +149,9 @@ class _BuildState:
     events: Dict[str, EventRecord] = field(default_factory=dict)
     task_begin: Dict[str, int] = field(default_factory=dict)
     task_end: Dict[str, int] = field(default_factory=dict)
+    #: per-op key flags, precomputed on the columnar path (None = legacy,
+    #: resolved per op by :func:`_is_key`)
+    is_key: Optional[List[bool]] = None
 
 
 def _effective_task(state: _BuildState, op_index: int) -> str:
@@ -165,42 +169,98 @@ def _effective_task(state: _BuildState, op_index: int) -> str:
     return op.task
 
 
+def _harvest(state: _BuildState, i: int, op) -> None:
+    """Record task bounds and event send/dispatch facts for one op."""
+    trace = state.trace
+    if isinstance(op, Begin):
+        state.task_begin.setdefault(op.task, i)
+        info = trace.tasks.get(op.task)
+        if info is not None and info.task_kind is TaskKind.EVENT:
+            rec = state.events.setdefault(op.task, EventRecord(op.task))
+            rec.begin_index = i
+            rec.looper = info.looper
+            rec.queue = info.queue
+    elif isinstance(op, End):
+        state.task_end[op.task] = i
+        info = trace.tasks.get(op.task)
+        if info is not None and info.task_kind is TaskKind.EVENT:
+            state.events.setdefault(op.task, EventRecord(op.task)).end_index = i
+    elif isinstance(op, Send):
+        rec = state.events.setdefault(op.event, EventRecord(op.event))
+        rec.send_index = i
+        rec.delay = op.delay
+        rec.at_front = False
+        if op.queue:
+            rec.queue = op.queue
+    elif isinstance(op, SendAtFront):
+        rec = state.events.setdefault(op.event, EventRecord(op.event))
+        rec.send_index = i
+        rec.delay = 0
+        rec.at_front = True
+        if op.queue:
+            rec.queue = op.queue
+
+
 def _scan(state: _BuildState) -> None:
     """First pass: positions, task bounds, and event records."""
     trace = state.trace
+    store = trace.store
+    if store is not None:
+        _scan_store(state, store)
+        return
     for i, op in enumerate(trace.ops):
         task = _effective_task(state, i)
         ops = state.task_ops.setdefault(task, [])
         state.op_task.append(task)
         state.op_pos.append(len(ops))
         ops.append(i)
-        if isinstance(op, Begin):
-            state.task_begin.setdefault(op.task, i)
-            info = trace.tasks.get(op.task)
-            if info is not None and info.task_kind is TaskKind.EVENT:
-                rec = state.events.setdefault(op.task, EventRecord(op.task))
-                rec.begin_index = i
-                rec.looper = info.looper
-                rec.queue = info.queue
-        elif isinstance(op, End):
-            state.task_end[op.task] = i
-            info = trace.tasks.get(op.task)
-            if info is not None and info.task_kind is TaskKind.EVENT:
-                state.events.setdefault(op.task, EventRecord(op.task)).end_index = i
-        elif isinstance(op, Send):
-            rec = state.events.setdefault(op.event, EventRecord(op.event))
-            rec.send_index = i
-            rec.delay = op.delay
-            rec.at_front = False
-            if op.queue:
-                rec.queue = op.queue
-        elif isinstance(op, SendAtFront):
-            rec = state.events.setdefault(op.event, EventRecord(op.event))
-            rec.send_index = i
-            rec.delay = 0
-            rec.at_front = True
-            if op.queue:
-                rec.queue = op.queue
+        _harvest(state, i, op)
+
+
+def _scan_store(state: _BuildState, store) -> None:
+    """Columnar first pass: per-op bookkeeping straight from the int
+    columns (no :class:`Operation` materialization), then a sparse
+    harvest over only the kinds that carry event/bound facts."""
+    trace, config = state.trace, state.config
+    tasks = trace.tasks
+    sequential = config.sequential_events
+    symbols = store.symbols
+    # task symbol id -> effective task name, resolved lazily (the
+    # symbol table also interns non-task strings).
+    effective: List[Optional[str]] = [None] * len(symbols)
+    op_task, op_pos, task_ops = state.op_task, state.op_pos, state.task_ops
+    for i, tid in enumerate(store.task_ids):
+        name = effective[tid]
+        if name is None:
+            name = symbols.value(tid)
+            if sequential:
+                info = tasks.get(name)
+                if (
+                    info is not None
+                    and info.task_kind is TaskKind.EVENT
+                    and info.looper
+                ):
+                    name = info.looper
+            effective[tid] = name
+        ops = task_ops.get(name)
+        if ops is None:
+            ops = task_ops[name] = []
+        op_task.append(name)
+        op_pos.append(len(ops))
+        ops.append(i)
+    # Key-op flags from the kind column alone; _build_key_graph indexes
+    # this instead of materializing one op per candidate.
+    lock_kinds = (OpKind.ACQUIRE, OpKind.RELEASE)
+    key_by_code = [
+        kind in SYNC_KINDS or (config.lock_edges and kind in lock_kinds)
+        for kind in KIND_LIST
+    ]
+    state.is_key = [key_by_code[code] for code in store.kinds]
+    op_of = store.op
+    for i in store.indices_of(
+        OpKind.BEGIN, OpKind.END, OpKind.SEND, OpKind.SEND_AT_FRONT
+    ):
+        _harvest(state, i, op_of(i))
 
 
 def _is_key(state: _BuildState, op_index: int) -> bool:
@@ -219,11 +279,16 @@ def _build_key_graph(
     graph = KeyGraph(incremental=incremental)
     task_key_positions: Dict[str, List[int]] = {}
     task_key_nodes: Dict[str, List[int]] = {}
+    if state.is_key is not None:
+        is_key = state.is_key.__getitem__
+    else:
+        def is_key(op_index: int) -> bool:
+            return _is_key(state, op_index)
     for task, ops in state.task_ops.items():
         positions: List[int] = []
         nodes: List[int] = []
         for pos, op_index in enumerate(ops):
-            if _is_key(state, op_index) or pos == len(ops) - 1:
+            if is_key(op_index) or pos == len(ops) - 1:
                 node = graph.add_node(op_index)
                 if nodes:
                     graph.add_edge(nodes[-1], node, RULE_PROGRAM_ORDER)
@@ -247,7 +312,7 @@ def _add_base_edges(state: _BuildState, graph: KeyGraph) -> None:
     def edge(u_op: int, v_op: int, rule: str) -> None:
         graph.add_edge(graph.node_of(u_op), graph.node_of(v_op), rule)
 
-    for i, op in enumerate(trace.ops):
+    def step(i: int, op) -> None:
         if isinstance(op, Fork) and config.fork_join:
             begin = state.task_begin.get(op.child)
             if begin is not None:
@@ -296,6 +361,34 @@ def _add_base_edges(state: _BuildState, graph: KeyGraph) -> None:
             rel = last_release.get(op.lock)
             if rel is not None:
                 edge(rel, i, RULE_LOCK)
+
+    store = trace.store
+    if store is None:
+        for i, op in enumerate(trace.ops):
+            step(i, op)
+    else:
+        # Columnar path: only materialize kinds the enabled rules read.
+        wanted: List[OpKind] = []
+        if config.fork_join:
+            wanted += [OpKind.FORK, OpKind.JOIN]
+        if config.signal_wait:
+            wanted += [OpKind.NOTIFY, OpKind.WAIT]
+        if config.listener:
+            wanted += [OpKind.REGISTER, OpKind.PERFORM]
+        if config.send_begin:
+            wanted += [OpKind.SEND, OpKind.SEND_AT_FRONT]
+        if config.ipc:
+            wanted += [
+                OpKind.IPC_CALL,
+                OpKind.IPC_HANDLE,
+                OpKind.IPC_REPLY,
+                OpKind.IPC_RETURN,
+            ]
+        if config.lock_edges:
+            wanted += [OpKind.RELEASE, OpKind.ACQUIRE]
+        op_of = store.op
+        for i in store.indices_of(*wanted):
+            step(i, op_of(i))
 
     if config.external_input:
         external = trace.external_events()
@@ -637,6 +730,7 @@ def build_happens_before(
     config: ModelConfig = CAFA_MODEL,
     incremental: bool = True,
     fast_queries: bool = True,
+    memo_capacity: Optional[int] = None,
 ) -> HappensBefore:
     """Build the happens-before relation of ``trace`` under ``config``.
 
@@ -654,6 +748,10 @@ def build_happens_before(
     historical per-query bit-scan in place of the prefix-mask +
     memoization query path — same verdicts, kept for differential
     testing and before/after measurement.
+
+    ``memo_capacity`` bounds the query memoization tables (LRU):
+    ``None`` uses :data:`~repro.hb.graph.DEFAULT_MEMO_CAPACITY`, ``0``
+    keeps them unbounded, any positive value is the entry cap.
     """
     profile = BuildProfile()
     tick = time.perf_counter
@@ -728,6 +826,7 @@ def build_happens_before(
         derived_edges=derived_edges,
         profile=profile,
         fast_queries=fast_queries,
+        memo_capacity=memo_capacity,
     )
 
 

@@ -55,9 +55,16 @@ from __future__ import annotations
 
 import sys
 from bisect import bisect_left, bisect_right
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: default LRU bound of the two query memo tables (entries each).  At
+#: roughly 100 bytes per entry this caps memo memory near 100 MB where
+#: the historical unbounded dicts grew with the number of *distinct*
+#: queries — unbounded in trace length for the batched detectors.
+#: ``memo_capacity=0`` restores the unbounded behaviour.
+DEFAULT_MEMO_CAPACITY = 1 << 20
 
 
 class HBCycleError(Exception):
@@ -112,6 +119,10 @@ class QueryProfile:
     mask_tasks: int = 0
     #: memory held by the materialized prefix masks
     mask_bytes: int = 0
+    #: memo entries dropped by the LRU bound (0 when unbounded)
+    memo_evictions: int = 0
+    #: the active LRU bound per memo table (None = unbounded)
+    memo_capacity: Optional[int] = None
 
     @property
     def memo_hit_rate(self) -> float:
@@ -390,6 +401,7 @@ class HappensBefore:
         derived_edges: int,
         profile: Optional[object] = None,
         fast_queries: bool = True,
+        memo_capacity: Optional[int] = None,
     ) -> None:
         self.graph = graph
         self._op_task = op_task
@@ -410,8 +422,20 @@ class HappensBefore:
         #: task -> prefix masks over its key nodes; masks[i] ORs the
         #: node bits of the first i key nodes (built lazily per task)
         self._prefix_masks: Dict[str, List[int]] = {}
+        # Memo tables: bounded LRU (OrderedDict) by default, plain dicts
+        # when memo_capacity=0 keeps them unbounded (the historical
+        # behaviour, and marginally faster when memory is no concern).
+        if memo_capacity is None:
+            memo_capacity = DEFAULT_MEMO_CAPACITY
+        if memo_capacity < 0:
+            raise ValueError(f"memo_capacity must be >= 0, got {memo_capacity}")
+        #: LRU entry bound per memo table; 0 means unbounded
+        self._memo_capacity = memo_capacity
+        self.query_profile.memo_capacity = memo_capacity or None
         #: (ka, tb, hi) -> ordered verdict
-        self._memo: Dict[Tuple[int, str, int], bool] = {}
+        self._memo: Dict[Tuple[int, str, int], bool] = (
+            OrderedDict() if memo_capacity else {}
+        )
         #: per-op source key node (id, or -1) / key-prefix length,
         #: indexed by operation index (built lazily, one linear pass)
         self._op_key: Optional[List[int]] = None
@@ -422,7 +446,9 @@ class HappensBefore:
         #: signature id -> (op_key, task, op_prefix_len)
         self._sig_parts: List[Tuple[int, str, int]] = []
         #: (sig_a * len(sig_parts) + sig_b) -> concurrent verdict
-        self._pair_memo: Dict[int, bool] = {}
+        self._pair_memo: Dict[int, bool] = (
+            OrderedDict() if memo_capacity else {}
+        )
 
     # -- core queries -------------------------------------------------------
 
@@ -454,13 +480,19 @@ class HappensBefore:
         if hi == 0:
             return False
         key = (ka, tb, hi)
-        cached = self._memo.get(key)
+        memo = self._memo
+        cached = memo.get(key)
         if cached is not None:
             prof.memo_hits += 1
+            if self._memo_capacity:
+                memo.move_to_end(key)  # type: ignore[attr-defined]
             return cached
         prof.memo_misses += 1
         result = bool(self.graph.reach_set(ka) & self._masks_of(tb)[hi])
-        self._memo[key] = result
+        memo[key] = result
+        if self._memo_capacity and len(memo) > self._memo_capacity:
+            memo.popitem(last=False)  # type: ignore[call-arg]
+            prof.memo_evictions += 1
         return result
 
     def concurrent(self, a: int, b: int) -> bool:
@@ -499,9 +531,12 @@ class HappensBefore:
         reach_of = self.graph.reach_set
         pair_memo = self._pair_memo
         memo_get = pair_memo.get
+        capacity = self._memo_capacity
+        move_to_end = pair_memo.move_to_end if capacity else None  # type: ignore[attr-defined]
+        evict = pair_memo.popitem if capacity else None
         verdicts: List[bool] = []
         append = verdicts.append
-        batched = queries = same_task = hits = misses = 0
+        batched = queries = same_task = hits = misses = evictions = 0
         for a, b in pairs:
             batched += 1
             ta, tb = op_task[a], op_task[b]
@@ -515,6 +550,8 @@ class HappensBefore:
             cached = memo_get(key)
             if cached is not None:
                 hits += 1
+                if move_to_end is not None:
+                    move_to_end(key)
                 append(cached)
                 continue
             misses += 1
@@ -542,12 +579,16 @@ class HappensBefore:
                 else:
                     cached = True
             pair_memo[key] = cached
+            if capacity and len(pair_memo) > capacity:
+                evict(last=False)  # type: ignore[misc]
+                evictions += 1
             append(cached)
         prof.batched_pairs += batched
         prof.queries += queries
         prof.same_task += same_task
         prof.memo_hits += hits
         prof.memo_misses += misses
+        prof.memo_evictions += evictions
         return verdicts
 
     def event_ordered(self, e1: str, e2: str) -> bool:

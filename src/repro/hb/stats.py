@@ -92,6 +92,11 @@ class HBStats:
                 f"memo {q.memo_hits} hits / {q.memo_misses} misses "
                 f"({q.memo_hit_rate:.0%} hit rate)"
             )
+            cap = "unbounded" if q.memo_capacity is None else str(q.memo_capacity)
+            lines.append(
+                f"memo bound: {cap} entries/table, "
+                f"{q.memo_evictions} evictions"
+            )
             lines.append(
                 f"prefix masks: {q.mask_tasks} tasks materialized, "
                 f"{q.mask_bytes} bytes"

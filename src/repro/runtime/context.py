@@ -146,9 +146,7 @@ class TaskContext:
         tracer = system.tracer
         if tracer.enabled:
             system.charge(system.time_model.trace_record_cost)
-            tracer.emit(
-                op_cls(task=self.current_task, time=system.clock.now, **fields)
-            )
+            tracer.emit_fields(op_cls, self.current_task, system.clock.now, fields)
 
     def compute(self, ticks: int) -> None:
         """Consume ``ticks`` of un-instrumented CPU time."""

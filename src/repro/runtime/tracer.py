@@ -15,11 +15,19 @@ from ..trace import Operation, TaskInfo, Trace
 
 
 class Tracer:
-    """Collects operations and task metadata during a simulation."""
+    """Collects operations and task metadata during a simulation.
 
-    def __init__(self, enabled: bool = True) -> None:
+    ``columnar`` selects the backend of the collected trace: the
+    columnar :class:`~repro.trace.TraceStore` (default — the runtime
+    appends straight into the typed columns) or the legacy
+    one-object-per-operation list.
+    """
+
+    def __init__(self, enabled: bool = True, columnar: bool = True) -> None:
         self.enabled = enabled
-        self.trace: Optional[Trace] = Trace() if enabled else None
+        self.trace: Optional[Trace] = (
+            Trace(columnar=columnar) if enabled else None
+        )
         #: number of records emitted (counted even when disabled would
         #: have skipped them — callers check ``enabled`` first)
         self.records = 0
@@ -34,6 +42,19 @@ class Tracer:
         if self.trace is None:
             return False
         self.trace.append(op)
+        self.records += 1
+        return True
+
+    def emit_fields(self, op_cls: type, task: str, time: int, fields: dict) -> bool:
+        """Record one operation from its class and keyword payload.
+
+        The runtime's hot path: on the columnar backend the payload
+        goes straight into the typed columns and no
+        :class:`~repro.trace.Operation` instance is ever built.
+        """
+        if self.trace is None:
+            return False
+        self.trace.append_fields(op_cls, task, time, **fields)
         self.records += 1
         return True
 

@@ -1,53 +1,186 @@
-"""JSONL (de)serialization of traces.
+"""JSONL (de)serialization of traces — versioned, streaming, gzip-able.
 
 The on-device CAFA prototype streams trace records through a kernel
 logger device and reads them back over ADB (Section 5.1).  Our stand-in
-is a line-oriented JSON format: a header line describing the format
-version, one line per task-table entry, then one line per operation.
-The format round-trips exactly and is diff-friendly, which the test
-suite relies on.
+is a line-oriented JSON format in two versions:
+
+* **v1** (legacy): a header line, one ``{"task_info": ...}`` line per
+  task, then one self-describing ``{"op": {...}}`` dict per operation.
+  Verbose but diff-friendly; still fully readable and writable.
+* **v2** (default): the same header/task lines, then positional array
+  records.  ``["s", text]`` defines the next string symbol id,
+  ``["a", [scope, owner, field]]`` the next address id, and
+  ``["o", kind, time, task_sym, payload...]`` one operation whose
+  payload layout is the kind's column schema
+  (:data:`repro.trace.store.SCHEMAS`).  The header carries the kind
+  code table, so a reader never guesses at positional meanings.
+
+Both writer and reader stream line by line in constant memory (the
+reader's live state is the interning tables, which grow with the
+number of *distinct* symbols, not with trace length), and both
+versions are transparently gzip-compressed when the file path ends in
+``.gz``.  ``load_trace`` auto-negotiates the version from the header;
+``dump_trace(..., version=1)`` keeps writing the legacy format.
 """
 
 from __future__ import annotations
 
+import gzip
 import io
 import json
 from pathlib import Path
-from typing import IO, Union
+from typing import IO, Any, List, Optional, Union
 
-from .operations import operation_from_dict
+from .operations import BranchKind, OpKind, operation_from_dict
+from .store import (
+    ADDR,
+    BOOL,
+    ENUM,
+    KIND_CODES,
+    KIND_LIST,
+    SCHEMAS,
+    STR,
+)
 from .trace import TaskInfo, Trace, TraceError
 
 FORMAT_NAME = "cafa-trace"
-FORMAT_VERSION = 1
+#: the version new files are written in
+FORMAT_VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
+
+_SCHEMA_LIST = tuple(SCHEMAS[kind] for kind in KIND_LIST)
 
 
-def dump_trace(trace: Trace, fp: IO[str]) -> None:
-    """Write ``trace`` to a text stream in JSONL format."""
+# ---------------------------------------------------------------------------
+# Writing
+# ---------------------------------------------------------------------------
+
+
+def dump_trace(trace: Trace, fp: IO[str], version: int = FORMAT_VERSION) -> None:
+    """Write ``trace`` to a text stream in JSONL format.
+
+    ``version`` selects the on-disk format; both versions stream one
+    line at a time and never hold the serialized trace in memory.
+    """
+    if version not in SUPPORTED_VERSIONS:
+        raise TraceError(f"cannot write trace version {version!r}")
     header = {
         "format": FORMAT_NAME,
-        "version": FORMAT_VERSION,
+        "version": version,
         "tasks": len(trace.tasks),
-        "ops": len(trace.ops),
+        "ops": len(trace),
     }
+    if version == 2:
+        header["kinds"] = [kind.value for kind in KIND_LIST]
     fp.write(json.dumps(header) + "\n")
     for info in trace.tasks.values():
         fp.write(json.dumps({"task_info": info.to_dict()}) + "\n")
+    if version == 1:
+        for op in trace.ops:
+            fp.write(json.dumps({"op": op.to_dict()}) + "\n")
+        return
+    _dump_ops_v2(trace, fp)
+
+
+def _iter_encoded_rows(trace: Trace):
+    """``(kind code, time, task, payload values)`` per op, backend-agnostic."""
+    store = trace.store
+    if store is not None:
+        yield from store.rows_encoded()
+        return
     for op in trace.ops:
-        fp.write(json.dumps({"op": op.to_dict()}) + "\n")
+        code = KIND_CODES[op.kind]
+        values = [getattr(op, name) for name, _typ in _SCHEMA_LIST[code]]
+        yield code, op.time, op.task, values
 
 
-def load_trace(fp: IO[str]) -> Trace:
-    """Read a trace previously written by :func:`dump_trace`."""
+def _dump_ops_v2(trace: Trace, fp: IO[str]) -> None:
+    compact = json.JSONEncoder(separators=(",", ":")).encode
+    sym_ids: dict = {}
+    addr_ids: dict = {}
+
+    def sym(value: str) -> int:
+        sid = sym_ids.get(value)
+        if sid is None:
+            sid = sym_ids[value] = len(sym_ids)
+            fp.write(compact(["s", value]) + "\n")
+        return sid
+
+    def addr(value) -> int:
+        key = tuple(value)
+        aid = addr_ids.get(key)
+        if aid is None:
+            aid = addr_ids[key] = len(addr_ids)
+            fp.write(compact(["a", list(key)]) + "\n")
+        return aid
+
+    for code, time, task, values in _iter_encoded_rows(trace):
+        rec: List[Any] = ["o", code, time, sym(task)]
+        for (_name, typ), value in zip(_SCHEMA_LIST[code], values):
+            if typ == STR:
+                rec.append(sym(value))
+            elif typ == ADDR:
+                rec.append(addr(value))
+            elif typ == BOOL:
+                rec.append(1 if value else 0)
+            elif typ == ENUM:
+                rec.append(sym(value.value))
+            else:  # INT / OPT_INT: ints and None pass through as JSON
+                rec.append(value)
+        fp.write(compact(rec) + "\n")
+
+
+# ---------------------------------------------------------------------------
+# Reading
+# ---------------------------------------------------------------------------
+
+
+def load_trace(
+    fp: IO[str],
+    expect_version: Optional[int] = None,
+    columnar: bool = True,
+) -> Trace:
+    """Read a trace previously written by :func:`dump_trace`.
+
+    The format version is negotiated from the header; pass
+    ``expect_version`` to *require* a specific one (the CLI's
+    ``--format`` flag).  ``columnar`` selects the backend of the
+    returned :class:`Trace`.
+    """
     header_line = fp.readline()
     if not header_line:
         raise TraceError("empty trace stream")
     header = json.loads(header_line)
-    if header.get("format") != FORMAT_NAME:
+    if not isinstance(header, dict) or header.get("format") != FORMAT_NAME:
         raise TraceError(f"not a {FORMAT_NAME} stream: {header!r}")
-    if header.get("version") != FORMAT_VERSION:
-        raise TraceError(f"unsupported trace version {header.get('version')!r}")
-    trace = Trace()
+    version = header.get("version")
+    if version not in SUPPORTED_VERSIONS:
+        raise TraceError(f"unsupported trace version {version!r}")
+    if expect_version is not None and version != expect_version:
+        raise TraceError(
+            f"expected trace version {expect_version}, stream is version {version}"
+        )
+    trace = Trace(columnar=columnar)
+    if version == 1:
+        _load_body_v1(trace, fp)
+    else:
+        _load_body_v2(trace, fp, header)
+    expected_tasks = header.get("tasks")
+    if expected_tasks is not None and expected_tasks != len(trace.tasks):
+        raise TraceError(
+            f"task count mismatch: header says {expected_tasks}, "
+            f"stream has {len(trace.tasks)}"
+        )
+    expected_ops = header.get("ops")
+    if expected_ops is not None and expected_ops != len(trace):
+        raise TraceError(
+            f"op count mismatch: header says {expected_ops}, "
+            f"stream has {len(trace)}"
+        )
+    return trace
+
+
+def _load_body_v1(trace: Trace, fp: IO[str]) -> None:
     for line in fp:
         line = line.strip()
         if not line:
@@ -59,40 +192,111 @@ def load_trace(fp: IO[str]) -> Trace:
             trace.append(operation_from_dict(record["op"]))
         else:
             raise TraceError(f"unrecognized trace record: {record!r}")
-    expected_tasks = header.get("tasks")
-    if expected_tasks is not None and expected_tasks != len(trace.tasks):
-        raise TraceError(
-            f"task count mismatch: header says {expected_tasks}, "
-            f"stream has {len(trace.tasks)}"
-        )
-    expected_ops = header.get("ops")
-    if expected_ops is not None and expected_ops != len(trace.ops):
-        raise TraceError(
-            f"op count mismatch: header says {expected_ops}, "
-            f"stream has {len(trace.ops)}"
-        )
-    return trace
 
 
-def save_trace_file(trace: Trace, path: Union[str, Path]) -> None:
-    """Save a trace to ``path`` (overwrites)."""
-    with open(path, "w", encoding="utf-8") as fp:
-        dump_trace(trace, fp)
+def _load_body_v2(trace: Trace, fp: IO[str], header: dict) -> None:
+    # Version negotiation: positions in the header's kind table define
+    # the wire codes, so a file written under a different (e.g. future,
+    # reordered) vocabulary still decodes — or fails loudly on a kind
+    # this reader does not know.
+    kind_names = header.get("kinds")
+    if not isinstance(kind_names, list) or not kind_names:
+        raise TraceError("v2 stream header lacks its kind table")
+    codes: List[int] = []
+    schemas: List[tuple] = []
+    for name in kind_names:
+        try:
+            kind = OpKind(name)
+        except ValueError:
+            raise TraceError(f"unknown operation kind {name!r} in header") from None
+        codes.append(KIND_CODES[kind])
+        schemas.append(_SCHEMA_LIST[KIND_CODES[kind]])
+    symbols: List[str] = []
+    addresses: List[tuple] = []
+    append_decoded = trace._append_decoded
+    for line in fp:
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        if isinstance(record, list):
+            tag = record[0]
+            if tag == "o":
+                try:
+                    schema = schemas[record[1]]
+                    code = codes[record[1]]
+                except (IndexError, TypeError):
+                    raise TraceError(
+                        f"op record with undeclared kind code: {record!r}"
+                    ) from None
+                if len(record) != 4 + len(schema):
+                    raise TraceError(f"malformed op record: {record!r}")
+                values: List[Any] = []
+                for (_name, typ), raw in zip(schema, record[4:]):
+                    if typ == STR:
+                        values.append(symbols[raw])
+                    elif typ == ADDR:
+                        values.append(addresses[raw])
+                    elif typ == BOOL:
+                        values.append(bool(raw))
+                    elif typ == ENUM:
+                        values.append(BranchKind(symbols[raw]))
+                    else:  # INT / OPT_INT
+                        values.append(raw)
+                append_decoded(code, record[2], symbols[record[3]], values)
+            elif tag == "s":
+                symbols.append(record[1])
+            elif tag == "a":
+                addresses.append(tuple(record[1]))
+            else:
+                raise TraceError(f"unrecognized trace record: {record!r}")
+        elif isinstance(record, dict) and "task_info" in record:
+            trace.add_task(TaskInfo.from_dict(record["task_info"]))
+        else:
+            raise TraceError(f"unrecognized trace record: {record!r}")
 
 
-def load_trace_file(path: Union[str, Path]) -> Trace:
-    """Load a trace from ``path``."""
-    with open(path, "r", encoding="utf-8") as fp:
-        return load_trace(fp)
+# ---------------------------------------------------------------------------
+# File and string entry points
+# ---------------------------------------------------------------------------
 
 
-def dumps_trace(trace: Trace) -> str:
+def _open_for(path: Union[str, Path], mode: str) -> IO[str]:
+    """Text stream for ``path``; transparently gzip on a ``.gz`` suffix."""
+    if str(path).endswith(".gz"):
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def save_trace_file(
+    trace: Trace, path: Union[str, Path], version: int = FORMAT_VERSION
+) -> None:
+    """Save a trace to ``path`` (overwrites; gzip when it ends in .gz)."""
+    with _open_for(path, "w") as fp:
+        dump_trace(trace, fp, version=version)
+
+
+def load_trace_file(
+    path: Union[str, Path],
+    expect_version: Optional[int] = None,
+    columnar: bool = True,
+) -> Trace:
+    """Load a trace from ``path`` (gzip when it ends in .gz)."""
+    with _open_for(path, "r") as fp:
+        return load_trace(fp, expect_version=expect_version, columnar=columnar)
+
+
+def dumps_trace(trace: Trace, version: int = FORMAT_VERSION) -> str:
     """Serialize a trace to a string."""
     buf = io.StringIO()
-    dump_trace(trace, buf)
+    dump_trace(trace, buf, version=version)
     return buf.getvalue()
 
 
-def loads_trace(text: str) -> Trace:
+def loads_trace(
+    text: str, expect_version: Optional[int] = None, columnar: bool = True
+) -> Trace:
     """Deserialize a trace from a string."""
-    return load_trace(io.StringIO(text))
+    return load_trace(
+        io.StringIO(text), expect_version=expect_version, columnar=columnar
+    )

@@ -39,7 +39,7 @@ class FailingApp:
     def __init__(self, scale=0.1, seed=0):
         pass
 
-    def run(self, tracing=True):
+    def run(self, tracing=True, **kwargs):
         raise RuntimeError("simulated workload crash")
 
 

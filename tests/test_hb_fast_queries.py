@@ -8,6 +8,7 @@ generated traces under the stock models and a set of rule ablations,
 and for the full batched detector on a real workload.
 """
 
+from collections import OrderedDict
 from dataclasses import replace
 
 import pytest
@@ -18,6 +19,7 @@ from repro.detect import DetectorOptions, UseFreeDetector
 from repro.hb import (
     CAFA_MODEL,
     CONVENTIONAL_MODEL,
+    DEFAULT_MEMO_CAPACITY,
     NO_QUEUE_MODEL,
     build_happens_before,
     hb_stats,
@@ -213,3 +215,102 @@ class TestBatchedDetectorRegression:
             run.trace, options=replace(options, fast_queries=False)
         ).detect()
         assert self._fingerprint(fast) == self._fingerprint(scan)
+
+
+class TestMemoBound:
+    """The LRU bound on the query memo tables: capacity is enforced,
+    evictions are observable, and verdicts never depend on it."""
+
+    def _trace(self):
+        b = TraceBuilder()
+        b.looper("L")
+        b.thread("T")
+        events = [f"E{i}" for i in range(6)]
+        for name in events:
+            b.event(name, looper="L")
+        b.begin("T")
+        for name in events:
+            b.send("T", name)
+        b.end("T")
+        for name in events:
+            b.begin(name); b.read(name, "x"); b.end(name)
+        return b.build()
+
+    def _all_pairs(self, trace):
+        n = len(trace)
+        return [(i, j) for i in range(n) for j in range(n) if i != j]
+
+    def test_default_capacity_is_recorded(self):
+        hb = build_happens_before(self._trace())
+        assert hb.query_profile.memo_capacity == DEFAULT_MEMO_CAPACITY
+        assert hb.query_profile.memo_evictions == 0
+
+    def test_zero_means_unbounded(self):
+        trace = self._trace()
+        hb = build_happens_before(trace, memo_capacity=0)
+        hb.concurrent_pairs(self._all_pairs(trace))
+        assert hb.query_profile.memo_capacity is None
+        assert hb.query_profile.memo_evictions == 0
+        assert not isinstance(hb._memo, OrderedDict)
+
+    def test_capacity_bounds_both_tables_and_counts_evictions(self):
+        trace = self._trace()
+        capacity = 4
+        hb = build_happens_before(trace, memo_capacity=capacity)
+        pairs = self._all_pairs(trace)
+        hb.concurrent_pairs(pairs)
+        for i, j in pairs[:50]:
+            hb.ordered(i, j)
+        assert len(hb._memo) <= capacity
+        assert len(hb._pair_memo) <= capacity
+        assert hb.query_profile.memo_evictions > 0
+
+    def test_lru_keeps_the_hot_entry(self):
+        trace = self._trace()
+        hb = build_happens_before(trace, memo_capacity=2)
+        reads = [trace.ops_of(f"E{i}")[1] for i in range(6)]
+        misses = hb.query_profile.memo_misses
+        hot = (reads[0], reads[5])
+        hb.ordered(*hot)  # miss; the memo now holds the hot answer
+        for other in reads[1:5]:
+            hb.ordered(reads[0], other)  # churn past the capacity ...
+            hb.ordered(*hot)  # ... but re-touch the hot pair each time
+        # one miss for the hot pair, one per churn pair, zero re-misses
+        assert hb.query_profile.memo_misses == misses + 1 + 4
+
+    def test_verdicts_identical_across_capacities(self):
+        trace = self._trace()
+        pairs = self._all_pairs(trace)
+        reference = build_happens_before(trace, memo_capacity=0).concurrent_pairs(
+            pairs
+        )
+        for capacity in (1, 3, 64):
+            hb = build_happens_before(trace, memo_capacity=capacity)
+            assert hb.concurrent_pairs(pairs) == reference
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError, match="memo_capacity"):
+            build_happens_before(self._trace(), memo_capacity=-1)
+
+    def test_detector_options_thread_the_bound(self, tmp_path):
+        trace = self._trace()
+        unbounded = UseFreeDetector(
+            trace, options=DetectorOptions(memo_capacity=0)
+        )
+        bounded = UseFreeDetector(
+            trace, options=DetectorOptions(memo_capacity=2)
+        )
+        assert [str(r.key) for r in unbounded.detect().reports] == [
+            str(r.key) for r in bounded.detect().reports
+        ]
+        assert bounded.hb.query_profile.memo_capacity == 2
+
+    def test_stats_surface_the_bound(self):
+        trace = self._trace()
+        hb = build_happens_before(trace, memo_capacity=8)
+        hb.concurrent_pairs(self._all_pairs(trace))
+        text = hb_stats(trace, hb).format()
+        assert "memo bound: 8 entries/table" in text
+        unbounded = build_happens_before(trace, memo_capacity=0)
+        unbounded.ordered(0, 1)
+        assert "memo bound: unbounded" in hb_stats(trace, unbounded).format()

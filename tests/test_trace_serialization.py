@@ -57,10 +57,23 @@ class TestRoundTrip:
         back = load_trace_file(path)
         assert back.ops == trace.ops
 
-    def test_format_is_line_oriented_json(self):
-        text = dumps_trace(sample_trace())
+    def test_v1_format_is_line_oriented_json(self):
+        text = dumps_trace(sample_trace(), version=1)
         lines = text.strip().split("\n")
         assert len(lines) == 1 + 3 + len(sample_trace())  # header + tasks + ops
+
+    def test_v2_format_is_line_oriented_json(self):
+        trace = sample_trace()
+        text = dumps_trace(trace)
+        lines = text.strip().split("\n")
+        # header + tasks + ops + one definition line per distinct
+        # symbol/address
+        assert len(lines) > 1 + 3 + len(trace)
+        import json
+
+        tags = [type(json.loads(line)) for line in lines]
+        assert tags[0] is dict
+        assert all(t in (dict, list) for t in tags)
 
     def test_empty_trace_round_trips(self):
         from repro.trace import Trace

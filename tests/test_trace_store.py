@@ -1,0 +1,192 @@
+"""The columnar trace store: append/materialize round-trips, cached
+index views, the OpsView sequence protocol, memory accounting, and the
+external-input validation invariant."""
+
+import pytest
+
+from repro.testing import TraceBuilder
+from repro.trace import (
+    BranchKind,
+    OpKind,
+    OpsView,
+    TaskInfo,
+    TaskKind,
+    Trace,
+    TraceError,
+    TraceStore,
+    trace_profile,
+)
+from tests.test_property_structures import operation_st
+
+from hypothesis import given, settings
+
+
+def rich_trace(columnar=True):
+    """One of every interesting payload shape, on either backend."""
+    b = TraceBuilder()
+    b.looper("L")
+    b.thread("T")
+    b.event("E", looper="L", external=True)
+    b.begin("T")
+    b.fork("T", "T2")
+    b.write("T", "x", site="w:x")
+    b.read("T", "x", site="r:x")
+    b.acquire("T", "m")
+    b.release("T", "m")
+    b.send("T", "E", delay=3)
+    b.end("T")
+    b.begin("E")
+    b.ptr_read("E", ("obj", 4, "p"), object_id=8, method="onE", pc=1)
+    b.deref("E", object_id=8, method="onE", pc=2)
+    b.branch("E", branch_kind=BranchKind.IF_EQZ, pc=3, target=9, object_id=8)
+    b.ptr_write("E", ("obj", 4, "p"), value=None, container=4, method="onE", pc=4)
+    b.ipc_call("E", txn=7, service="svc", oneway=True)
+    b.end("E")
+    trace = b.build()
+    if columnar:
+        return trace
+    legacy = Trace(ops=list(trace.ops), tasks=trace.tasks, columnar=False)
+    return legacy
+
+
+class TestRoundTrip:
+    def test_every_op_materializes_identically(self):
+        columnar = rich_trace()
+        legacy = rich_trace(columnar=False)
+        assert len(columnar) == len(legacy)
+        for i in range(len(columnar)):
+            assert columnar.ops[i] == legacy.ops[i]
+            assert type(columnar.ops[i]) is type(legacy.ops[i])
+
+    @settings(max_examples=200)
+    @given(operation_st)
+    def test_any_single_operation_survives_the_columns(self, op):
+        store = TraceStore()
+        i = store.append(op)
+        back = store.op(i)
+        assert back == op
+        assert type(back) is type(op)
+        assert store.kind_of(i) is op.kind
+        assert store.task_of(i) == op.task
+        assert store.time_of(i) == op.time
+
+    def test_meta_iteration_is_payload_free_and_ordered(self):
+        trace = rich_trace()
+        meta = list(trace.store.iter_meta())
+        assert [m[0] for m in meta] == list(range(len(trace)))
+        for i, kind, task, time in meta:
+            op = trace.ops[i]
+            assert (kind, task, time) == (op.kind, op.task, op.time)
+
+
+class TestIndexViews:
+    def test_ops_of_matches_legacy_scan(self):
+        columnar, legacy = rich_trace(), rich_trace(columnar=False)
+        for task in ("T", "E", "absent"):
+            assert columnar.ops_of(task) == legacy.ops_of(task)
+
+    def test_by_kind_matches_legacy_scan(self):
+        columnar, legacy = rich_trace(), rich_trace(columnar=False)
+        for kind in OpKind:
+            assert columnar.by_kind(kind) == legacy.by_kind(kind)
+
+    def test_indices_of_merges_ascending(self):
+        store = rich_trace().store
+        merged = store.indices_of(OpKind.BEGIN, OpKind.END, OpKind.SEND)
+        assert merged == sorted(merged)
+        assert merged == sorted(
+            store.by_kind(OpKind.BEGIN)
+            + store.by_kind(OpKind.END)
+            + store.by_kind(OpKind.SEND)
+        )
+
+    def test_indices_of_absent_kinds_is_empty(self):
+        assert rich_trace().store.indices_of(OpKind.JOIN, OpKind.WAIT) == []
+
+    def test_column_exposes_raw_ids(self):
+        store = rich_trace().store
+        indices, col = store.column(OpKind.READ, "var")
+        assert len(indices) == len(col) == 1
+        assert store.symbols.value(col[0]) == "x"
+        with pytest.raises(KeyError):
+            store.column(OpKind.READ, "no_such_field")
+
+
+class TestOpsView:
+    def test_slicing_and_negative_indexing(self):
+        trace = rich_trace()
+        view = trace.ops
+        assert isinstance(view, OpsView)
+        assert view[-1] == view[len(view) - 1]
+        assert view[2:5] == list(view)[2:5]
+        with pytest.raises(IndexError):
+            view[len(view)]
+
+    def test_equality_against_lists_and_views(self):
+        columnar, legacy = rich_trace(), rich_trace(columnar=False)
+        assert columnar.ops == list(legacy.ops)
+        assert not (columnar.ops != rich_trace().ops)
+        assert columnar.ops != list(legacy.ops)[:-1]
+
+
+class TestProfile:
+    def test_backends_are_labelled(self):
+        assert rich_trace().profile().backend == "columnar"
+        assert rich_trace(columnar=False).profile().backend == "object"
+
+    def test_profile_counts_and_format(self):
+        trace = rich_trace()
+        profile = trace.profile(disk_bytes=123)
+        assert profile.ops == len(trace)
+        assert profile.tasks == len(trace.tasks)
+        assert profile.symbols == len(trace.store.symbols)
+        assert profile.memory_bytes > 0
+        text = profile.format()
+        assert "columnar" in text and "on disk: 123 bytes" in text
+
+    def test_trace_profile_free_function_matches_method(self):
+        trace = rich_trace()
+        assert trace_profile(trace) == trace.profile()
+
+
+class TestExternalSeqValidation:
+    """Satellite: duplicate ``external_seq`` values among external
+    events must be rejected — a duplicate makes the external-input
+    chain order ambiguous."""
+
+    @pytest.mark.parametrize("columnar", [True, False])
+    def test_duplicate_external_seq_rejected(self, columnar):
+        trace = Trace(columnar=columnar)
+        trace.add_task(TaskInfo(task="L", task_kind=TaskKind.LOOPER))
+        for name in ("E1", "E2"):
+            trace.add_task(
+                TaskInfo(
+                    task=name,
+                    task_kind=TaskKind.EVENT,
+                    looper="L",
+                    queue="L.queue",
+                    external=True,
+                    external_seq=7,
+                )
+            )
+        with pytest.raises(TraceError, match="share external_seq 7"):
+            trace.validate()
+
+    def test_distinct_external_seq_accepted(self):
+        b = TraceBuilder()
+        b.looper("L")
+        b.event("E1", looper="L", external=True)
+        b.event("E2", looper="L", external=True)
+        b.begin("E1"); b.end("E1")
+        b.begin("E2"); b.end("E2")
+        b.build().validate()  # distinct seqs: no error
+
+    def test_internal_events_may_share_the_sentinel(self):
+        # Non-external events all carry external_seq=-1; that is fine.
+        b = TraceBuilder()
+        b.looper("L")
+        b.event("E1", looper="L")
+        b.event("E2", looper="L")
+        b.begin("E1"); b.end("E1")
+        b.begin("E2"); b.end("E2")
+        b.build().validate()
