@@ -1,0 +1,131 @@
+"""Experiment P5 — the chunked sparse-bitset closure engine.
+
+Two before/after claims, each pinned by a recorded bound in
+``bounds_pr5.json``:
+
+* **Memory.**  On the largest scaling workload (music at scale 0.5 or
+  above), the chunked sparse representation must hold the transitive
+  closure in at least ``min_closure_bytes_ratio`` times fewer bytes
+  than the dense big-int representation — the copy-on-write chunk
+  sharing between a node and its widest successor is where the win
+  comes from, so the ratio also guards the sharing discipline.
+
+* **Repropagation.**  On a single-looper trace dense with events (the
+  shape that made per-group dirty tracking coarse: every derived-rule
+  group lives on the one looper, so one changed node used to re-read
+  every group member), the per-event dirty sets must re-examine
+  strictly fewer premises than group granularity would have, and no
+  more than the recorded count.  The trace is hand-built, so the
+  counters are deterministic by construction and the bound is exact.
+
+Both claims are asserted against a differential run: the two
+representations must produce the identical relation before any
+performance number means anything.
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis import bench_scale
+from repro.apps import MusicApp
+from repro.hb import build_happens_before
+from repro.testing import TraceBuilder
+
+BOUNDS = json.loads(
+    (Path(__file__).parent / "bounds_pr5.json").read_text(encoding="utf-8")
+)
+
+#: the memory benchmark runs the largest catalog app at this scale
+#: (the acceptance floor, regardless of REPRO_BENCH_SCALE)
+MEMORY_SCALE = max(bench_scale(default=0.5), 0.5)
+
+
+def huge_looper_trace(n_events: int):
+    """One looper, ``n_events`` externally-sent events: every queue
+    group of the derived-rule fixpoint lands on the same looper."""
+    b = TraceBuilder()
+    b.looper("L")
+    b.thread("T")
+    for i in range(n_events):
+        b.event(f"E{i}", looper="L")
+    b.begin("T")
+    for i in range(n_events):
+        b.send("T", f"E{i}", delay=i % 5)
+    b.end("T")
+    for i in range(n_events):
+        b.begin(f"E{i}")
+        b.write(f"E{i}", "x", site=f"w{i}")
+        b.end(f"E{i}")
+    return b.build()
+
+
+def test_sparse_closure_memory_beats_dense(benchmark):
+    """The chunked representation must store the same closure in at
+    least ``min_closure_bytes_ratio`` times fewer bytes per key node
+    than the dense big ints, bit-for-bit identically."""
+    bounds = BOUNDS["memory"]
+
+    def both():
+        run = MusicApp(scale=MEMORY_SCALE, seed=bounds["seed"]).run()
+        sparse = build_happens_before(run.trace)
+        dense = build_happens_before(run.trace, dense_bits=True)
+        return sparse, dense
+
+    sparse, dense = benchmark.pedantic(both, rounds=1, iterations=1)
+    # Differential gate: same relation either way.
+    assert sorted(sparse.graph.edges()) == sorted(dense.graph.edges())
+    assert sparse.graph.reach_vector() == dense.graph.reach_vector()
+
+    nodes = sparse.graph.node_count
+    assert nodes == dense.graph.node_count and nodes > 0
+    sparse_bytes = sparse.profile.closure_bytes
+    dense_bytes = dense.profile.closure_bytes
+    assert sparse_bytes > 0 and dense_bytes > 0
+    ratio = (dense_bytes / nodes) / (sparse_bytes / nodes)
+    assert ratio >= bounds["min_closure_bytes_ratio"]
+    # The sharing discipline, not just sparsity, carries the ratio.
+    assert sparse.profile.chunks_shared > 0
+    benchmark.extra_info["key_nodes"] = nodes
+    benchmark.extra_info["sparse_closure_bytes"] = sparse_bytes
+    benchmark.extra_info["dense_closure_bytes"] = dense_bytes
+    benchmark.extra_info["closure_bytes_ratio"] = round(ratio, 3)
+
+
+def test_per_event_dirty_tracking_beats_per_group(benchmark):
+    """On the single-huge-looper trace the per-event dirty sets must
+    re-examine strictly fewer fixpoint premises than per-group
+    granularity would have — and exactly as few as when the bound was
+    recorded (the hand-built trace is deterministic)."""
+    bounds = BOUNDS["repropagation"]
+    trace = huge_looper_trace(bounds["looper_events"])
+
+    hb = benchmark.pedantic(
+        lambda: build_happens_before(trace), rounds=1, iterations=1
+    )
+    profile = hb.profile
+    assert profile.rounds >= 2  # the dirty rounds did real work
+    assert profile.group_dirty_events > 0
+    assert profile.events_repropagated < profile.group_dirty_events
+    assert profile.events_repropagated <= bounds["max_events_repropagated"]
+    benchmark.extra_info["events_repropagated"] = profile.events_repropagated
+    benchmark.extra_info["group_dirty_events"] = profile.group_dirty_events
+
+
+def test_representations_agree_on_the_huge_looper(benchmark):
+    """The dirty-tracking refinement must not depend on the
+    representation: dense and sparse builds of the degenerate trace do
+    identical fixpoint work and produce the identical relation."""
+    trace = huge_looper_trace(BOUNDS["repropagation"]["looper_events"])
+
+    def both():
+        return (
+            build_happens_before(trace),
+            build_happens_before(trace, dense_bits=True),
+        )
+
+    sparse, dense = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert sorted(sparse.graph.edges()) == sorted(dense.graph.edges())
+    assert sparse.graph.reach_vector() == dense.graph.reach_vector()
+    assert sparse.profile.events_repropagated == dense.profile.events_repropagated
+    assert sparse.profile.group_dirty_events == dense.profile.group_dirty_events
+    assert sparse.graph.bits_propagated == dense.graph.bits_propagated

@@ -12,10 +12,12 @@ from .performance import (
 )
 from .pipeline import (
     SCALE_ENV_VAR,
+    ScalingMatrix,
     bench_scale,
     paper_table1_rows,
     reproduce_figure8,
     reproduce_table1,
+    scaling_matrix,
 )
 from .precision import AppEvaluation, Table1, evaluate_run
 from .tables import format_scaling, format_slowdowns, format_table1
@@ -28,7 +30,9 @@ __all__ = [
     "explore_seeds",
     "detection_benchmark",
     "SCALE_ENV_VAR",
+    "ScalingMatrix",
     "ScalingPoint",
+    "scaling_matrix",
     "SlowdownResult",
     "Table1",
     "ViolationWitness",

@@ -87,6 +87,16 @@ class ScalingPoint:
     batched_pairs: int = 0
     #: queries that had to touch the reachability bitsets (memo misses)
     query_memo_misses: int = 0
+    #: bytes held by the closure's reachability bitsets (sharing-aware)
+    closure_bytes: int = 0
+    #: group members actually re-examined by the per-event dirty sets
+    events_repropagated: int = 0
+    #: members per-group granularity would have re-examined instead
+    group_dirty_events: int = 0
+    #: distinct chunk objects backing the sparse closure (0 when dense)
+    chunks_allocated: int = 0
+    #: chunk references satisfied by copy-on-write sharing (0 when dense)
+    chunks_shared: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -98,23 +108,31 @@ def analysis_scaling(
     scales: List[float],
     seed: int = 0,
     incremental: bool = True,
+    dense_bits: bool = False,
 ) -> List[ScalingPoint]:
     """Offline-analysis wall-clock time across event-count scales.
 
     ``incremental=False`` measures the historical
-    closure-recompute-per-round builder for before/after comparisons.
+    closure-recompute-per-round builder, ``dense_bits=True`` the
+    historical dense big-int closure storage, for before/after
+    comparisons.
     """
     points: List[ScalingPoint] = []
     for scale in scales:
         run = app_cls(scale=scale, seed=seed).run(tracing=True)
         assert run.trace is not None
         start = time.perf_counter()
-        hb = build_happens_before(run.trace, incremental=incremental)
+        hb = build_happens_before(
+            run.trace, incremental=incremental, dense_bits=dense_bits
+        )
         hb_elapsed = time.perf_counter() - start
         start = time.perf_counter()
-        result = detect_use_free_races(run.trace)
+        result = detect_use_free_races(
+            run.trace, DetectorOptions(dense_bits=dense_bits)
+        )
         detect_elapsed = time.perf_counter() - start
         query_profile = result.hb.query_profile
+        profile = hb.profile
         points.append(
             ScalingPoint(
                 events=run.event_count,
@@ -128,9 +146,24 @@ def analysis_scaling(
                 hb_queries=query_profile.queries,
                 batched_pairs=query_profile.batched_pairs,
                 query_memo_misses=query_profile.memo_misses,
+                closure_bytes=profile.closure_bytes,
+                events_repropagated=profile.events_repropagated,
+                group_dirty_events=profile.group_dirty_events,
+                chunks_allocated=profile.chunks_allocated,
+                chunks_shared=profile.chunks_shared,
             )
         )
     return points
+
+
+def _matrix_cell(
+    app_cls: Type[AppModel],
+    scales: List[float],
+    seed: int,
+    dense_bits: bool,
+) -> List[ScalingPoint]:
+    """One app's row of the cross-app scaling matrix (pool worker)."""
+    return analysis_scaling(app_cls, scales, seed=seed, dense_bits=dense_bits)
 
 
 class _RecordingHB:
@@ -210,7 +243,10 @@ class DetectionBenchmark:
 
 
 def detection_benchmark(
-    app_cls: Type[AppModel], scale: float = 0.5, seed: int = 1
+    app_cls: Type[AppModel],
+    scale: float = 0.5,
+    seed: int = 1,
+    dense_bits: bool = False,
 ) -> DetectionBenchmark:
     """Measure the detection phase fast-vs-scan on one app workload."""
     run = app_cls(scale=scale, seed=seed).run(tracing=True)
@@ -218,7 +254,7 @@ def detection_benchmark(
     trace = run.trace
 
     def detect_phase(fast: bool):
-        options = DetectorOptions(fast_queries=fast)
+        options = DetectorOptions(fast_queries=fast, dense_bits=dense_bits)
         detector = UseFreeDetector(trace, options=options)
         hb = detector.hb  # prebuilt: the phase times queries, not builds
         accesses = detector.accesses
@@ -249,14 +285,18 @@ def detection_benchmark(
     # one-time per-op indexes and prefix masks warmed by a throwaway
     # replay, then the memo is reset: the timing below is steady-state
     # query work, every verdict recomputed.
-    fast_replay_hb = build_happens_before(trace, fast_queries=True)
+    fast_replay_hb = build_happens_before(
+        trace, fast_queries=True, dense_bits=dense_bits
+    )
     fast_replay_hb.concurrent_pairs(workload)
     fast_replay_hb.reset_query_memo()
     start = time.perf_counter()
     fast_verdicts = fast_replay_hb.concurrent_pairs(workload)
     fast_replay = time.perf_counter() - start
 
-    scan_replay_hb = build_happens_before(trace, fast_queries=False)
+    scan_replay_hb = build_happens_before(
+        trace, fast_queries=False, dense_bits=dense_bits
+    )
     start = time.perf_counter()
     scan_verdicts = scan_replay_hb.concurrent_pairs(workload)
     scan_replay = time.perf_counter() - start

@@ -18,14 +18,20 @@ serial one.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, List, Optional, Sequence, Type, TypeVar
+from typing import Callable, Dict, List, Optional, Sequence, Type, TypeVar
 
 from ..apps.base import AppModel, Table1Row
 from ..apps.catalog import ALL_APPS
 from ..detect import DetectorOptions
-from .performance import SlowdownResult, measure_slowdown
+from .performance import (
+    ScalingPoint,
+    SlowdownResult,
+    _matrix_cell,
+    measure_slowdown,
+)
 from .precision import AppEvaluation, Table1, evaluate_run
 
 T = TypeVar("T")
@@ -146,6 +152,81 @@ def paper_table1_rows(
 ) -> List[Table1Row]:
     """The published Table 1 rows, in the same order."""
     return [app.paper_row for app in (apps if apps is not None else ALL_APPS)]
+
+
+@dataclasses.dataclass
+class ScalingMatrix:
+    """The cross-app §6.4 scaling sweep: apps x scales in one table.
+
+    ``rows`` maps each app name to its :class:`ScalingPoint` list, one
+    point per scale, in app order regardless of worker completion
+    order.  ``as_dict``/``to_json`` render the whole matrix as a single
+    JSON-friendly table for dashboards and regression diffing.
+    """
+
+    scales: List[float]
+    seed: int
+    dense_bits: bool
+    rows: Dict[str, List[ScalingPoint]]
+
+    def as_dict(self) -> dict:
+        return {
+            "scales": list(self.scales),
+            "seed": self.seed,
+            "dense_bits": self.dense_bits,
+            "apps": {
+                name: [dataclasses.asdict(p) for p in points]
+                for name, points in self.rows.items()
+            },
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        import json
+
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=False)
+
+
+def scaling_matrix(
+    apps: Optional[Sequence[Type[AppModel]]] = None,
+    scales: Optional[Sequence[float]] = None,
+    seed: int = 0,
+    jobs: int = 1,
+    dense_bits: bool = False,
+) -> ScalingMatrix:
+    """Run the analysis-time scaling sweep over many apps in one call.
+
+    Each app's sweep (all its scales) is one unit of work; ``jobs > 1``
+    fans the per-app sweeps out across worker processes through the
+    same pool machinery as ``reproduce_table1``.  Results are identical
+    and identically ordered either way.
+    """
+    _validate_jobs(jobs)
+    app_list = list(apps) if apps is not None else list(ALL_APPS)
+    scale_list = list(scales) if scales is not None else [0.02, 0.05, 0.1]
+    if not scale_list:
+        raise ValueError("scaling_matrix needs at least one scale")
+    if jobs == 1 or len(app_list) <= 1:
+        results = [
+            _matrix_cell(app_cls, scale_list, seed, dense_bits)
+            for app_cls in app_list
+        ]
+    else:
+        results = _fan_out(
+            _matrix_cell,
+            app_list,
+            (scale_list, seed, dense_bits),
+            jobs,
+            "scaling-matrix",
+        )
+    return ScalingMatrix(
+        scales=scale_list,
+        seed=seed,
+        dense_bits=dense_bits,
+        rows={
+            app_cls.name: points
+            for app_cls, points in zip(app_list, results)
+        },
+    )
 
 
 def reproduce_figure8(

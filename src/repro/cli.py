@@ -13,6 +13,8 @@ Commands:
 * ``stats <trace.jsonl>`` — happens-before graph statistics (edges per
   rule, fixpoint rounds);
 * ``dot <trace.jsonl>`` — Graphviz export of the happens-before graph;
+* ``scaling-matrix`` — run the §6.4 analysis-time sweep over apps x
+  scales and emit one JSON table;
 * ``explore <app>`` — run a workload under many scheduler seeds and
   report detection stability;
 * ``report`` — a full Markdown evaluation report with witnesses;
@@ -89,6 +91,16 @@ def _add_memo_capacity(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_dense_bits(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dense-bits",
+        action="store_true",
+        help="store the happens-before closure as dense big-int bitsets "
+        "(the legacy representation) instead of chunked sparse bitsets "
+        "(differential-testing escape hatch; verdicts are identical)",
+    )
+
+
 def _load_input_trace(args):
     expect = _FORMAT_VERSIONS[args.format] if args.format else None
     return load_trace_file(
@@ -146,7 +158,10 @@ def _cmd_record(args) -> int:
 def _cmd_detect(args) -> int:
     trace = _load_input_trace(args)
     detector = UseFreeDetector(
-        trace, DetectorOptions(memo_capacity=args.memo_capacity)
+        trace,
+        DetectorOptions(
+            memo_capacity=args.memo_capacity, dense_bits=args.dense_bits
+        ),
     )
     result = detector.detect()
     print(
@@ -168,7 +183,9 @@ def _cmd_detect(args) -> int:
 
 def _cmd_witness(args) -> int:
     trace = load_trace_file(args.trace)
-    detector = UseFreeDetector(trace)
+    detector = UseFreeDetector(
+        trace, DetectorOptions(dense_bits=args.dense_bits)
+    )
     result = detector.detect()
     if not result.reports:
         print("no use-free races to witness")
@@ -187,7 +204,9 @@ def _cmd_stats(args) -> int:
 
     trace = _load_input_trace(args)
     print(trace.profile(disk_bytes=os.path.getsize(args.trace)).format())
-    hb = build_happens_before(trace, memo_capacity=args.memo_capacity)
+    hb = build_happens_before(
+        trace, memo_capacity=args.memo_capacity, dense_bits=args.dense_bits
+    )
     # Run the detector so the query-side counters describe a real
     # workload rather than an idle relation.
     UseFreeDetector(trace, hb=hb).detect()
@@ -222,6 +241,39 @@ def _cmd_slowdown(args) -> int:
             reproduce_figure8(scale=args.scale, seed=args.seed, jobs=args.jobs)
         )
     )
+    return 0
+
+
+def _cmd_scaling_matrix(args) -> int:
+    from .analysis import scaling_matrix
+
+    if args.apps:
+        known = {app.name: app for app in ALL_APPS}
+        unknown = [name for name in args.apps if name not in known]
+        if unknown:
+            print(
+                f"unknown app(s): {', '.join(unknown)} "
+                f"(see `python -m repro apps`)",
+                file=sys.stderr,
+            )
+            return 2
+        apps = [known[name] for name in args.apps]
+    else:
+        apps = None
+    matrix = scaling_matrix(
+        apps=apps,
+        scales=args.scales,
+        seed=args.seed,
+        jobs=args.jobs,
+        dense_bits=args.dense_bits,
+    )
+    text = matrix.to_json()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fp:
+            fp.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
     return 0
 
 
@@ -292,12 +344,14 @@ def build_parser() -> argparse.ArgumentParser:
     _add_format(detect, writing=False)
     _add_store_options(detect)
     _add_memo_capacity(detect)
+    _add_dense_bits(detect)
     detect.set_defaults(fn=_cmd_detect)
 
     witness = sub.add_parser(
         "witness", help="print violating schedules for each reported race"
     )
     witness.add_argument("trace", help="trace .jsonl path")
+    _add_dense_bits(witness)
     witness.set_defaults(fn=_cmd_witness)
 
     stats = sub.add_parser(
@@ -307,6 +361,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_format(stats, writing=False)
     _add_store_options(stats)
     _add_memo_capacity(stats)
+    _add_dense_bits(stats)
     stats.set_defaults(fn=_cmd_stats)
 
     dot = sub.add_parser(
@@ -328,6 +383,37 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale(slowdown)
     _add_jobs(slowdown)
     slowdown.set_defaults(fn=_cmd_slowdown)
+
+    matrix = sub.add_parser(
+        "scaling-matrix",
+        help="run the analysis-time scaling sweep over apps x scales "
+        "and print one JSON table",
+    )
+    matrix.add_argument(
+        "--apps",
+        nargs="+",
+        metavar="APP",
+        help="application names to sweep (default: all ten)",
+    )
+    matrix.add_argument(
+        "--scales",
+        nargs="+",
+        type=float,
+        metavar="SCALE",
+        help="event-load scales per app (default: 0.02 0.05 0.1)",
+    )
+    matrix.add_argument("--seed", type=int, default=0, help="scheduler seed")
+    matrix.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="worker processes for the per-app sweeps (1 = serial)",
+    )
+    matrix.add_argument(
+        "-o", "--output", help="write the JSON table to a file instead of stdout"
+    )
+    _add_dense_bits(matrix)
+    matrix.set_defaults(fn=_cmd_scaling_matrix)
 
     explore = sub.add_parser(
         "explore", help="run one workload under many scheduler seeds"

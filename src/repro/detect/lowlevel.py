@@ -35,7 +35,13 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..hb import CAFA_MODEL, HappensBefore, ModelConfig, build_happens_before
+from ..hb import (
+    CAFA_MODEL,
+    DEFAULT_DENSE_BITS,
+    HappensBefore,
+    ModelConfig,
+    build_happens_before,
+)
 from ..trace import OpKind, PtrRead, PtrWrite, Read, Trace, Write
 from ..trace.store import KIND_CODES
 from .accesses import AccessIndex, extract_accesses
@@ -167,19 +173,23 @@ class LowLevelDetector:
         accesses: Optional[AccessIndex] = None,
         lockset_filter: bool = True,
         samples_per_side: int = SAMPLES_PER_SIDE,
+        dense_bits: bool = DEFAULT_DENSE_BITS,
     ) -> None:
         self.trace = trace
         self.model = model
         self._hb = hb
         self.lockset_filter = lockset_filter
         self.samples_per_side = samples_per_side
+        self.dense_bits = dense_bits
         self._access_index = accesses
         self._sites: Optional[Dict[_SiteKey, List[_Access]]] = None
 
     @property
     def hb(self) -> HappensBefore:
         if self._hb is None:
-            self._hb = build_happens_before(self.trace, self.model)
+            self._hb = build_happens_before(
+                self.trace, self.model, dense_bits=self.dense_bits
+            )
         return self._hb
 
     @property

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Tuple
 from ..hb import (
     CAFA_MODEL,
     CONVENTIONAL_MODEL,
+    DEFAULT_DENSE_BITS,
     HappensBefore,
     ModelConfig,
     build_happens_before,
@@ -60,6 +61,10 @@ class DetectorOptions:
     #: LRU bound of the query memo tables: None = the default
     #: (:data:`repro.hb.DEFAULT_MEMO_CAPACITY`), 0 = unbounded
     memo_capacity: Optional[int] = None
+    #: store the closure as dense big-int bitsets (the legacy
+    #: representation) instead of chunked sparse bitsets; verdicts are
+    #: identical, only memory/speed differ (differential target)
+    dense_bits: bool = DEFAULT_DENSE_BITS
 
 
 @dataclass
@@ -112,6 +117,7 @@ class UseFreeDetector:
                 self.options.model,
                 fast_queries=self.options.fast_queries,
                 memo_capacity=self.options.memo_capacity,
+                dense_bits=self.options.dense_bits,
             )
         return self._hb
 
@@ -123,6 +129,7 @@ class UseFreeDetector:
                 self.options.conventional_model,
                 fast_queries=self.options.fast_queries,
                 memo_capacity=self.options.memo_capacity,
+                dense_bits=self.options.dense_bits,
             )
         return self._conventional_hb
 

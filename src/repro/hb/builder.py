@@ -16,10 +16,14 @@ The fixpoint is *incremental*: the transitive closure is computed once
 before round one and maintained in place by
 :meth:`repro.hb.graph.KeyGraph.add_edge` as conclusions land, so the
 rules read live reach sets instead of per-round snapshots.  Dirty
-tracking makes later rounds cheap — a looper's atomicity group or a
-queue's rule group is only re-examined when the reach set of one of
-its premise nodes (event begins, send operations) actually changed
-since the group last ran.  Edges concluded in a round are still staged
+tracking makes later rounds cheap, at two granularities: a looper's
+atomicity group or a queue's rule group is only re-examined when the
+reach set of one of its premise nodes (event begins, send operations)
+actually changed since the group last ran, and *inside* a dirty group
+only the members whose own premise node changed are re-read — one
+moving event in a thousand-event looper re-examines one member, not a
+thousand (``events_repropagated`` vs ``group_dirty_events`` in the
+:class:`BuildProfile`).  Edges concluded in a round are still staged
 and applied between rounds, which keeps the produced edge set
 bit-for-bit identical to the historical snapshot-per-round
 implementation (available as ``build_happens_before(...,
@@ -31,7 +35,17 @@ from __future__ import annotations
 import time
 from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+)
 
 from ..trace import (
     Acquire,
@@ -56,7 +70,8 @@ from ..trace import (
     Wait,
 )
 from ..trace.store import KIND_LIST
-from .config import CAFA_MODEL, ModelConfig
+from .bits import SparseBits
+from .config import CAFA_MODEL, DEFAULT_DENSE_BITS, ModelConfig
 from .graph import HappensBefore, KeyGraph
 
 # Rule labels used as edge provenance.
@@ -108,6 +123,26 @@ class BuildProfile:
     groups_examined: int = 0
     #: rule groups skipped because no premise node's reach set changed
     groups_skipped: int = 0
+    #: whether the closure used the legacy dense big-int representation
+    dense_bits: bool = False
+    #: sparse backend: distinct chunk objects in the final reach vector
+    chunks_allocated: int = 0
+    #: sparse backend: block-table entries resolved by sharing a chunk
+    #: already owned by another node (copy-on-write adoption)
+    chunks_shared: int = 0
+    #: sparse backend: fraction of chunk references that are the
+    #: all-ones FULL_CHUNK (served by the dense-chunk fast path)
+    dense_chunk_ratio: float = 0.0
+    #: bytes retained by the final closure (sharing-aware when sparse)
+    closure_bytes: int = 0
+    #: rule members whose premise reach sets were re-read in dirty
+    #: (post-first) fixpoint rounds — the per-event dirty granularity
+    events_repropagated: int = 0
+    #: rule members the historical per-group dirty tracking would have
+    #: re-read in those same rounds (every member of a dirty group);
+    #: ``events_repropagated <= group_dirty_events`` always, and the
+    #: gap is the win of per-event tracking
+    group_dirty_events: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -273,10 +308,17 @@ def _is_key(state: _BuildState, op_index: int) -> bool:
 
 
 def _build_key_graph(
-    state: _BuildState, incremental: bool = True
+    state: _BuildState,
+    incremental: bool = True,
+    dense_bits: bool = DEFAULT_DENSE_BITS,
 ) -> Tuple[KeyGraph, Dict[str, List[int]], Dict[str, List[int]]]:
-    """Create nodes for every key op and chain them per task."""
-    graph = KeyGraph(incremental=incremental)
+    """Create nodes for every key op and chain them per task.
+
+    Each task's nodes are allocated in one uninterrupted ``add_node``
+    run, so a task's key nodes always hold *contiguous* node ids — the
+    invariant behind the sparse query path's range probes.
+    """
+    graph = KeyGraph(incremental=incremental, dense_bits=dense_bits)
     task_key_positions: Dict[str, List[int]] = {}
     task_key_nodes: Dict[str, List[int]] = {}
     if state.is_key is not None:
@@ -458,6 +500,10 @@ def _check_one_looper_per_queue(state: _BuildState) -> None:
             )
 
 
+#: a candidate mask in the active closure representation
+_Mask = Union[int, SparseBits]
+
+
 @dataclass
 class _AtomicityGroup:
     """One looper's dispatched events, in execution order."""
@@ -465,10 +511,10 @@ class _AtomicityGroup:
     recs: List[EventRecord]
     begin_node: List[int]
     #: end-node suffix masks: suffix[i] = OR of end nodes after position i-1
-    suffix: List[int]
+    suffix: List[_Mask]
     event_of_end_node: Dict[int, EventRecord]
     #: nodes whose reach sets the rule's premise reads
-    premise_mask: int
+    premise: FrozenSet[int]
 
 
 @dataclass
@@ -480,30 +526,72 @@ class _QueueGroup:
     delays: List[int]
     send_node: List[int]
     #: send-node suffix masks over the delay-sorted sends
-    suffix: List[int]
+    suffix: List[_Mask]
     event_of_send_node: Dict[int, EventRecord]
-    all_sends_mask: int
+    all_sends_mask: _Mask
     front_node: List[int]
     front_begin_node: List[int]
-    #: premise masks per rule — re-examine only when one of these
+    #: premise node sets per rule — re-examine only when one of these
     #: nodes' reach set changed
-    mask_sends: int
-    mask_fronts: int
+    premise_sends: FrozenSet[int]
+    premise_fronts: FrozenSet[int]
+    #: union of both premise sets, for the either-sided rule 2
+    premise_any: FrozenSet[int]
 
-    @property
-    def mask_any(self) -> int:
-        return self.mask_sends | self.mask_fronts
+
+# Representation adapters: the derived rules are written once against
+# these four operations and bound to the dense or sparse implementation
+# when the rule engine is constructed, so both closure backends run the
+# exact same rule logic.
+
+def _dense_node_mask(node: int) -> int:
+    return 1 << node
+
+
+def _dense_extend_mask(mask: int, node: int) -> int:
+    return mask | (1 << node)
+
+
+def _sparse_extend_mask(mask: SparseBits, node: int) -> SparseBits:
+    out = mask.copy()
+    out.set(node)
+    return out
+
+
+def _dense_and_nodes(reach_row: int, mask: int) -> Iterator[int]:
+    candidates = reach_row & mask
+    while candidates:
+        low = candidates & -candidates
+        candidates ^= low
+        yield low.bit_length() - 1
+
+
+def _dense_test(reach_row: int, node: int) -> bool:
+    return bool((reach_row >> node) & 1)
+
+
+_sparse_and_nodes: Callable[[SparseBits, SparseBits], Iterator[int]] = (
+    SparseBits.and_iter
+)
+_sparse_test: Callable[[SparseBits, int], bool] = SparseBits.test
 
 
 class _DerivedRules:
     """Applies the atomicity + event-queue rules to a fixpoint.
 
     All per-looper / per-queue candidate structures (suffix masks,
-    node maps, premise masks) are precomputed once; each round then
+    node maps, premise sets) are precomputed once; each round then
     reads the graph's *live* reach vector.  When the caller hands a
-    ``dirty`` node mask, a group whose premise nodes all kept their
-    reach sets is skipped entirely — its candidates cannot have
-    changed since it last ran.
+    ``dirty`` node set, skipping happens at two granularities.  First
+    per group, as before: a group none of whose premise nodes changed
+    cannot produce a new conclusion.  Second — the refinement — *per
+    event inside a dirty group*: a rule instance's premise is a
+    reachability fact read from specific source nodes, so only members
+    whose own premise node is in ``dirty`` are re-examined.  One huge
+    looper with a single moving event no longer repays its whole
+    group; ``events_repropagated`` (members actually re-read) against
+    ``group_dirty_events`` (what group granularity would have re-read)
+    makes the gap observable.
     """
 
     def __init__(self, state: _BuildState, graph: KeyGraph) -> None:
@@ -511,6 +599,21 @@ class _DerivedRules:
         self.graph = graph
         self.groups_examined = 0
         self.groups_skipped = 0
+        #: rule members re-examined in dirty rounds (per-event tracking)
+        self.events_repropagated = 0
+        #: rule members the per-group scheme would have re-examined
+        self.group_dirty_events = 0
+        dense = graph.dense_bits
+        if dense:
+            self._node_mask = _dense_node_mask
+            self._extend_mask = _dense_extend_mask
+            self._and_nodes = _dense_and_nodes
+            self._test = _dense_test
+        else:
+            self._node_mask = SparseBits.single
+            self._extend_mask = _sparse_extend_mask
+            self._and_nodes = _sparse_and_nodes
+            self._test = _sparse_test
         config = state.config
         dispatched = [
             rec for rec in state.events.values() if rec.dispatched and rec.queue
@@ -521,6 +624,7 @@ class _DerivedRules:
             for rec in dispatched:
                 if rec.looper:
                     per_looper.setdefault(rec.looper, []).append(rec)
+        empty: _Mask = 0 if dense else SparseBits()
         self.atom_groups: List[_AtomicityGroup] = []
         for recs in per_looper.values():
             if len(recs) < 2:
@@ -528,19 +632,16 @@ class _DerivedRules:
             recs.sort(key=lambda r: r.begin_index)  # type: ignore[arg-type, return-value]
             begin_node = [self._node(r.begin_index) for r in recs]  # type: ignore[arg-type]
             end_node = [self._node(r.end_index) for r in recs]  # type: ignore[arg-type]
-            suffix = [0] * (len(recs) + 1)
+            suffix: List[_Mask] = [empty] * (len(recs) + 1)
             for i in range(len(recs) - 1, -1, -1):
-                suffix[i] = suffix[i + 1] | (1 << end_node[i])
-            premise_mask = 0
-            for n in begin_node[:-1]:
-                premise_mask |= 1 << n
+                suffix[i] = self._extend_mask(suffix[i + 1], end_node[i])
             self.atom_groups.append(
                 _AtomicityGroup(
                     recs=recs,
                     begin_node=begin_node,
                     suffix=suffix,
                     event_of_end_node={n: r for n, r in zip(end_node, recs)},
-                    premise_mask=premise_mask,
+                    premise=frozenset(begin_node[:-1]),
                 )
             )
         # Sends grouped per queue for the queue rules.
@@ -557,54 +658,58 @@ class _DerivedRules:
             s = sorted(sends.get(queue, []), key=lambda r: r.delay)
             f = fronts.get(queue, [])
             send_node = [self._node(r.send_index) for r in s]  # type: ignore[arg-type]
-            suffix = [0] * (len(s) + 1)
+            qsuffix: List[_Mask] = [empty] * (len(s) + 1)
             for i in range(len(s) - 1, -1, -1):
-                suffix[i] = suffix[i + 1] | (1 << send_node[i])
+                qsuffix[i] = self._extend_mask(qsuffix[i + 1], send_node[i])
             front_node = [self._node(r.send_index) for r in f]  # type: ignore[arg-type]
-            mask_sends = suffix[0]
-            mask_fronts = 0
-            for n in front_node:
-                mask_fronts |= 1 << n
+            premise_sends = frozenset(send_node)
+            premise_fronts = frozenset(front_node)
             self.queue_groups.append(
                 _QueueGroup(
                     sends=s,
                     fronts=f,
                     delays=[r.delay for r in s],
                     send_node=send_node,
-                    suffix=suffix,
+                    suffix=qsuffix,
                     event_of_send_node={n: r for n, r in zip(send_node, s)},
-                    all_sends_mask=suffix[0],
+                    all_sends_mask=qsuffix[0],
                     front_node=front_node,
                     front_begin_node=[self._node(r.begin_index) for r in f],  # type: ignore[arg-type]
-                    mask_sends=mask_sends,
-                    mask_fronts=mask_fronts,
+                    premise_sends=premise_sends,
+                    premise_fronts=premise_fronts,
+                    premise_any=premise_sends | premise_fronts,
                 )
             )
 
     def _node(self, op_index: int) -> int:
         return self.graph.node_of(op_index)
 
-    def _fresh(self, dirty: Optional[int], premise_mask: int) -> bool:
+    def _fresh(self, dirty: Optional[Set[int]], premise: FrozenSet[int]) -> bool:
         """Should a group with these premise nodes run this round?"""
-        if dirty is None or (premise_mask & dirty):
+        if dirty is None or not premise.isdisjoint(dirty):
             self.groups_examined += 1
             return True
         self.groups_skipped += 1
         return False
 
-    def apply(self, dirty: Optional[int] = None) -> List[Tuple[int, int, str]]:
+    def apply(
+        self, dirty: Optional[Set[int]] = None
+    ) -> List[Tuple[int, int, str]]:
         """One round: all rule instances enabled by the current closure.
 
-        ``dirty`` is a node bitmask from ``KeyGraph.drain_dirty`` —
-        groups none of whose premise nodes appear in it are skipped
-        (``None`` examines everything, as in round one).  Concluded
-        edges are returned, *not* added: staging them keeps each round
-        a function of the closure at round entry, so the edge set
-        matches the historical snapshot-per-round builder exactly.
+        ``dirty`` is the node set from ``KeyGraph.drain_dirty`` —
+        groups none of whose premise nodes appear in it are skipped,
+        and inside a surviving group only the members whose own premise
+        node changed are re-examined (``None`` examines everything, as
+        in round one).  Concluded edges are returned, *not* added:
+        staging them keeps each round a function of the closure at
+        round entry, so the edge set matches the historical
+        snapshot-per-round builder exactly.
         """
         reach = self.graph.reach_vector()
         new_edges: List[Tuple[int, int, str]] = []
         seen = set()
+        test = self._test
 
         def conclude(e1: EventRecord, e2: EventRecord, rule: str) -> None:
             """Record conclusion end(e1) < begin(e2) unless implied."""
@@ -612,7 +717,7 @@ class _DerivedRules:
             v = self._node(e2.begin_index)  # type: ignore[arg-type]
             if (u, v) in seen:
                 return
-            if (reach[u] >> v) & 1:
+            if test(reach[u], v):
                 return
             seen.add((u, v))
             new_edges.append((u, v, rule))
@@ -638,90 +743,132 @@ class _DerivedRules:
     # begin(e_i) with the end-nodes of later events in one bitset AND.
 
     def _atomicity(self, reach, conclude, dirty) -> None:
+        and_nodes = self._and_nodes
         for g in self.atom_groups:
-            if not self._fresh(dirty, g.premise_mask):
+            if not self._fresh(dirty, g.premise):
                 continue
+            track = dirty is not None
+            if track:
+                self.group_dirty_events += len(g.recs) - 1
             for i, rec in enumerate(g.recs[:-1]):
-                candidates = reach[g.begin_node[i]] & g.suffix[i + 1]
-                while candidates:
-                    low = candidates & -candidates
-                    candidates ^= low
-                    other = g.event_of_end_node[low.bit_length() - 1]
-                    conclude(rec, other, RULE_ATOMICITY)
+                # Per-event: the premise begin(e_i) < end(e_j) is a
+                # fact about reach[begin(e_i)] — unchanged reach set,
+                # no new conclusions from this member.
+                if track:
+                    if g.begin_node[i] not in dirty:
+                        continue
+                    self.events_repropagated += 1
+                for n in and_nodes(reach[g.begin_node[i]], g.suffix[i + 1]):
+                    conclude(rec, g.event_of_end_node[n], RULE_ATOMICITY)
 
     # -- Queue rule 1 -------------------------------------------------------
     # send(t1,e1,d1) < send(t2,e2,d2) and d1 <= d2  =>  end(e1) < begin(e2).
 
     def _queue_rule_1(self, reach, conclude, dirty) -> None:
+        and_nodes = self._and_nodes
         for g in self.queue_groups:
             if len(g.sends) < 2:
                 continue
-            if not self._fresh(dirty, g.mask_sends):
+            if not self._fresh(dirty, g.premise_sends):
                 continue
+            track = dirty is not None
+            if track:
+                self.group_dirty_events += len(g.sends)
             for i, rec in enumerate(g.sends):
+                self_node = g.send_node[i]
+                if track:
+                    if self_node not in dirty:
+                        continue
+                    self.events_repropagated += 1
                 # Candidate partners: delay >= d1 (sends sorted by delay).
                 mask = g.suffix[bisect_left(g.delays, rec.delay)]
-                mask &= ~(1 << g.send_node[i])
-                candidates = reach[g.send_node[i]] & mask
-                while candidates:
-                    low = candidates & -candidates
-                    candidates ^= low
-                    other = g.event_of_send_node[low.bit_length() - 1]
-                    conclude(rec, other, RULE_QUEUE_1)
+                for n in and_nodes(reach[self_node], mask):
+                    if n == self_node:
+                        continue
+                    conclude(rec, g.event_of_send_node[n], RULE_QUEUE_1)
 
     # -- Queue rule 2 -------------------------------------------------------
     # send(t1,e1,d1) < sendAtFront(t2,e2) and sendAtFront(t2,e2) < begin(e1)
     #   =>  end(e2) < begin(e1).
 
     def _queue_rule_2(self, reach, conclude, dirty) -> None:
+        test = self._test
         for g in self.queue_groups:
             if not g.fronts or not g.sends:
                 continue
-            if not self._fresh(dirty, g.mask_any):
+            if not self._fresh(dirty, g.premise_any):
                 continue
+            track = dirty is not None
+            if track:
+                self.group_dirty_events += len(g.fronts) * len(g.sends)
             for j, front in enumerate(g.fronts):
                 f_node = g.front_node[j]
+                # The pair's premise reads reach[send] (send < front)
+                # and reach[front] (front < begin) — re-examine when
+                # either side moved.
+                front_dirty = track and f_node in dirty
                 for i, send in enumerate(g.sends):
                     s_node = g.send_node[i]
+                    if track:
+                        if not front_dirty and s_node not in dirty:
+                            continue
+                        self.events_repropagated += 1
                     b_node = self._node(send.begin_index)  # type: ignore[arg-type]
-                    if (reach[s_node] >> f_node) & 1 and (reach[f_node] >> b_node) & 1:
+                    if test(reach[s_node], f_node) and test(
+                        reach[f_node], b_node
+                    ):
                         conclude(front, send, RULE_QUEUE_2)
 
     # -- Queue rule 3 -------------------------------------------------------
     # sendAtFront(t1,e1) < send(t2,e2,d2)  =>  end(e1) < begin(e2).
 
     def _queue_rule_3(self, reach, conclude, dirty) -> None:
+        and_nodes = self._and_nodes
         for g in self.queue_groups:
             if not g.fronts or not g.sends:
                 continue
-            if not self._fresh(dirty, g.mask_fronts):
+            if not self._fresh(dirty, g.premise_fronts):
                 continue
+            track = dirty is not None
+            if track:
+                self.group_dirty_events += len(g.fronts)
             for j, front in enumerate(g.fronts):
-                candidates = reach[g.front_node[j]] & g.all_sends_mask
-                while candidates:
-                    low = candidates & -candidates
-                    candidates ^= low
-                    other = g.event_of_send_node[low.bit_length() - 1]
-                    conclude(front, other, RULE_QUEUE_3)
+                if track:
+                    if g.front_node[j] not in dirty:
+                        continue
+                    self.events_repropagated += 1
+                for n in and_nodes(reach[g.front_node[j]], g.all_sends_mask):
+                    conclude(front, g.event_of_send_node[n], RULE_QUEUE_3)
 
     # -- Queue rule 4 -------------------------------------------------------
     # sendAtFront(t1,e1) < sendAtFront(t2,e2) and
     # sendAtFront(t2,e2) < begin(e1)  =>  end(e2) < begin(e1).
 
     def _queue_rule_4(self, reach, conclude, dirty) -> None:
+        test = self._test
         for g in self.queue_groups:
             if len(g.fronts) < 2:
                 continue
-            if not self._fresh(dirty, g.mask_fronts):
+            if not self._fresh(dirty, g.premise_fronts):
                 continue
+            track = dirty is not None
+            if track:
+                self.group_dirty_events += len(g.fronts) * (len(g.fronts) - 1)
             for i, f1 in enumerate(g.fronts):
                 n1 = g.front_node[i]
                 b1 = g.front_begin_node[i]
+                # Premise reads reach[n1] and reach[n2]; skip pairs
+                # where neither moved.
+                n1_dirty = track and n1 in dirty
                 for j, f2 in enumerate(g.fronts):
                     if f1 is f2:
                         continue
                     n2 = g.front_node[j]
-                    if (reach[n1] >> n2) & 1 and (reach[n2] >> b1) & 1:
+                    if track:
+                        if not n1_dirty and n2 not in dirty:
+                            continue
+                        self.events_repropagated += 1
+                    if test(reach[n1], n2) and test(reach[n2], b1):
                         conclude(f2, f1, RULE_QUEUE_4)
 
 
@@ -731,6 +878,7 @@ def build_happens_before(
     incremental: bool = True,
     fast_queries: bool = True,
     memo_capacity: Optional[int] = None,
+    dense_bits: bool = DEFAULT_DENSE_BITS,
 ) -> HappensBefore:
     """Build the happens-before relation of ``trace`` under ``config``.
 
@@ -752,6 +900,11 @@ def build_happens_before(
     ``memo_capacity`` bounds the query memoization tables (LRU):
     ``None`` uses :data:`~repro.hb.graph.DEFAULT_MEMO_CAPACITY`, ``0``
     keeps them unbounded, any positive value is the entry cap.
+
+    ``dense_bits=True`` stores the closure as one big int per key node
+    (the historical representation) instead of the default chunked
+    sparse bitsets; same edges and verdicts, different memory and speed
+    profile — see :mod:`repro.hb.bits`.
     """
     profile = BuildProfile()
     tick = time.perf_counter
@@ -762,7 +915,9 @@ def build_happens_before(
     profile.scan_seconds = tick() - t0
 
     t0 = tick()
-    graph, task_key_positions, task_key_nodes = _build_key_graph(state, incremental)
+    graph, task_key_positions, task_key_nodes = _build_key_graph(
+        state, incremental, dense_bits
+    )
     _add_base_edges(state, graph)
     profile.base_seconds = tick() - t0
 
@@ -779,7 +934,7 @@ def build_happens_before(
         t0 = tick()
         rules = _DerivedRules(state, graph)
         graph.drain_dirty()  # the initial closure marked every node dirty
-        dirty: Optional[int] = None  # round one examines every group
+        dirty: Optional[Set[int]] = None  # round one examines every group
         while True:
             iterations += 1
             new_edges = rules.apply(dirty)
@@ -796,6 +951,8 @@ def build_happens_before(
         profile.fixpoint_seconds = tick() - t0
         profile.groups_examined = rules.groups_examined
         profile.groups_skipped = rules.groups_skipped
+        profile.events_repropagated = rules.events_repropagated
+        profile.group_dirty_events = rules.group_dirty_events
         # Legacy mode invalidated the closure on every added edge; make
         # sure the final state is closed and cycle-checked.  A no-op for
         # incremental builds, whose closure is maintained live.
@@ -806,6 +963,13 @@ def build_happens_before(
     profile.rounds = iterations
     profile.closure_recomputations = graph.closure_recomputations
     profile.bits_propagated = graph.bits_propagated
+    profile.dense_bits = graph.dense_bits
+    profile.closure_bytes = graph.closure_bytes()
+    chunk_stats = graph.chunk_stats()
+    if chunk_stats is not None:
+        profile.chunks_allocated = chunk_stats.chunks_allocated
+        profile.chunks_shared = chunk_stats.chunks_shared
+        profile.dense_chunk_ratio = chunk_stats.dense_chunk_ratio
 
     bounds: Dict[str, Tuple[int, int]] = {}
     for task, begin in state.task_begin.items():

@@ -16,22 +16,31 @@ operation equals the reachable set of the first key node at or after it
 in the same task, so ordering queries between arbitrary operations
 reduce to key-node reachability plus two index comparisons.
 
-Reachability over key nodes is kept as one Python big-int bitset per
-node.  The *first* closure is computed in reverse topological order —
-O(K^2/64) — and from then on the index is maintained *incrementally*:
-``add_edge(u, v)`` on a closed graph ORs ``reach[v]`` into ``reach[u]``
-and propagates the gained bits backward through predecessors with a
-worklist, stopping as soon as a bitset stops changing.  The builder's
-fixpoint therefore pays one full closure total instead of one per
-round, which is what makes it scale (Section 4.2 reports offline
-analysis times of minutes to hours on real traces; see
-``docs/model.md`` for the algorithm's invariants).
+Reachability over key nodes is kept as one bitset per node, in one of
+two interchangeable representations.  The default is the chunked
+sparse bitset of :mod:`repro.hb.bits` — fixed-width word chunks keyed
+by block index, with chunk-level copy-on-write sharing between a node
+and its successors, so the closure's memory tracks how much each node
+actually reaches instead of the key-node count squared.
+``dense_bits=True`` restores the historical one-big-int-per-node
+storage, kept as a differential-testing target and because big-int ORs
+still win on small, saturated graphs.  Either way the *first* closure
+is computed in reverse topological order and from then on the index is
+maintained *incrementally*: ``add_edge(u, v)`` on a closed graph ORs
+``reach[v]`` into ``reach[u]`` and propagates the gained bits backward
+through predecessors with a worklist, stopping as soon as a bitset
+stops changing.  The builder's fixpoint therefore pays one full
+closure total instead of one per round, which is what makes it scale
+(Section 4.2 reports offline analysis times of minutes to hours on
+real traces; see ``docs/model.md`` for the algorithm's invariants).
 
 Two counters make the closure work observable:
 ``closure_recomputations`` (full from-scratch closure builds) and
 ``bits_propagated`` (reachability bits newly set by incremental
-propagation).  ``benchmarks/test_analysis_scaling.py`` asserts the
-former stays constant across the fixpoint.
+propagation — identical across both representations by construction).
+``benchmarks/test_analysis_scaling.py`` asserts the former stays
+constant across the fixpoint, and ``benchmarks/test_closure_engine.py``
+pins the sparse representation's memory ratio.
 
 Querying is O(1) big-int operations per lookup.  Historically
 ``ordered(a, b)`` scanned the target task's key-node prefix one
@@ -57,7 +66,12 @@ import sys
 from bisect import bisect_left, bisect_right
 from collections import OrderedDict, deque
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from .bits import ChunkStats, SparseBits, vector_stats
+
+#: a closure row: big int (``dense_bits=True``) or chunked sparse bitset
+ReachBits = Union[int, SparseBits]
 
 #: default LRU bound of the two query memo tables (entries each).  At
 #: roughly 100 bytes per entry this caps memo memory near 100 MB where
@@ -143,22 +157,36 @@ class KeyGraph:
     computed; ``incremental=False`` restores the historical behaviour
     of invalidating and rebuilding the whole closure, kept only as a
     differential-testing target.
+
+    ``dense_bits`` selects the closure representation: ``False`` (the
+    default) stores one chunked :class:`~repro.hb.bits.SparseBits` per
+    node, ``True`` the historical one-big-int-per-node storage.  The
+    two are verdict-identical by construction and differentially
+    tested; only memory and per-operation cost differ.
     """
 
-    def __init__(self, incremental: bool = True) -> None:
+    def __init__(
+        self, incremental: bool = True, dense_bits: bool = False
+    ) -> None:
         self._op_of_node: List[int] = []
         self._node_of_op: Dict[int, int] = {}
         self._succ: List[List[int]] = []
         self._pred: List[List[int]] = []
         self._edge_rule: Dict[Tuple[int, int], str] = {}
-        self._reach: Optional[List[int]] = None
+        self._reach: Optional[List[ReachBits]] = None
         self._incremental = incremental
+        self._dense = dense_bits
         #: nodes whose reach set changed since the last :meth:`drain_dirty`
-        self._dirty = 0
+        self._dirty: Set[int] = set()
         #: full from-scratch transitive-closure builds performed
         self.closure_recomputations = 0
         #: reachability bits newly set by incremental edge propagation
         self.bits_propagated = 0
+
+    @property
+    def dense_bits(self) -> bool:
+        """True when the closure uses the legacy big-int representation."""
+        return self._dense
 
     # -- construction -----------------------------------------------------
 
@@ -174,8 +202,11 @@ class KeyGraph:
         self._pred.append([])
         if self._incremental and self._reach is not None:
             # A fresh node has no edges yet: it reaches only itself.
-            self._reach.append(1 << node)
-            self._dirty |= 1 << node
+            if self._dense:
+                self._reach.append(1 << node)
+            else:
+                self._reach.append(SparseBits.single(node))
+            self._dirty.add(node)
         else:
             self._reach = None
         return node
@@ -240,25 +271,45 @@ class KeyGraph:
         reach = self._reach
         if reach is None:  # pragma: no cover - guarded by add_edge/add_node
             raise HBInvariantError("_propagate called without a closure")
-        if (reach[v] >> u) & 1:
+        if self._dense:
+            if (reach[v] >> u) & 1:  # type: ignore[operator]
+                # v already reaches u, so u -> v closes a cycle.
+                raise HBCycleError(self._find_cycle())
+            gained = reach[v] & ~reach[u]  # type: ignore[operator]
+            if not gained:
+                return
+            reach[u] |= gained  # type: ignore[operator]
+            self.bits_propagated += gained.bit_count()
+            self._dirty.add(u)
+            stack = [u]
+            while stack:
+                x = stack.pop()
+                rx = reach[x]
+                for p in self._pred[x]:
+                    gained = rx & ~reach[p]  # type: ignore[operator]
+                    if gained:
+                        reach[p] |= gained  # type: ignore[operator]
+                        self.bits_propagated += gained.bit_count()
+                        self._dirty.add(p)
+                        stack.append(p)
+            return
+        if reach[v].test(u):  # type: ignore[union-attr]
             # v already reaches u, so u -> v closes a cycle.
             raise HBCycleError(self._find_cycle())
-        gained = reach[v] & ~reach[u]
-        if not gained:
+        count = reach[u].ior(reach[v])  # type: ignore[union-attr, arg-type]
+        if not count:
             return
-        reach[u] |= gained
-        self.bits_propagated += gained.bit_count()
-        self._dirty |= 1 << u
+        self.bits_propagated += count
+        self._dirty.add(u)
         stack = [u]
         while stack:
             x = stack.pop()
             rx = reach[x]
             for p in self._pred[x]:
-                gained = rx & ~reach[p]
-                if gained:
-                    reach[p] |= gained
-                    self.bits_propagated += gained.bit_count()
-                    self._dirty |= 1 << p
+                count = reach[p].ior(rx)  # type: ignore[union-attr, arg-type]
+                if count:
+                    self.bits_propagated += count
+                    self._dirty.add(p)
                     stack.append(p)
 
     def _toposort(self) -> List[int]:
@@ -310,19 +361,45 @@ class KeyGraph:
                     stack.pop()
         return []
 
-    def _closure(self) -> List[int]:
+    def _closure(self) -> List[ReachBits]:
         if self._reach is not None:
             return self._reach
         order = self._toposort()
-        reach = [0] * self.node_count
-        for v in reversed(order):
-            mask = 1 << v
-            for w in self._succ[v]:
-                mask |= reach[w]
-            reach[v] = mask
+        n = self.node_count
+        reach: List[ReachBits]
+        if self._dense:
+            reach = [0] * n
+            for v in reversed(order):
+                mask = 1 << v
+                for w in self._succ[v]:
+                    mask |= reach[w]  # type: ignore[operator]
+                reach[v] = mask
+        else:
+            # Reverse-topological pass, seeding each node from its
+            # *widest* successor via a shallow copy: the successor's
+            # chunks are adopted by reference, so along the program-
+            # order chains that dominate real traces a node's blocks
+            # alias its successor's until a mutation diverges one.
+            reach = [SparseBits()] * n
+            for v in reversed(order):
+                succ = self._succ[v]
+                if succ:
+                    base = succ[0]
+                    if len(succ) > 1:
+                        for w in succ[1:]:
+                            if len(reach[w].chunks) > len(reach[base].chunks):  # type: ignore[union-attr]
+                                base = w
+                    bits = reach[base].copy()  # type: ignore[union-attr]
+                    for w in succ:
+                        if w != base:
+                            bits.ior(reach[w])  # type: ignore[arg-type]
+                else:
+                    bits = SparseBits()
+                bits.set(v)
+                reach[v] = bits
         self._reach = reach
         self.closure_recomputations += 1
-        self._dirty = (1 << self.node_count) - 1
+        self._dirty = set(range(n))
         return reach
 
     def close(self) -> None:
@@ -334,31 +411,67 @@ class KeyGraph:
         if self.node_count:
             self._closure()
 
-    def reach_vector(self) -> List[int]:
+    def reach_vector(self) -> List[ReachBits]:
         """The live list of per-node reach bitsets, indexed by node id.
 
         This is the graph's own closure storage, not a copy: entries
         change under ``add_edge``/``add_node``.  Callers must treat it
-        as read-only.
+        as read-only.  Entries are big ints under ``dense_bits=True``
+        and :class:`~repro.hb.bits.SparseBits` otherwise.
         """
         return self._closure()
 
-    def drain_dirty(self) -> int:
-        """Bitmask of nodes whose reach set changed since the last drain.
+    def drain_dirty(self) -> Set[int]:
+        """Node ids whose reach set changed since the last drain.
 
-        A full closure recomputation marks every node dirty.
+        A full closure recomputation marks every node dirty.  The
+        per-event granularity (one id per changed key node, not one
+        flag per looper/queue group) is what lets the builder's
+        fixpoint re-examine only the rule members whose premise
+        actually moved.
         """
         dirty = self._dirty
-        self._dirty = 0
+        self._dirty = set()
         return dirty
 
     def reaches(self, u: int, v: int) -> bool:
         """Reflexive-transitive reachability between node ids."""
-        return bool((self._closure()[u] >> v) & 1)
+        row = self._closure()[u]
+        if self._dense:
+            return bool((row >> v) & 1)  # type: ignore[operator]
+        return row.test(v)  # type: ignore[union-attr]
 
-    def reach_set(self, u: int) -> int:
-        """The reachability bitset of node ``u`` (includes ``u``)."""
+    def reach_set(self, u: int) -> ReachBits:
+        """The reachability bitset of node ``u`` (includes ``u``).
+
+        A big int under ``dense_bits=True``, a
+        :class:`~repro.hb.bits.SparseBits` otherwise; both compare
+        equal to the same big-int value and expose ``bit_count()``.
+        """
         return self._closure()[u]
+
+    def closure_bytes(self) -> int:
+        """Memory retained by the closure's reach vector, in bytes.
+
+        Sparse storage is measured sharing-aware (a chunk referenced
+        from several block tables is counted once); dense storage is
+        the sum of the big ints' sizes.  Returns 0 when no closure has
+        been computed yet.
+        """
+        if self._reach is None:
+            return 0
+        if self._dense:
+            return sum(sys.getsizeof(r) for r in self._reach)
+        return vector_stats(self._reach).bytes  # type: ignore[arg-type]
+
+    def chunk_stats(self) -> Optional[ChunkStats]:
+        """Chunk-level storage accounting of the sparse closure.
+
+        None when the closure is dense or not yet computed.
+        """
+        if self._dense or self._reach is None:
+            return None
+        return vector_stats(self._reach)  # type: ignore[arg-type]
 
     def find_path(self, u: int, v: int) -> Optional[List[int]]:
         """A shortest edge path ``u -> ... -> v`` (node ids), or None."""
@@ -420,8 +533,16 @@ class HappensBefore:
         self.query_profile = QueryProfile(fast=fast_queries)
         self._fast = fast_queries
         #: task -> prefix masks over its key nodes; masks[i] ORs the
-        #: node bits of the first i key nodes (built lazily per task)
+        #: node bits of the first i key nodes (built lazily per task,
+        #: dense backend only — the sparse backend range-probes)
         self._prefix_masks: Dict[str, List[int]] = {}
+        #: sparse backend: task -> (base node id, contiguous?) of its
+        #: key-node id range (built lazily per task)
+        self._task_range: Dict[str, Tuple[int, bool]] = {}
+        #: sparse backend fallback for non-contiguous tasks: prefix
+        #: masks as SparseBits (never materialized on builder output,
+        #: whose per-task node ids are contiguous by construction)
+        self._sparse_masks: Dict[str, List[SparseBits]] = {}
         # Memo tables: bounded LRU (OrderedDict) by default, plain dicts
         # when memo_capacity=0 keeps them unbounded (the historical
         # behaviour, and marginally faster when memory is no concern).
@@ -488,7 +609,7 @@ class HappensBefore:
                 memo.move_to_end(key)  # type: ignore[attr-defined]
             return cached
         prof.memo_misses += 1
-        result = bool(self.graph.reach_set(ka) & self._masks_of(tb)[hi])
+        result = self._hit(ka, tb, hi)
         memo[key] = result
         if self._memo_capacity and len(memo) > self._memo_capacity:
             memo.popitem(last=False)  # type: ignore[call-arg]
@@ -527,8 +648,7 @@ class HappensBefore:
         op_task, op_pos = self._op_task, self._op_pos
         sig, sig_parts = self._sig_index()
         nsigs = len(sig_parts)
-        masks = self._prefix_masks
-        reach_of = self.graph.reach_set
+        hit = self._hit
         pair_memo = self._pair_memo
         memo_get = pair_memo.get
         capacity = self._memo_capacity
@@ -559,23 +679,14 @@ class HappensBefore:
             ka, _, hia = sig_parts[sig[a]]
             kb, _, hib = sig_parts[sig[b]]
             # ordered(a, b)
-            if ka >= 0 and hib:
-                task_masks = masks.get(tb)
-                if task_masks is None:
-                    task_masks = self._masks_of(tb)
-                forward = bool(reach_of(ka) & task_masks[hib])
-            else:
-                forward = False
+            forward = ka >= 0 and hib > 0 and hit(ka, tb, hib)
             if forward:
                 cached = False
             else:
                 # ordered(b, a)
                 queries += 1
                 if kb >= 0 and hia:
-                    task_masks = masks.get(ta)
-                    if task_masks is None:
-                        task_masks = self._masks_of(ta)
-                    cached = not (reach_of(kb) & task_masks[hia])
+                    cached = not hit(kb, ta, hia)
                 else:
                     cached = True
             pair_memo[key] = cached
@@ -623,7 +734,7 @@ class HappensBefore:
         return self._task_key_nodes[task][i]
 
     def _first_reachable_key(
-        self, reach: int, task: str, hi: int
+        self, reach: ReachBits, task: str, hi: int
     ) -> Optional[int]:
         """First of ``task``'s initial ``hi`` key nodes present in
         ``reach``, or None.
@@ -633,10 +744,35 @@ class HappensBefore:
         existence, so it cannot use the prefix-mask AND).
         """
         nodes = self._task_key_nodes[task]
+        if isinstance(reach, SparseBits):
+            test = reach.test
+            for i in range(hi):
+                if test(nodes[i]):
+                    return nodes[i]
+            return None
         for i in range(hi):
             if (reach >> nodes[i]) & 1:
                 return nodes[i]
         return None
+
+    def _hit(self, ka: int, task: str, hi: int) -> bool:
+        """Does node ``ka`` reach any of ``task``'s first ``hi`` key
+        nodes?  The one reachability probe of the fast query path.
+
+        Dense backend: one AND against the task's materialized prefix
+        mask.  Sparse backend: the builder assigns each task's key
+        nodes *contiguous* node ids, so the probe is a chunk-level
+        range test — no mask materialization at all (with a SparseBits
+        prefix-mask fallback should a hand-built graph break the
+        contiguity invariant).
+        """
+        reach = self.graph.reach_set(ka)
+        if isinstance(reach, int):
+            return bool(reach & self._masks_of(task)[hi])
+        base, contiguous = self._range_of(task)
+        if contiguous:
+            return reach.any_in_range(base, base + hi)
+        return reach.intersects(self._sparse_masks_of(task)[hi])
 
     def _op_index(self) -> Tuple[List[int], List[int]]:
         """Per-operation key-node lookup arrays (built lazily, O(n)).
@@ -722,6 +858,49 @@ class HappensBefore:
             prof = self.query_profile
             prof.mask_tasks += 1
             prof.mask_bytes += sum(sys.getsizeof(m) for m in masks)
+        return masks
+
+    def _range_of(self, task: str) -> Tuple[int, bool]:
+        """(base node id, contiguous?) of the task's key-node ids.
+
+        Replaces the dense backend's prefix masks: when the ids are
+        contiguous (always, for builder-produced graphs — each task's
+        nodes are allocated in one uninterrupted ``add_node`` run) the
+        first ``hi`` key nodes are exactly ``[base, base + hi)``.
+        Counted in ``mask_tasks``/``mask_bytes`` as the sparse
+        backend's per-task query structure.
+        """
+        entry = self._task_range.get(task)
+        if entry is None:
+            nodes = self._task_key_nodes.get(task) or ()
+            base = nodes[0] if nodes else 0
+            contiguous = all(
+                nodes[i] == base + i for i in range(1, len(nodes))
+            )
+            entry = (base, contiguous)
+            self._task_range[task] = entry
+            prof = self.query_profile
+            prof.mask_tasks += 1
+            prof.mask_bytes += sys.getsizeof(entry) + sys.getsizeof(base)
+        return entry
+
+    def _sparse_masks_of(self, task: str) -> List[SparseBits]:
+        """Sparse prefix masks — only for non-contiguous key-node ids.
+
+        Mirrors :meth:`_masks_of` with SparseBits entries; each prefix
+        shares its predecessor's chunks except the one it extends.
+        """
+        masks = self._sparse_masks.get(task)
+        if masks is None:
+            acc = SparseBits()
+            masks = [acc]
+            for node in self._task_key_nodes.get(task, ()):
+                acc = acc.copy()
+                acc.set(node)
+                masks.append(acc)
+            self._sparse_masks[task] = masks
+            prof = self.query_profile
+            prof.mask_bytes += sum(m.nbytes() for m in masks)
         return masks
 
     # -- explanations ---------------------------------------------------

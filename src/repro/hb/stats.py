@@ -63,6 +63,19 @@ class HBStats:
             f"recomputation(s), {self.bits_propagated} bits propagated "
             "incrementally"
         )
+        if self.profile is not None:
+            p = self.profile
+            backend = "dense big-int" if p.dense_bits else "chunked sparse"
+            line = (
+                f"closure storage [{backend}]: {p.closure_bytes} bytes"
+            )
+            if not p.dense_bits:
+                line += (
+                    f", {p.chunks_allocated} chunks allocated, "
+                    f"{p.chunks_shared} shared (copy-on-write), "
+                    f"{p.dense_chunk_ratio:.0%} dense"
+                )
+            lines.append(line)
         if self.edges_per_round:
             lines.append(
                 "derived edges per round: "
@@ -82,6 +95,12 @@ class HBStats:
                 lines.append(
                     f"fixpoint groups: {p.groups_examined} examined, "
                     f"{p.groups_skipped} skipped as clean"
+                )
+            if p.group_dirty_events:
+                lines.append(
+                    f"dirty tracking: {p.events_repropagated} events "
+                    f"re-propagated (per-group granularity would have "
+                    f"re-read {p.group_dirty_events})"
                 )
         if self.query_profile is not None:
             q = self.query_profile

@@ -6,7 +6,9 @@ import pytest
 
 from repro.testing import TraceBuilder
 from repro.trace import (
+    Begin,
     BranchKind,
+    End,
     OpKind,
     OpsView,
     TaskInfo,
@@ -171,6 +173,36 @@ class TestExternalSeqValidation:
             )
         with pytest.raises(TraceError, match="share external_seq 7"):
             trace.validate()
+
+    @pytest.mark.parametrize("columnar", [True, False])
+    def test_duplicate_external_seq_error_names_colliding_ops(self, columnar):
+        """The error must point at the colliding operations: each
+        event's first operation index and kind (or "no operations" for
+        an event never dispatched), so the offending records can be
+        found in the trace without a manual scan."""
+        trace = Trace(columnar=columnar)
+        trace.add_task(TaskInfo(task="L", task_kind=TaskKind.LOOPER))
+        for name in ("E1", "E2"):
+            trace.add_task(
+                TaskInfo(
+                    task=name,
+                    task_kind=TaskKind.EVENT,
+                    looper="L",
+                    queue="L.queue",
+                    external=True,
+                    external_seq=9,
+                )
+            )
+        trace.append(Begin(task="E1"))
+        trace.append(End(task="E1"))
+        with pytest.raises(TraceError) as excinfo:
+            trace.validate()
+        message = str(excinfo.value)
+        assert "share external_seq 9" in message
+        # E1 was dispatched: its first op's index and kind are named.
+        assert "'E1' (first op #0 (begin))" in message
+        # E2 never ran: the message says so rather than pointing nowhere.
+        assert "'E2' (no operations)" in message
 
     def test_distinct_external_seq_accepted(self):
         b = TraceBuilder()
