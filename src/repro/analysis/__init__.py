@@ -20,6 +20,7 @@ from .pipeline import (
     scaling_matrix,
 )
 from .precision import AppEvaluation, Table1, evaluate_run
+from .soak import SoakResult, soak_all, soak_app, soak_trace
 from .tables import format_scaling, format_slowdowns, format_table1
 from .witness import ViolationWitness, WitnessError, build_witness
 
@@ -34,7 +35,11 @@ __all__ = [
     "ScalingPoint",
     "scaling_matrix",
     "SlowdownResult",
+    "SoakResult",
     "Table1",
+    "soak_all",
+    "soak_app",
+    "soak_trace",
     "ViolationWitness",
     "WitnessError",
     "analysis_scaling",

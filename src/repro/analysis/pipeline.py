@@ -21,6 +21,7 @@ from __future__ import annotations
 import dataclasses
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, List, Optional, Sequence, Type, TypeVar
 
 from ..apps.base import AppModel, Table1Row
@@ -87,10 +88,14 @@ def _fan_out(
 
     Results come back in item order.  A worker exception aborts the
     fan-out and is re-raised as a ``RuntimeError`` naming the item
-    whose pipeline failed (chained to the original exception).  Items
-    default to app classes — ``describe`` renders the item for that
-    error message (``"app 'music'"``); fan-outs over other domains
-    (e.g. the per-seed exploration) pass their own.
+    whose pipeline failed (chained to the original exception).  A
+    worker *process* that dies without raising — OOM-killed, segfaulted
+    native code, ``os._exit`` — surfaces as the same item-named
+    ``RuntimeError`` (chained to the ``BrokenProcessPool``) instead of
+    the pool's bare, item-less diagnostic.  Items default to app
+    classes — ``describe`` renders the item for that error message
+    (``"app 'music'"``); fan-outs over other domains (e.g. the
+    per-seed exploration) pass their own.
     """
     if describe is None:
         describe = lambda item: f"app {item.name!r}"  # noqa: E731
@@ -103,6 +108,17 @@ def _fan_out(
         for i, item, future in futures:
             try:
                 results[i] = future.result()
+            except BrokenProcessPool as exc:
+                # The pool cannot tell which process died; the first
+                # future to observe the breakage is the best available
+                # attribution, and every sibling was aborted with it.
+                raise RuntimeError(
+                    f"{label} worker process for {describe(item)} died "
+                    "before returning a result (killed by the operating "
+                    "system — e.g. out of memory — or crashed without "
+                    "raising); the remaining items were aborted. "
+                    "Rerun with jobs=1 to isolate the failure."
+                ) from exc
             except Exception as exc:
                 raise RuntimeError(
                     f"{label} worker for {describe(item)} failed: {exc}"

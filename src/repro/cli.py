@@ -11,7 +11,12 @@ Commands:
 * ``witness <trace.jsonl>`` — print an alternate schedule manifesting
   each reported race;
 * ``stats <trace.jsonl>`` — happens-before graph statistics (edges per
-  rule, fixpoint rounds);
+  rule, fixpoint rounds); ``--stream`` adds the online analyzer's
+  profile for the same file;
+* ``stream <trace.jsonl|->`` — online analysis: ingest a v2 stream
+  incrementally (file, growing file with ``--follow``, or stdin) and
+  emit race reports as epochs retire; ``--selftest`` replays a stock
+  app record-by-record and checks online ≡ offline;
 * ``dot <trace.jsonl>`` — Graphviz export of the happens-before graph;
 * ``scaling-matrix`` — run the §6.4 analysis-time sweep over apps x
   scales and emit one JSON table;
@@ -102,10 +107,21 @@ def _add_dense_bits(parser: argparse.ArgumentParser) -> None:
 
 
 def _load_input_trace(args):
+    from .trace import TraceError
+
     expect = _FORMAT_VERSIONS[args.format] if args.format else None
-    return load_trace_file(
-        args.trace, expect_version=expect, columnar=not args.legacy_store
-    )
+    try:
+        return load_trace_file(
+            args.trace, expect_version=expect, columnar=not args.legacy_store
+        )
+    except TraceError as exc:
+        print(
+            f"{args.trace}: {exc}\n"
+            "(a damaged or crash-truncated trace can be analyzed with "
+            "'repro stream --salvage')",
+            file=sys.stderr,
+        )
+        raise SystemExit(1) from None
 
 
 def _add_scale(parser: argparse.ArgumentParser) -> None:
@@ -211,6 +227,107 @@ def _cmd_stats(args) -> int:
     # workload rather than an idle relation.
     UseFreeDetector(trace, hb=hb).detect()
     print(hb_stats(trace, hb).format())
+    if args.stream:
+        from .stream import StreamAnalyzer
+        from .trace.serialization import _open_for
+
+        analyzer = StreamAnalyzer()
+        with _open_for(args.trace, "r") as fp:
+            for line in fp:
+                analyzer.feed(line)
+        analyzer.finish()
+        print(analyzer.profile.format())
+    return 0
+
+
+def _print_new_epochs(analyzer, printed: int) -> int:
+    while printed < len(analyzer.epochs):
+        epoch = analyzer.epochs[printed]
+        label = "retired" if epoch.retired else "final"
+        print(
+            f"epoch {epoch.index} ({label}): {epoch.ops} ops, "
+            f"{len(epoch.reports)} reports, "
+            f"closure {epoch.closure_bytes} bytes"
+        )
+        for report in epoch.reports:
+            print(f"  {report}")
+        printed += 1
+    return printed
+
+
+def _cmd_stream(args) -> int:
+    from .stream import StreamAnalyzer
+
+    if args.selftest:
+        from .analysis.soak import soak_app
+
+        result = soak_app(
+            args.app, scale=args.scale, seed=args.seed, gc=not args.no_gc
+        )
+        print(result.format())
+        print(result.profile.format())
+        if not result.identical:
+            only_on = set(result.online) - set(result.offline)
+            only_off = set(result.offline) - set(result.online)
+            for line in sorted(only_on):
+                print(f"  only online : {line}", file=sys.stderr)
+            for line in sorted(only_off):
+                print(f"  only offline: {line}", file=sys.stderr)
+            return 1
+        return 0
+
+    if not args.trace:
+        print(
+            "stream: provide a trace path, '-' for stdin, or --selftest",
+            file=sys.stderr,
+        )
+        return 2
+
+    from .trace import TraceFormatError
+
+    expect = _FORMAT_VERSIONS[args.format] if args.format else None
+    analyzer = StreamAnalyzer(
+        strict=not args.salvage,
+        gc=not args.no_gc,
+        expect_version=expect,
+    )
+    printed = 0
+    try:
+        if args.trace == "-":
+            # feed(), not feed_line(): a crash-cut final line has no
+            # newline, and only the buffer path lets finish() rule on
+            # it (and a live tail may hand us half-written lines).
+            for line in sys.stdin:
+                analyzer.feed(line)
+                printed = _print_new_epochs(analyzer, printed)
+        else:
+            import time
+
+            from .trace.serialization import _open_for
+
+            with _open_for(args.trace, "r") as fp:
+                while True:
+                    line = fp.readline()
+                    if line:
+                        analyzer.feed(line)
+                        printed = _print_new_epochs(analyzer, printed)
+                        continue
+                    if not args.follow or analyzer.decoder.degraded:
+                        break
+                    time.sleep(args.poll_interval)
+        analyzer.finish()
+    except TraceFormatError as exc:
+        print(f"stream: {exc} (use --salvage to analyze the valid prefix)",
+              file=sys.stderr)
+        return 1
+    printed = _print_new_epochs(analyzer, printed)
+    if analyzer.decoder.degraded:
+        print(
+            f"warning: stream damaged, analyzed the valid prefix "
+            f"({analyzer.decoder.error})",
+            file=sys.stderr,
+        )
+    print(analyzer.profile.format())
     return 0
 
 
@@ -358,11 +475,73 @@ def build_parser() -> argparse.ArgumentParser:
         "stats", help="happens-before graph statistics for a saved trace"
     )
     stats.add_argument("trace", help="trace .jsonl path")
+    stats.add_argument(
+        "--stream",
+        action="store_true",
+        help="also replay the file through the online streaming "
+        "analyzer and print its profile",
+    )
     _add_format(stats, writing=False)
     _add_store_options(stats)
     _add_memo_capacity(stats)
     _add_dense_bits(stats)
     stats.set_defaults(fn=_cmd_stats)
+
+    stream = sub.add_parser(
+        "stream",
+        help="online streaming analysis of a v2 trace stream "
+        "(see docs/streaming.md)",
+    )
+    stream.add_argument(
+        "trace",
+        nargs="?",
+        help="v2 trace stream path, or '-' for stdin "
+        "(omit with --selftest)",
+    )
+    stream.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep tailing the file for new records after reaching "
+        "its current end (Ctrl-C to stop)",
+    )
+    stream.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="sleep between --follow polls of the file (default: 0.5)",
+    )
+    stream.add_argument(
+        "--salvage",
+        action="store_true",
+        help="degrade gracefully on a damaged stream: analyze the "
+        "valid prefix instead of failing (strict=False decoding)",
+    )
+    stream.add_argument(
+        "--no-gc",
+        action="store_true",
+        help="disable epoch retirement (memory grows with the session "
+        "as in offline mode)",
+    )
+    stream.add_argument(
+        "--selftest",
+        action="store_true",
+        help="replay a stock app record-by-record and verify online "
+        "reports are byte-identical to offline ones",
+    )
+    stream.add_argument(
+        "--app",
+        default="connectbot",
+        help="application for --selftest (default: connectbot)",
+    )
+    stream.add_argument(
+        "--scale", type=float, default=0.02, help="--selftest workload scale"
+    )
+    stream.add_argument(
+        "--seed", type=int, default=1, help="--selftest scheduler seed"
+    )
+    _add_format(stream, writing=False)
+    stream.set_defaults(fn=_cmd_stream)
 
     dot = sub.add_parser(
         "dot", help="export the happens-before graph as Graphviz"

@@ -2,6 +2,7 @@
 pruning heuristics, plus the conventional and low-level baselines."""
 
 from .accesses import (
+    AccessExtractor,
     AccessIndex,
     Guard,
     PointerWrite,
@@ -36,6 +37,7 @@ from .usefree import (
 )
 
 __all__ = [
+    "AccessExtractor",
     "AccessIndex",
     "DetectionResult",
     "DetectorOptions",

@@ -33,7 +33,7 @@ from ..trace import (
     Release,
     Trace,
 )
-from ..trace.store import KIND_CODES
+from ..trace.store import KIND_LIST
 
 
 @dataclass
@@ -158,37 +158,79 @@ _EXTRACT_KINDS = (
 )
 
 
-def extract_accesses(trace: Trace) -> AccessIndex:
-    """Recover uses, frees, allocations, guards, and locksets.
+_EXTRACT_KIND_SET = frozenset(_EXTRACT_KINDS)
 
-    On the columnar backend only the kinds carrying access facts are
-    materialized (merged per-kind index walk); the legacy object path
-    scans every operation.  Both record lockset snapshots at access
-    and lock operations — the only indices the detectors query.
+
+class AccessExtractor:
+    """Incremental access recovery: the extraction pass as an object.
+
+    Holds the rolling per-task matcher state (read windows, held
+    locks, uses already created per read) so ops can be fed one at a
+    time as they arrive — the streaming service's driver.
+    :func:`extract_accesses` is the one-shot batch wrapper over the
+    same code, so both modes recover byte-identical access sets.
+
+    :meth:`feed` accepts ops of any kind and skips the ones the pass
+    does not read.  :meth:`index` snapshots an :class:`AccessIndex`
+    over the *live* lists; each call returns a fresh instance so the
+    lazy per-address groupings are rebuilt rather than served stale.
     """
-    index = AccessIndex(trace=trace)
-    # Per-task rolling history of pointer reads for the matcher, and the
-    # Use objects already created per read op index.
-    read_history: Dict[str, List[PtrRead]] = {}
-    read_op_index: Dict[str, List[int]] = {}
-    use_by_read: Dict[int, Use] = {}
-    held: Dict[str, set] = {}
 
-    def step(i: int, op, task: str) -> None:
+    def __init__(self, trace: Trace) -> None:
+        self.trace = trace
+        self.uses: List[Use] = []
+        self.frees: List[PointerWrite] = []
+        self.allocs: List[PointerWrite] = []
+        self.guards: List[Guard] = []
+        self.locksets: Dict[int, FrozenSet[str]] = {}
+        self._read_history: Dict[str, List[PtrRead]] = {}
+        self._read_op_index: Dict[str, List[int]] = {}
+        self._use_by_read: Dict[int, Use] = {}
+        self._held: Dict[str, set] = {}
+
+    def feed(self, i: int, op=None) -> None:
+        """Process op ``i``; non-access kinds are no-ops.
+
+        On the columnar backend the kind is read from the store's int
+        column, so skipped and high-level read/write ops are never
+        materialized; pass ``op`` when it is already at hand.
+        """
+        store = self.trace.store
+        if op is None and store is not None:
+            kind = KIND_LIST[store.kinds[i]]
+        else:
+            if op is None:
+                op = self.trace[i]
+            kind = op.kind
+        if kind not in _EXTRACT_KIND_SET:
+            return
+        if kind is OpKind.READ or kind is OpKind.WRITE:
+            # High-level reads/writes only need their lockset snapshot.
+            task = op.task if op is not None else store.task_of(i)
+            current_locks = self._held.get(task)
+            if current_locks:
+                self.locksets[i] = frozenset(current_locks)
+            return
+        if op is None:
+            op = store.op(i)
+        self._step(i, op, op.task)
+
+    def _step(self, i: int, op, task: str) -> None:
         if isinstance(op, Acquire):
-            held.setdefault(task, set()).add(op.lock)
+            self._held.setdefault(task, set()).add(op.lock)
         elif isinstance(op, Release):
-            held.setdefault(task, set()).discard(op.lock)
-        current_locks = held.get(task)
+            self._held.setdefault(task, set()).discard(op.lock)
+        current_locks = self._held.get(task)
         if current_locks:
-            index.locksets[i] = frozenset(current_locks)
+            self.locksets[i] = frozenset(current_locks)
 
         if isinstance(op, PtrRead):
-            read_history.setdefault(task, []).append(op)
-            read_op_index.setdefault(task, []).append(i)
-            if len(read_history[task]) > MATCH_WINDOW:
-                read_history[task].pop(0)
-                read_op_index[task].pop(0)
+            history = self._read_history.setdefault(task, [])
+            history.append(op)
+            self._read_op_index.setdefault(task, []).append(i)
+            if len(history) > MATCH_WINDOW:
+                history.pop(0)
+                self._read_op_index[task].pop(0)
         elif isinstance(op, PtrWrite):
             record = PointerWrite(
                 index=i,
@@ -199,17 +241,19 @@ def extract_accesses(trace: Trace) -> AccessIndex:
                 task=task,
             )
             if record.is_free:
-                index.frees.append(record)
+                self.frees.append(record)
             else:
-                index.allocs.append(record)
+                self.allocs.append(record)
         elif isinstance(op, Deref):
             matched = _match_nearest_read(
-                read_history.get(task, ()), read_op_index.get(task, ()), op.object_id
+                self._read_history.get(task, ()),
+                self._read_op_index.get(task, ()),
+                op.object_id,
             )
             if matched is None:
                 return
             read_op, read_idx = matched
-            use = use_by_read.get(read_idx)
+            use = self._use_by_read.get(read_idx)
             if use is None:
                 use = Use(
                     read_index=read_idx,
@@ -219,14 +263,16 @@ def extract_accesses(trace: Trace) -> AccessIndex:
                     read_pc=read_op.pc,
                     task=task,
                 )
-                use_by_read[read_idx] = use
-                index.uses.append(use)
+                self._use_by_read[read_idx] = use
+                self.uses.append(use)
             use.deref_indices.append(i)
         elif isinstance(op, Branch):
             matched = _match_nearest_read(
-                read_history.get(task, ()), read_op_index.get(task, ()), op.object_id
+                self._read_history.get(task, ()),
+                self._read_op_index.get(task, ()),
+                op.object_id,
             )
-            index.guards.append(
+            self.guards.append(
                 Guard(
                     index=i,
                     address=matched[0].address if matched else None,
@@ -237,26 +283,41 @@ def extract_accesses(trace: Trace) -> AccessIndex:
                 )
             )
 
+    def index(self) -> AccessIndex:
+        """An :class:`AccessIndex` over the accesses recovered so far.
+
+        The lists are shared by reference with the extractor (they keep
+        growing as more ops are fed); the per-address groupings are
+        lazy on the returned instance, so take a fresh snapshot after
+        feeding rather than reusing an old one.
+        """
+        return AccessIndex(
+            trace=self.trace,
+            uses=self.uses,
+            frees=self.frees,
+            allocs=self.allocs,
+            guards=self.guards,
+            locksets=self.locksets,
+        )
+
+
+def extract_accesses(trace: Trace) -> AccessIndex:
+    """Recover uses, frees, allocations, guards, and locksets.
+
+    On the columnar backend only the kinds carrying access facts are
+    materialized (merged per-kind index walk); the legacy object path
+    scans every operation.  Both record lockset snapshots at access
+    and lock operations — the only indices the detectors query.
+    """
+    extractor = AccessExtractor(trace)
     store = trace.store
     if store is None:
         for i, op in enumerate(trace.ops):
-            step(i, op, op.task)
-        return index
-    kinds = store.kinds
-    task_of = store.task_of
-    op_of = store.op
-    read_c, write_c = KIND_CODES[OpKind.READ], KIND_CODES[OpKind.WRITE]
+            extractor._step(i, op, op.task)
+        return extractor.index()
     for i in store.indices_of(*_EXTRACT_KINDS):
-        code = kinds[i]
-        if code == read_c or code == write_c:
-            # High-level reads/writes only need their lockset snapshot;
-            # skip materializing the (dense) operation records.
-            current_locks = held.get(task_of(i))
-            if current_locks:
-                index.locksets[i] = frozenset(current_locks)
-            continue
-        step(i, op_of(i), task_of(i))
-    return index
+        extractor.feed(i)
+    return extractor.index()
 
 
 def _match_nearest_read(history, indices, object_id):

@@ -102,12 +102,16 @@ class UseFreeDetector:
         options: Optional[DetectorOptions] = None,
         hb: Optional[HappensBefore] = None,
         accesses: Optional[AccessIndex] = None,
+        conventional_hb: Optional[HappensBefore] = None,
     ) -> None:
         self.trace = trace
         self.options = options or DetectorOptions()
         self._hb = hb
         self._accesses = accesses
-        self._conventional_hb: Optional[HappensBefore] = None
+        #: injectable like ``hb``: the streaming service passes its
+        #: incrementally maintained conventional-model relation here so
+        #: classification reuses it instead of rebuilding from scratch
+        self._conventional_hb = conventional_hb
 
     @property
     def hb(self) -> HappensBefore:

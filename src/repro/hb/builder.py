@@ -314,9 +314,10 @@ def _build_key_graph(
 ) -> Tuple[KeyGraph, Dict[str, List[int]], Dict[str, List[int]]]:
     """Create nodes for every key op and chain them per task.
 
-    Each task's nodes are allocated in one uninterrupted ``add_node``
-    run, so a task's key nodes always hold *contiguous* node ids — the
-    invariant behind the sparse query path's range probes.
+    Each task's chain goes through :meth:`KeyGraph.add_chain`, which
+    allocates its nodes in one uninterrupted run and thereby
+    *guarantees* the contiguous-id invariant behind the sparse query
+    path's range probes (a broken run raises instead of degrading).
     """
     graph = KeyGraph(incremental=incremental, dense_bits=dense_bits)
     task_key_positions: Dict[str, List[int]] = {}
@@ -327,17 +328,16 @@ def _build_key_graph(
         def is_key(op_index: int) -> bool:
             return _is_key(state, op_index)
     for task, ops in state.task_ops.items():
-        positions: List[int] = []
-        nodes: List[int] = []
-        for pos, op_index in enumerate(ops):
-            if is_key(op_index) or pos == len(ops) - 1:
-                node = graph.add_node(op_index)
-                if nodes:
-                    graph.add_edge(nodes[-1], node, RULE_PROGRAM_ORDER)
-                positions.append(pos)
-                nodes.append(node)
+        last = len(ops) - 1
+        positions = [
+            pos
+            for pos, op_index in enumerate(ops)
+            if is_key(op_index) or pos == last
+        ]
         task_key_positions[task] = positions
-        task_key_nodes[task] = nodes
+        task_key_nodes[task] = graph.add_chain(
+            [ops[pos] for pos in positions], RULE_PROGRAM_ORDER
+        )
     return graph, task_key_positions, task_key_nodes
 
 

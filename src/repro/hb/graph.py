@@ -211,6 +211,30 @@ class KeyGraph:
             self._reach = None
         return node
 
+    def add_chain(self, op_indices: Sequence[int], rule: str) -> List[int]:
+        """Allocate nodes for ``op_indices`` in one uninterrupted run
+        and chain consecutive ones with ``rule`` edges.
+
+        This is how the builder allocates each task's key nodes, and it
+        *guarantees* the contiguous-id invariant the sparse query
+        path's range probe relies on: the returned ids are always
+        ``[base, base + len)``.  Registering an op that already has a
+        node would break the run, so it raises
+        :class:`HBInvariantError` instead of silently deduplicating.
+        """
+        nodes: List[int] = []
+        for op_index in op_indices:
+            node = self.add_node(op_index)
+            if nodes:
+                if node != nodes[-1] + 1:
+                    raise HBInvariantError(
+                        f"add_chain got non-contiguous node id {node} after "
+                        f"{nodes[-1]} (op {op_index} already registered?)"
+                    )
+                self.add_edge(nodes[-1], node, rule)
+            nodes.append(node)
+        return nodes
+
     def node_of(self, op_index: int) -> int:
         """Node id for a key operation index (KeyError if not a key)."""
         return self._node_of_op[op_index]
@@ -536,13 +560,9 @@ class HappensBefore:
         #: node bits of the first i key nodes (built lazily per task,
         #: dense backend only — the sparse backend range-probes)
         self._prefix_masks: Dict[str, List[int]] = {}
-        #: sparse backend: task -> (base node id, contiguous?) of its
+        #: sparse backend: task -> base node id of its (contiguous)
         #: key-node id range (built lazily per task)
-        self._task_range: Dict[str, Tuple[int, bool]] = {}
-        #: sparse backend fallback for non-contiguous tasks: prefix
-        #: masks as SparseBits (never materialized on builder output,
-        #: whose per-task node ids are contiguous by construction)
-        self._sparse_masks: Dict[str, List[SparseBits]] = {}
+        self._task_range: Dict[str, int] = {}
         # Memo tables: bounded LRU (OrderedDict) by default, plain dicts
         # when memo_capacity=0 keeps them unbounded (the historical
         # behaviour, and marginally faster when memory is no concern).
@@ -760,19 +780,18 @@ class HappensBefore:
         nodes?  The one reachability probe of the fast query path.
 
         Dense backend: one AND against the task's materialized prefix
-        mask.  Sparse backend: the builder assigns each task's key
-        nodes *contiguous* node ids, so the probe is a chunk-level
-        range test — no mask materialization at all (with a SparseBits
-        prefix-mask fallback should a hand-built graph break the
-        contiguity invariant).
+        mask.  Sparse backend: :meth:`KeyGraph.add_chain` guarantees
+        each task's key nodes hold *contiguous* node ids, so the probe
+        is a chunk-level range test — no mask materialization at all.
+        A graph that breaks the contiguity invariant fails loudly in
+        :meth:`_range_of` rather than being silently range-probed
+        against the wrong nodes.
         """
         reach = self.graph.reach_set(ka)
         if isinstance(reach, int):
             return bool(reach & self._masks_of(task)[hi])
-        base, contiguous = self._range_of(task)
-        if contiguous:
-            return reach.any_in_range(base, base + hi)
-        return reach.intersects(self._sparse_masks_of(task)[hi])
+        base = self._range_of(task)
+        return reach.any_in_range(base, base + hi)
 
     def _op_index(self) -> Tuple[List[int], List[int]]:
         """Per-operation key-node lookup arrays (built lazily, O(n)).
@@ -860,48 +879,38 @@ class HappensBefore:
             prof.mask_bytes += sum(sys.getsizeof(m) for m in masks)
         return masks
 
-    def _range_of(self, task: str) -> Tuple[int, bool]:
-        """(base node id, contiguous?) of the task's key-node ids.
+    def _range_of(self, task: str) -> int:
+        """Base node id of the task's contiguous key-node id range.
 
-        Replaces the dense backend's prefix masks: when the ids are
-        contiguous (always, for builder-produced graphs — each task's
-        nodes are allocated in one uninterrupted ``add_node`` run) the
+        Replaces the dense backend's prefix masks: the ids being
+        contiguous — guaranteed by :meth:`KeyGraph.add_chain`, which
+        allocates each task's nodes in one uninterrupted run — the
         first ``hi`` key nodes are exactly ``[base, base + hi)``.
-        Counted in ``mask_tasks``/``mask_bytes`` as the sparse
-        backend's per-task query structure.
+        Raises :class:`HBInvariantError` on a gap: a hand-assembled
+        graph that interleaved ``add_node`` calls across tasks must be
+        queried with ``fast_queries=False`` (the scan path has no
+        contiguity assumption).  Counted in ``mask_tasks``/
+        ``mask_bytes`` as the sparse backend's per-task query
+        structure.
         """
-        entry = self._task_range.get(task)
-        if entry is None:
+        base = self._task_range.get(task)
+        if base is None:
             nodes = self._task_key_nodes.get(task) or ()
             base = nodes[0] if nodes else 0
-            contiguous = all(
-                nodes[i] == base + i for i in range(1, len(nodes))
-            )
-            entry = (base, contiguous)
-            self._task_range[task] = entry
+            for i in range(1, len(nodes)):
+                if nodes[i] != base + i:
+                    raise HBInvariantError(
+                        f"key nodes of task {task!r} are not contiguous "
+                        f"(node {nodes[i]} at offset {i} from base {base}); "
+                        "fast queries require chains allocated via "
+                        "KeyGraph.add_chain — query this graph with "
+                        "fast_queries=False instead"
+                    )
+            self._task_range[task] = base
             prof = self.query_profile
             prof.mask_tasks += 1
-            prof.mask_bytes += sys.getsizeof(entry) + sys.getsizeof(base)
-        return entry
-
-    def _sparse_masks_of(self, task: str) -> List[SparseBits]:
-        """Sparse prefix masks — only for non-contiguous key-node ids.
-
-        Mirrors :meth:`_masks_of` with SparseBits entries; each prefix
-        shares its predecessor's chunks except the one it extends.
-        """
-        masks = self._sparse_masks.get(task)
-        if masks is None:
-            acc = SparseBits()
-            masks = [acc]
-            for node in self._task_key_nodes.get(task, ()):
-                acc = acc.copy()
-                acc.set(node)
-                masks.append(acc)
-            self._sparse_masks[task] = masks
-            prof = self.query_profile
-            prof.mask_bytes += sum(m.nbytes() for m in masks)
-        return masks
+            prof.mask_bytes += sys.getsizeof(base)
+        return base
 
     # -- explanations ---------------------------------------------------
 

@@ -1,0 +1,22 @@
+"""Online streaming detection: incremental happens-before, the
+record-by-record ingestion service with bounded-memory epoch GC, and
+synthetic long-session generators (see ``docs/streaming.md``)."""
+
+from .incremental import IncrementalHB
+from .service import (
+    DEFAULT_POLL_EVERY,
+    EpochSummary,
+    StreamAnalyzer,
+    StreamProfile,
+)
+from .synthetic import SESSION_ID_STRIDE, concat_sessions
+
+__all__ = [
+    "DEFAULT_POLL_EVERY",
+    "EpochSummary",
+    "IncrementalHB",
+    "SESSION_ID_STRIDE",
+    "StreamAnalyzer",
+    "StreamProfile",
+    "concat_sessions",
+]

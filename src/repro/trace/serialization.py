@@ -28,6 +28,7 @@ from __future__ import annotations
 import gzip
 import io
 import json
+import zlib
 from pathlib import Path
 from typing import IO, Any, List, Optional, Union
 
@@ -135,10 +136,297 @@ def _dump_ops_v2(trace: Trace, fp: IO[str]) -> None:
 # ---------------------------------------------------------------------------
 
 
+class TraceFormatError(TraceError):
+    """A malformed, corrupted, or truncated trace stream.
+
+    ``line`` is the 1-based line number of the offending record, or
+    ``None`` when the damage is not attributable to a single line
+    (a header/stream count mismatch noticed at EOF, or a compressed
+    stream that ended mid-member).
+    """
+
+    def __init__(self, message: str, line: Optional[int] = None):
+        super().__init__(message if line is None else f"line {line}: {message}")
+        self.line = line
+
+
+#: decompression/decoding failures that signal a physically truncated
+#: or corrupted stream rather than a logically malformed record
+_STREAM_DAMAGE = (EOFError, UnicodeDecodeError, gzip.BadGzipFile, zlib.error)
+
+
+class TraceStreamDecoder:
+    """Push-based incremental decoder for the JSONL trace formats.
+
+    Feed raw text as it arrives (:meth:`feed`) or one complete line at
+    a time (:meth:`feed_line`); records decode straight into
+    :attr:`trace`, which is live and readable at any point between
+    feeds — this is what the streaming service tails files with.  Call
+    :meth:`finish` at end of input to flush a buffered partial final
+    line and run the header count checks.
+
+    ``strict`` selects the failure mode for damaged input.  Under
+    ``strict=True`` (the default) any malformed, corrupted, or
+    truncated record raises :class:`TraceFormatError` naming the line
+    number.  Under ``strict=False`` — the degraded path for
+    crash-truncated sessions — decoding stops at the first damaged
+    record instead: the error is recorded on :attr:`error`,
+    :attr:`degraded` flips true, later feeds are ignored, and
+    :attr:`trace` holds the valid prefix.  Header problems (missing,
+    foreign format, unsupported version) always raise, even in salvage
+    mode: without a header there is no prefix worth keeping.
+    """
+
+    def __init__(
+        self,
+        expect_version: Optional[int] = None,
+        columnar: bool = True,
+        strict: bool = True,
+    ):
+        self.trace = Trace(columnar=columnar)
+        self.expect_version = expect_version
+        self.strict = strict
+        self.header: Optional[dict] = None
+        self.error: Optional[TraceFormatError] = None
+        #: body records decoded so far (ops + interning defs + task infos)
+        self.records = 0
+        self._version = 0
+        self._lineno = 0
+        self._buffer = ""
+        self._codes: List[int] = []
+        self._schemas: List[tuple] = []
+        self._symbols: List[str] = []
+        self._addresses: List[tuple] = []
+
+    @property
+    def degraded(self) -> bool:
+        """True once salvage mode has stopped at a damaged record."""
+        return self.error is not None
+
+    def feed(self, chunk: str) -> int:
+        """Buffer ``chunk`` and decode every complete line in it.
+
+        Returns the number of operations appended to :attr:`trace`.
+        A trailing partial line stays buffered until the next feed (or
+        :meth:`finish`).
+        """
+        appended = 0
+        self._buffer += chunk
+        while True:
+            cut = self._buffer.find("\n")
+            if cut < 0:
+                return appended
+            line = self._buffer[:cut]
+            self._buffer = self._buffer[cut + 1 :]
+            appended += self.feed_line(line)
+
+    def feed_line(self, line: str) -> int:
+        """Decode one complete line; returns the ops appended (0 or 1).
+
+        The line is taken to be complete — a caller reading from input
+        that may end mid-line (a crash-truncated file, a live tail)
+        should use :meth:`feed`, which buffers an unterminated tail
+        for :meth:`flush`/:meth:`finish` to rule on.
+
+        Raises :class:`TraceFormatError` on damage when ``strict``,
+        otherwise records it and turns every later feed into a no-op.
+        """
+        if self.error is not None:
+            return 0
+        self._lineno += 1
+        stripped = line.strip()
+        if not stripped:
+            return 0
+        before = len(self.trace)
+        try:
+            self._decode_line(stripped)
+        except TraceFormatError as exc:
+            if self.strict or self.header is None:
+                raise
+            self.error = exc
+            return 0
+        return len(self.trace) - before
+
+    def flush(self) -> int:
+        """Rule on a buffered trailing line that never got its newline.
+
+        The writer terminates every line, so input that ends mid-line
+        is truncation evidence — and a byte cut through a record's
+        trailing number can still parse as *valid* JSON with a
+        corrupted value, which the header count checks cannot always
+        catch.  An unterminated trailing line therefore raises
+        :class:`TraceFormatError` under ``strict`` and is discarded
+        (marking the decoder degraded) in salvage mode.  Returns the
+        ops appended, which is always 0; kept for symmetry with
+        :meth:`feed`.
+
+        :meth:`finish` calls this, but a long-running consumer that
+        never reaches a definite end of input (the streaming service
+        tailing a live file) can flush explicitly without triggering
+        the header count checks.
+        """
+        if not self._buffer:
+            return 0
+        self._buffer = ""
+        error = TraceFormatError(
+            "stream ends mid-line; the unterminated final record "
+            "cannot be trusted",
+            line=self._lineno + 1,
+        )
+        if self.strict:
+            raise error
+        if self.error is None:
+            self.error = error
+        return 0
+
+    def finish(self) -> Trace:
+        """Flush any buffered partial line, check counts, return the trace."""
+        self.flush()
+        if self.header is None:
+            raise TraceError("empty trace stream")
+        if self.strict:
+            expected_tasks = self.header.get("tasks")
+            if expected_tasks is not None and expected_tasks != len(self.trace.tasks):
+                raise TraceFormatError(
+                    f"task count mismatch: header says {expected_tasks}, "
+                    f"stream has {len(self.trace.tasks)}"
+                )
+            expected_ops = self.header.get("ops")
+            if expected_ops is not None and expected_ops != len(self.trace):
+                raise TraceFormatError(
+                    f"op count mismatch: header says {expected_ops}, "
+                    f"stream has {len(self.trace)}"
+                )
+        return self.trace
+
+    def mark_damaged(self, exc: Exception) -> None:
+        """Record out-of-band stream damage (e.g. a truncated gzip
+        member noticed by the decompressor, not by any line)."""
+        error = TraceFormatError(f"damaged trace stream: {exc}")
+        if self.strict:
+            raise error from None
+        if self.error is None:
+            self.error = error
+
+    # -- internals ----------------------------------------------------
+
+    def _decode_line(self, line: str) -> None:
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            raise TraceFormatError(f"invalid JSON: {exc}", line=self._lineno) from None
+        if self.header is None:
+            self._take_header(record)
+            return
+        self.records += 1
+        try:
+            if self._version == 1:
+                self._decode_v1(record)
+            else:
+                self._decode_v2(record)
+        except TraceFormatError:
+            raise
+        except (KeyError, IndexError, TypeError, ValueError) as exc:
+            raise TraceFormatError(
+                f"corrupt trace record {record!r} "
+                f"({exc.__class__.__name__}: {exc})",
+                line=self._lineno,
+            ) from None
+
+    def _take_header(self, record: Any) -> None:
+        if not isinstance(record, dict) or record.get("format") != FORMAT_NAME:
+            raise TraceError(f"not a {FORMAT_NAME} stream: {record!r}")
+        version = record.get("version")
+        if version not in SUPPORTED_VERSIONS:
+            raise TraceError(f"unsupported trace version {version!r}")
+        if self.expect_version is not None and version != self.expect_version:
+            raise TraceError(
+                f"expected trace version {self.expect_version}, "
+                f"stream is version {version}"
+            )
+        if version == 2:
+            # Version negotiation: positions in the header's kind table
+            # define the wire codes, so a file written under a different
+            # (e.g. future, reordered) vocabulary still decodes — or
+            # fails loudly on a kind this reader does not know.
+            kind_names = record.get("kinds")
+            if not isinstance(kind_names, list) or not kind_names:
+                raise TraceError("v2 stream header lacks its kind table")
+            for name in kind_names:
+                try:
+                    kind = OpKind(name)
+                except ValueError:
+                    raise TraceError(
+                        f"unknown operation kind {name!r} in header"
+                    ) from None
+                self._codes.append(KIND_CODES[kind])
+                self._schemas.append(_SCHEMA_LIST[KIND_CODES[kind]])
+        self._version = version
+        self.header = record
+
+    def _decode_v1(self, record: Any) -> None:
+        if isinstance(record, dict) and "task_info" in record:
+            self.trace.add_task(TaskInfo.from_dict(record["task_info"]))
+        elif isinstance(record, dict) and "op" in record:
+            self.trace.append(operation_from_dict(record["op"]))
+        else:
+            raise TraceFormatError(
+                f"unrecognized trace record: {record!r}", line=self._lineno
+            )
+
+    def _decode_v2(self, record: Any) -> None:
+        if isinstance(record, list) and record:
+            tag = record[0]
+            if tag == "o":
+                try:
+                    schema = self._schemas[record[1]]
+                    code = self._codes[record[1]]
+                except (IndexError, TypeError):
+                    raise TraceFormatError(
+                        f"op record with undeclared kind code: {record!r}",
+                        line=self._lineno,
+                    ) from None
+                if len(record) != 4 + len(schema):
+                    raise TraceFormatError(
+                        f"malformed op record: {record!r}", line=self._lineno
+                    )
+                symbols = self._symbols
+                values: List[Any] = []
+                for (_name, typ), raw in zip(schema, record[4:]):
+                    if typ == STR:
+                        values.append(symbols[raw])
+                    elif typ == ADDR:
+                        values.append(self._addresses[raw])
+                    elif typ == BOOL:
+                        values.append(bool(raw))
+                    elif typ == ENUM:
+                        values.append(BranchKind(symbols[raw]))
+                    else:  # INT / OPT_INT
+                        values.append(raw)
+                self.trace._append_decoded(
+                    code, record[2], symbols[record[3]], values
+                )
+            elif tag == "s":
+                self._symbols.append(record[1])
+            elif tag == "a":
+                self._addresses.append(tuple(record[1]))
+            else:
+                raise TraceFormatError(
+                    f"unrecognized trace record: {record!r}", line=self._lineno
+                )
+        elif isinstance(record, dict) and "task_info" in record:
+            self.trace.add_task(TaskInfo.from_dict(record["task_info"]))
+        else:
+            raise TraceFormatError(
+                f"unrecognized trace record: {record!r}", line=self._lineno
+            )
+
+
 def load_trace(
     fp: IO[str],
     expect_version: Optional[int] = None,
     columnar: bool = True,
+    strict: bool = True,
 ) -> Trace:
     """Read a trace previously written by :func:`dump_trace`.
 
@@ -146,114 +434,30 @@ def load_trace(
     ``expect_version`` to *require* a specific one (the CLI's
     ``--format`` flag).  ``columnar`` selects the backend of the
     returned :class:`Trace`.
+
+    Damaged input — truncated files (including one that merely ends
+    mid-line: the writer terminates every record, so a missing final
+    newline is truncation evidence), mid-record corruption, a gzip
+    member cut short — raises :class:`TraceFormatError` naming the
+    offending line.  Pass ``strict=False`` to *salvage* instead:
+    decoding stops at the first damaged record and the valid prefix is
+    returned (crash-truncated sessions still analyze, just on fewer
+    events).  Header problems always raise.
     """
-    header_line = fp.readline()
-    if not header_line:
-        raise TraceError("empty trace stream")
-    header = json.loads(header_line)
-    if not isinstance(header, dict) or header.get("format") != FORMAT_NAME:
-        raise TraceError(f"not a {FORMAT_NAME} stream: {header!r}")
-    version = header.get("version")
-    if version not in SUPPORTED_VERSIONS:
-        raise TraceError(f"unsupported trace version {version!r}")
-    if expect_version is not None and version != expect_version:
-        raise TraceError(
-            f"expected trace version {expect_version}, stream is version {version}"
-        )
-    trace = Trace(columnar=columnar)
-    if version == 1:
-        _load_body_v1(trace, fp)
-    else:
-        _load_body_v2(trace, fp, header)
-    expected_tasks = header.get("tasks")
-    if expected_tasks is not None and expected_tasks != len(trace.tasks):
-        raise TraceError(
-            f"task count mismatch: header says {expected_tasks}, "
-            f"stream has {len(trace.tasks)}"
-        )
-    expected_ops = header.get("ops")
-    if expected_ops is not None and expected_ops != len(trace):
-        raise TraceError(
-            f"op count mismatch: header says {expected_ops}, "
-            f"stream has {len(trace)}"
-        )
-    return trace
-
-
-def _load_body_v1(trace: Trace, fp: IO[str]) -> None:
-    for line in fp:
-        line = line.strip()
-        if not line:
-            continue
-        record = json.loads(line)
-        if "task_info" in record:
-            trace.add_task(TaskInfo.from_dict(record["task_info"]))
-        elif "op" in record:
-            trace.append(operation_from_dict(record["op"]))
-        else:
-            raise TraceError(f"unrecognized trace record: {record!r}")
-
-
-def _load_body_v2(trace: Trace, fp: IO[str], header: dict) -> None:
-    # Version negotiation: positions in the header's kind table define
-    # the wire codes, so a file written under a different (e.g. future,
-    # reordered) vocabulary still decodes — or fails loudly on a kind
-    # this reader does not know.
-    kind_names = header.get("kinds")
-    if not isinstance(kind_names, list) or not kind_names:
-        raise TraceError("v2 stream header lacks its kind table")
-    codes: List[int] = []
-    schemas: List[tuple] = []
-    for name in kind_names:
-        try:
-            kind = OpKind(name)
-        except ValueError:
-            raise TraceError(f"unknown operation kind {name!r} in header") from None
-        codes.append(KIND_CODES[kind])
-        schemas.append(_SCHEMA_LIST[KIND_CODES[kind]])
-    symbols: List[str] = []
-    addresses: List[tuple] = []
-    append_decoded = trace._append_decoded
-    for line in fp:
-        line = line.strip()
-        if not line:
-            continue
-        record = json.loads(line)
-        if isinstance(record, list):
-            tag = record[0]
-            if tag == "o":
-                try:
-                    schema = schemas[record[1]]
-                    code = codes[record[1]]
-                except (IndexError, TypeError):
-                    raise TraceError(
-                        f"op record with undeclared kind code: {record!r}"
-                    ) from None
-                if len(record) != 4 + len(schema):
-                    raise TraceError(f"malformed op record: {record!r}")
-                values: List[Any] = []
-                for (_name, typ), raw in zip(schema, record[4:]):
-                    if typ == STR:
-                        values.append(symbols[raw])
-                    elif typ == ADDR:
-                        values.append(addresses[raw])
-                    elif typ == BOOL:
-                        values.append(bool(raw))
-                    elif typ == ENUM:
-                        values.append(BranchKind(symbols[raw]))
-                    else:  # INT / OPT_INT
-                        values.append(raw)
-                append_decoded(code, record[2], symbols[record[3]], values)
-            elif tag == "s":
-                symbols.append(record[1])
-            elif tag == "a":
-                addresses.append(tuple(record[1]))
-            else:
-                raise TraceError(f"unrecognized trace record: {record!r}")
-        elif isinstance(record, dict) and "task_info" in record:
-            trace.add_task(TaskInfo.from_dict(record["task_info"]))
-        else:
-            raise TraceError(f"unrecognized trace record: {record!r}")
+    decoder = TraceStreamDecoder(
+        expect_version=expect_version, columnar=columnar, strict=strict
+    )
+    try:
+        for line in fp:
+            # feed(), not feed_line(): a crash-truncated file's last
+            # line has no newline, and only the buffer path lets
+            # finish() tell a complete final record from a cut one.
+            decoder.feed(line)
+            if decoder.degraded:
+                break
+    except _STREAM_DAMAGE as exc:
+        decoder.mark_damaged(exc)
+    return decoder.finish()
 
 
 # ---------------------------------------------------------------------------
@@ -280,10 +484,17 @@ def load_trace_file(
     path: Union[str, Path],
     expect_version: Optional[int] = None,
     columnar: bool = True,
+    strict: bool = True,
 ) -> Trace:
-    """Load a trace from ``path`` (gzip when it ends in .gz)."""
+    """Load a trace from ``path`` (gzip when it ends in .gz).
+
+    ``strict=False`` salvages the valid prefix of a damaged file; see
+    :func:`load_trace`.
+    """
     with _open_for(path, "r") as fp:
-        return load_trace(fp, expect_version=expect_version, columnar=columnar)
+        return load_trace(
+            fp, expect_version=expect_version, columnar=columnar, strict=strict
+        )
 
 
 def dumps_trace(trace: Trace, version: int = FORMAT_VERSION) -> str:
@@ -294,9 +505,19 @@ def dumps_trace(trace: Trace, version: int = FORMAT_VERSION) -> str:
 
 
 def loads_trace(
-    text: str, expect_version: Optional[int] = None, columnar: bool = True
+    text: str,
+    expect_version: Optional[int] = None,
+    columnar: bool = True,
+    strict: bool = True,
 ) -> Trace:
-    """Deserialize a trace from a string."""
+    """Deserialize a trace from a string.
+
+    ``strict=False`` salvages the valid prefix of a damaged stream; see
+    :func:`load_trace`.
+    """
     return load_trace(
-        io.StringIO(text), expect_version=expect_version, columnar=columnar
+        io.StringIO(text),
+        expect_version=expect_version,
+        columnar=columnar,
+        strict=strict,
     )

@@ -139,3 +139,37 @@ class TestWorkerFailures:
             generate_report(
                 scale=0.02, seed=0, apps=apps, include_slowdowns=False, jobs=2
             )
+
+
+class DyingApp:
+    """A stand-in app whose worker *process* dies without raising —
+    the OOM-kill / native-crash shape (module level so the process
+    pool can pickle it by reference)."""
+
+    name = "oomed"
+
+    def __init__(self, scale=0.1, seed=0):
+        pass
+
+    def run(self, tracing=True, **kwargs):
+        import os
+
+        os._exit(137)  # SIGKILL-style death: no exception, no result
+
+
+class TestWorkerProcessDeath:
+    def test_dead_worker_names_an_item_not_bare_pool_error(self):
+        apps = [ALL_APPS[0], DyingApp]
+        with pytest.raises(RuntimeError, match="worker process for app") as ei:
+            reproduce_table1(apps=apps, scale=0.02, seed=0, jobs=2)
+        message = str(ei.value)
+        assert "died" in message
+        assert "jobs=1" in message  # tells the user how to isolate it
+        from concurrent.futures.process import BrokenProcessPool
+
+        assert isinstance(ei.value.__cause__, BrokenProcessPool)
+
+    def test_dead_worker_in_figure8(self):
+        apps = [DyingApp, ALL_APPS[0]]
+        with pytest.raises(RuntimeError, match="figure8 worker process for"):
+            reproduce_figure8(apps=apps, scale=0.02, seed=0, jobs=2)

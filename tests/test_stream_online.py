@@ -1,0 +1,51 @@
+"""Online ≡ offline differential: replaying every stock app's trace
+record-by-record through :class:`~repro.stream.StreamAnalyzer` must
+reproduce the batch pipeline's race reports byte-for-byte — with epoch
+GC enabled and disabled."""
+
+import pytest
+
+from repro.analysis import soak_trace
+from repro.apps import ALL_APPS, make_app
+
+SCALE = 0.02
+SEED = 1
+APP_NAMES = [app.name for app in ALL_APPS]
+
+_TRACES = {}
+
+
+def app_trace(name):
+    if name not in _TRACES:
+        _TRACES[name] = make_app(name, scale=SCALE, seed=SEED).run().trace
+    return _TRACES[name]
+
+
+@pytest.mark.parametrize("name", APP_NAMES)
+def test_online_matches_offline_with_gc(name):
+    result = soak_trace(app_trace(name), name=name, gc=True)
+    assert result.online == result.offline, result.format()
+    assert result.profile.ops_ingested == len(app_trace(name))
+    # A complete session quiesces at its final END, retiring the
+    # (single) epoch; GC must not change the verdict.
+    assert result.profile.epochs_retired >= 1
+
+
+@pytest.mark.parametrize("name", APP_NAMES)
+def test_online_matches_offline_without_gc(name):
+    result = soak_trace(app_trace(name), name=name, gc=False)
+    assert result.online == result.offline, result.format()
+    assert result.profile.epochs_retired == 0
+
+
+def test_soak_profile_counters_are_sane():
+    result = soak_trace(app_trace("connectbot"), name="connectbot")
+    profile = result.profile
+    assert profile.records_ingested >= profile.ops_ingested > 0
+    assert profile.polls > 0
+    assert profile.peak_closure_bytes >= profile.closure_bytes >= 0
+    assert profile.reports_emitted == len(result.online)
+    # format() renders every counter for the CLI.
+    rendered = profile.format()
+    assert "records ingested" in rendered
+    assert "peak closure bytes" in rendered
