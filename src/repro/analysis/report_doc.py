@@ -75,8 +75,8 @@ def _report_app(
             except WitnessError as error:
                 section.append(f"  - witness: infeasible ({error})")
             else:
-                free_task = run.trace[report.witness().free.index].task
-                use_task = run.trace[report.witness().use.read_index].task
+                free_task = run.trace.task_of(report.witness().free.index)
+                use_task = run.trace.task_of(report.witness().use.read_index)
                 section.append(
                     f"  - witness schedule runs `{free_task}` before "
                     f"`{use_task}` "

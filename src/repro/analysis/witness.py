@@ -25,7 +25,7 @@ from typing import Dict, List, Set
 
 from ..detect import RaceReport
 from ..hb import HappensBefore
-from ..trace import Begin, End, TaskKind, Trace
+from ..trace import OpKind, TaskKind, Trace
 
 
 @dataclass
@@ -52,8 +52,9 @@ class ViolationWitness:
         """Task dispatch order (first operation of each task)."""
         seen: Set[str] = set()
         out: List[str] = []
+        task_of = self.trace.task_of
         for op_index in self.order:
-            task = self.trace[op_index].task
+            task = task_of(op_index)
             if task not in seen:
                 seen.add(task)
                 out.append(task)
@@ -65,16 +66,20 @@ class ViolationWitness:
         witness = self.report.witness()
         entries = []  # (is_marked, text)
         previous = None
+        task_of = self.trace.task_of
+        kind_of = self.trace.kind_of
         for op_index in self.order:
-            op = self.trace[op_index]
+            task = task_of(op_index)
             marker = ""
             if op_index == witness.free.index:
                 marker = "   <-- the FREE"
             elif op_index == witness.use.read_index:
                 marker = "   <-- the USE (after the free: violation!)"
-            if op.task != previous or marker:
-                entries.append((bool(marker), f"  {op.task}: {op.kind.value}{marker}"))
-                previous = op.task
+            if task != previous or marker:
+                entries.append(
+                    (bool(marker), f"  {task}: {kind_of(op_index).value}{marker}")
+                )
+                previous = task
         lines = [f"alternate schedule manifesting: {self.report.key}"]
         if len(entries) <= limit:
             lines.extend(text for _, text in entries)
@@ -112,23 +117,29 @@ def build_witness(
     race = report.witness()
     use_index = race.use.read_index
     free_index = race.free.index
-    use_task = trace[use_index].task
     n = len(trace)
+    # Per-op task names and kinds read straight from the columns — no
+    # :class:`Operation` is materialized anywhere on this path.
+    task_of = trace.task_of
+    kind_of = trace.kind_of
+    op_task = [task_of(i) for i in range(n)]
+    use_task = op_task[use_index]
+    free_task = op_task[free_index]
 
     # Dependency edges: program order within each task + key-graph edges.
     successors: Dict[int, List[int]] = defaultdict(list)
     indegree = [0] * n
     previous_of_task: Dict[str, int] = {}
-    for i, op in enumerate(trace.ops):
-        prev = previous_of_task.get(op.task)
+    for i, task in enumerate(op_task):
+        prev = previous_of_task.get(task)
         if prev is not None:
             successors[prev].append(i)
             indegree[i] += 1
-        previous_of_task[op.task] = i
+        previous_of_task[task] = i
     graph = hb.graph
     for u, v, _rule in graph.edges():
         op_u, op_v = graph.op_of(u), graph.op_of(v)
-        if trace[op_u].task != trace[op_v].task:
+        if op_task[op_u] != op_task[op_v]:
             successors[op_u].append(op_v)
             indegree[op_v] += 1
 
@@ -138,27 +149,27 @@ def build_witness(
     free_done = False
 
     def eligible(i: int) -> bool:
-        op = trace[i]
-        info = trace.tasks.get(op.task)
+        task = op_task[i]
+        info = trace.tasks.get(task)
         if info is not None and info.task_kind is TaskKind.EVENT and info.looper:
             current = open_event.get(info.looper)
-            if current is not None and current != op.task:
+            if current is not None and current != task:
                 return False  # another event of this looper is open
             if (
                 not free_done
-                and op.task == use_task
-                and isinstance(op, Begin)
+                and task == use_task
+                and kind_of(i) is OpKind.BEGIN
             ):
                 return False  # hold the use's event back until the free ran
         return True
 
     def priority(i: int) -> tuple:
-        op = trace[i]
         # run the free's task as early as possible, the use's as late
         # as possible, everything else in original order
-        if op.task == trace[free_index].task:
+        task = op_task[i]
+        if task == free_task:
             rank = 0
-        elif op.task == use_task:
+        elif task == use_task:
             rank = 2
         else:
             rank = 1
@@ -174,12 +185,13 @@ def build_witness(
         chosen = min(candidates, key=priority)
         ready.remove(chosen)
         order.append(chosen)
-        op = trace[chosen]
-        info = trace.tasks.get(op.task)
+        task = op_task[chosen]
+        info = trace.tasks.get(task)
         if info is not None and info.task_kind is TaskKind.EVENT and info.looper:
-            if isinstance(op, Begin):
-                open_event[info.looper] = op.task
-            elif isinstance(op, End):
+            kind = kind_of(chosen)
+            if kind is OpKind.BEGIN:
+                open_event[info.looper] = task
+            elif kind is OpKind.END:
                 open_event.pop(info.looper, None)
         if chosen == free_index:
             free_done = True

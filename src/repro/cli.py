@@ -11,12 +11,18 @@ Commands:
 * ``witness <trace.jsonl>`` — print an alternate schedule manifesting
   each reported race;
 * ``stats <trace.jsonl>`` — happens-before graph statistics (edges per
-  rule, fixpoint rounds); ``--stream`` adds the online analyzer's
-  profile for the same file;
-* ``stream <trace.jsonl|->`` — online analysis: ingest a v2 stream
-  incrementally (file, growing file with ``--follow``, or stdin) and
-  emit race reports as epochs retire; ``--selftest`` replays a stock
-  app record-by-record and checks online ≡ offline;
+  rule, fixpoint rounds) plus the trace store / decode profile;
+  ``--stream`` adds the online analyzer's profile for the same file;
+  ``--sparse`` adds a column-sparse v3 segment scan (bytes skipped);
+* ``stream <trace.jsonl|->`` — online analysis: ingest a trace stream
+  (v1/v2 text or v3 binary) incrementally (file, growing file with
+  ``--follow``, or stdin) and emit race reports as epochs retire;
+  ``--selftest`` replays a stock app record-by-record and checks
+  online ≡ offline;
+* ``convert <src> <dst>`` — transcode a trace file between any two
+  supported versions (v1/v2/v3, ``.gz`` transparent), streaming with
+  constant memory; ``--salvage`` converts the valid prefix of a
+  damaged file;
 * ``dot <trace.jsonl>`` — Graphviz export of the happens-before graph;
 * ``scaling-matrix`` — run the §6.4 analysis-time sweep over apps x
   scales and emit one JSON table;
@@ -45,7 +51,7 @@ from .detect import DetectorOptions, LowLevelDetector, UseFreeDetector
 from .trace import load_trace_file, save_trace_file
 
 #: CLI spelling -> on-disk trace format version
-_FORMAT_VERSIONS = {"v1": 1, "v2": 2}
+_FORMAT_VERSIONS = {"v1": 1, "v2": 2, "v3": 3}
 
 
 def _add_format(parser: argparse.ArgumentParser, writing: bool) -> None:
@@ -229,14 +235,32 @@ def _cmd_stats(args) -> int:
     print(hb_stats(trace, hb).format())
     if args.stream:
         from .stream import StreamAnalyzer
-        from .trace.serialization import _open_for
+        from .trace.serialization import _open_binary_for
 
         analyzer = StreamAnalyzer()
-        with _open_for(args.trace, "r") as fp:
-            for line in fp:
-                analyzer.feed(line)
+        with _open_binary_for(args.trace, "r") as fp:
+            read = getattr(fp, "read1", fp.read)
+            while True:
+                chunk = read(1 << 16)
+                if not chunk:
+                    break
+                analyzer.feed(chunk)
         analyzer.finish()
         print(analyzer.profile.format())
+    if args.sparse:
+        from .trace import SegmentReader, TraceError
+
+        try:
+            with SegmentReader(args.trace) as reader:
+                for name in ("kinds", "times", "task_ids"):
+                    reader.global_column(name)
+                stats = reader.stats()
+        except TraceError as exc:
+            print(f"sparse scan: not a v3 segment file ({exc})",
+                  file=sys.stderr)
+            return 1
+        print("column-sparse scan (global columns only):")
+        print(stats.format())
     return 0
 
 
@@ -294,22 +318,31 @@ def _cmd_stream(args) -> int:
     printed = 0
     try:
         if args.trace == "-":
-            # feed(), not feed_line(): a crash-cut final line has no
-            # newline, and only the buffer path lets finish() rule on
-            # it (and a live tail may hand us half-written lines).
-            for line in sys.stdin:
-                analyzer.feed(line)
+            # Raw bytes off stdin.buffer: the decoder sniffs text (v1/v2)
+            # vs binary (v3) from the first byte, and the chunk path lets
+            # finish() rule on a crash-cut final record (a live pipe may
+            # hand us half-written lines or frames).
+            while True:
+                chunk = sys.stdin.buffer.read1(1 << 16)
+                if not chunk:
+                    break
+                analyzer.feed(chunk)
                 printed = _print_new_epochs(analyzer, printed)
         else:
             import time
 
-            from .trace.serialization import _open_for
+            from .trace.serialization import _STREAM_DAMAGE, _open_binary_for
 
-            with _open_for(args.trace, "r") as fp:
+            with _open_binary_for(args.trace, "r") as fp:
+                read = getattr(fp, "read1", fp.read)
                 while True:
-                    line = fp.readline()
-                    if line:
-                        analyzer.feed(line)
+                    try:
+                        chunk = read(1 << 16)
+                    except _STREAM_DAMAGE as exc:
+                        analyzer.decoder.mark_damaged(exc)
+                        break
+                    if chunk:
+                        analyzer.feed(chunk)
                         printed = _print_new_epochs(analyzer, printed)
                         continue
                     if not args.follow or analyzer.decoder.degraded:
@@ -328,6 +361,32 @@ def _cmd_stream(args) -> int:
             file=sys.stderr,
         )
     print(analyzer.profile.format())
+    return 0
+
+
+def _cmd_convert(args) -> int:
+    from .trace import TraceError, convert_trace_file
+
+    version = _FORMAT_VERSIONS[args.format]
+    try:
+        stats = convert_trace_file(
+            args.src, args.dst, version=version, strict=not args.salvage
+        )
+    except TraceError as exc:
+        print(
+            f"convert: {exc} (use --salvage to convert the valid prefix "
+            "of a damaged file)",
+            file=sys.stderr,
+        )
+        return 1
+    note = ""
+    if stats.salvaged:
+        note = f" (salvaged prefix; damage: {stats.error})"
+    print(
+        f"converted {args.src} [v{stats.source_version}] -> "
+        f"{args.dst} [v{stats.target_version}]: "
+        f"{stats.ops} ops, {stats.tasks} tasks{note}"
+    )
     return 0
 
 
@@ -481,6 +540,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="also replay the file through the online streaming "
         "analyzer and print its profile",
     )
+    stats.add_argument(
+        "--sparse",
+        action="store_true",
+        help="also column-sparse-scan the file as a v3 segment "
+        "(mmap) and report bytes read vs skipped",
+    )
     _add_format(stats, writing=False)
     _add_store_options(stats)
     _add_memo_capacity(stats)
@@ -489,13 +554,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     stream = sub.add_parser(
         "stream",
-        help="online streaming analysis of a v2 trace stream "
-        "(see docs/streaming.md)",
+        help="online streaming analysis of a trace stream "
+        "(v1/v2 text or v3 binary; see docs/streaming.md)",
     )
     stream.add_argument(
         "trace",
         nargs="?",
-        help="v2 trace stream path, or '-' for stdin "
+        help="trace stream path, or '-' for stdin "
         "(omit with --selftest)",
     )
     stream.add_argument(
@@ -542,6 +607,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_format(stream, writing=False)
     stream.set_defaults(fn=_cmd_stream)
+
+    convert = sub.add_parser(
+        "convert",
+        help="transcode a trace file between format versions "
+        "(streaming, constant memory)",
+    )
+    convert.add_argument("src", help="input trace path (any version, .gz ok)")
+    convert.add_argument("dst", help="output trace path (.gz compresses)")
+    convert.add_argument(
+        "--format",
+        choices=sorted(_FORMAT_VERSIONS),
+        default="v3",
+        help="trace format version to write (default: v3)",
+    )
+    convert.add_argument(
+        "--salvage",
+        action="store_true",
+        help="convert the valid prefix of a damaged/truncated input "
+        "instead of failing",
+    )
+    convert.set_defaults(fn=_cmd_convert)
 
     dot = sub.add_parser(
         "dot", help="export the happens-before graph as Graphviz"

@@ -45,6 +45,9 @@ def branch_safe_region(kind: BranchKind, pc: int, target: int) -> Tuple[int, int
 
 
 def _branch_kind_of(trace: Trace, guard: Guard) -> BranchKind:
+    store = trace.store
+    if store is not None:
+        return store.field_of(guard.index, "branch_kind")
     op = trace[guard.index]
     assert isinstance(op, Branch)
     return op.branch_kind
@@ -62,9 +65,12 @@ def use_is_guarded(index: AccessIndex, use: Use) -> bool:
     if not candidate_guards:
         return False
     trace = index.trace
+    store = trace.store
     for deref_index in use.deref_indices:
-        deref_op = trace[deref_index]
-        deref_pc = getattr(deref_op, "pc", -1)
+        if store is not None:
+            deref_pc = store.field_of(deref_index, "pc", -1)
+        else:
+            deref_pc = getattr(trace[deref_index], "pc", -1)
         covered = False
         for guard in candidate_guards:
             if guard.index > deref_index:

@@ -291,11 +291,73 @@ def _scan_store(state: _BuildState, store) -> None:
         for kind in KIND_LIST
     ]
     state.is_key = [key_by_code[code] for code in store.kinds]
-    op_of = store.op
-    for i in store.indices_of(
-        OpKind.BEGIN, OpKind.END, OpKind.SEND, OpKind.SEND_AT_FRONT
-    ):
-        _harvest(state, i, op_of(i))
+    _harvest_store(state, store)
+
+
+def _harvest_store(state: _BuildState, store) -> None:
+    """Columnar :func:`_harvest`: the same facts in the same overwrite
+    order, read straight from the kind buckets.
+
+    The four kinds' entries are merged back into trace order because
+    their writes interact: a Send after a SendAtFront overwrites
+    ``send_index``/``at_front`` (and vice versa), and ``rec.queue`` is
+    written by Begin (from the task table) *and* by sends (from the op)
+    — last writer in trace order must win, exactly as in the
+    materializing sweep.
+    """
+    tasks = state.trace.tasks
+    events = state.events
+    task_begin, task_end = state.task_begin, state.task_end
+    sym = store.symbols.value
+    task_of = store.task_of
+
+    begin_idx = store.by_kind(OpKind.BEGIN)
+    end_idx = store.by_kind(OpKind.END)
+    send_idx, send_event = store.column(OpKind.SEND, "event")
+    _, send_delay = store.column(OpKind.SEND, "delay")
+    _, send_queue = store.column(OpKind.SEND, "queue")
+    front_idx, front_event = store.column(OpKind.SEND_AT_FRONT, "event")
+    _, front_queue = store.column(OpKind.SEND_AT_FRONT, "queue")
+
+    entries = [(i, 0, r) for r, i in enumerate(begin_idx)]
+    entries += [(i, 1, r) for r, i in enumerate(end_idx)]
+    entries += [(i, 2, r) for r, i in enumerate(send_idx)]
+    entries += [(i, 3, r) for r, i in enumerate(front_idx)]
+    entries.sort()
+    for i, tag, r in entries:
+        if tag == 0:  # Begin
+            task = task_of(i)
+            task_begin.setdefault(task, i)
+            info = tasks.get(task)
+            if info is not None and info.task_kind is TaskKind.EVENT:
+                rec = events.setdefault(task, EventRecord(task))
+                rec.begin_index = i
+                rec.looper = info.looper
+                rec.queue = info.queue
+        elif tag == 1:  # End
+            task = task_of(i)
+            task_end[task] = i
+            info = tasks.get(task)
+            if info is not None and info.task_kind is TaskKind.EVENT:
+                events.setdefault(task, EventRecord(task)).end_index = i
+        elif tag == 2:  # Send
+            event = sym(send_event[r])
+            rec = events.setdefault(event, EventRecord(event))
+            rec.send_index = i
+            rec.delay = send_delay[r]
+            rec.at_front = False
+            queue = sym(send_queue[r])
+            if queue:
+                rec.queue = queue
+        else:  # SendAtFront
+            event = sym(front_event[r])
+            rec = events.setdefault(event, EventRecord(event))
+            rec.send_index = i
+            rec.delay = 0
+            rec.at_front = True
+            queue = sym(front_queue[r])
+            if queue:
+                rec.queue = queue
 
 
 def _is_key(state: _BuildState, op_index: int) -> bool:
@@ -409,28 +471,142 @@ def _add_base_edges(state: _BuildState, graph: KeyGraph) -> None:
         for i, op in enumerate(trace.ops):
             step(i, op)
     else:
-        # Columnar path: only materialize kinds the enabled rules read.
-        wanted: List[OpKind] = []
+        # Columnar path: per-kind handlers over the raw columns — no
+        # :class:`Operation` is ever materialized.  Entries of every
+        # enabled kind are merged back into trace order before dispatch
+        # because the base rules are stateful scans (a Wait pairs with
+        # *earlier* Notifies, an Acquire with the *latest* Release).
+        sym = store.symbols.value
+        handlers: List[Callable[[int, int], None]] = []
+        entries: List[Tuple[int, int, int]] = []
+
+        def add_kind(kind: OpKind, handler: Callable[[int, int], None]) -> None:
+            indices = store.by_kind(kind)
+            if indices:
+                tag = len(handlers)
+                handlers.append(handler)
+                entries.extend((i, tag, r) for r, i in enumerate(indices))
+
         if config.fork_join:
-            wanted += [OpKind.FORK, OpKind.JOIN]
+            _, fork_child = store.column(OpKind.FORK, "child")
+
+            def h_fork(i: int, r: int) -> None:
+                begin = state.task_begin.get(sym(fork_child[r]))
+                if begin is not None:
+                    edge(i, begin, RULE_FORK)
+
+            add_kind(OpKind.FORK, h_fork)
+            _, join_child = store.column(OpKind.JOIN, "child")
+
+            def h_join(i: int, r: int) -> None:
+                end = state.task_end.get(sym(join_child[r]))
+                if end is not None:
+                    edge(end, i, RULE_JOIN)
+
+            add_kind(OpKind.JOIN, h_join)
         if config.signal_wait:
-            wanted += [OpKind.NOTIFY, OpKind.WAIT]
+            _, notify_mon = store.column(OpKind.NOTIFY, "monitor")
+            _, notify_ticket = store.column(OpKind.NOTIFY, "ticket")
+
+            def h_notify(i: int, r: int) -> None:
+                ticket = notify_ticket[r]
+                if ticket >= 0:
+                    notify_by_ticket[ticket] = i
+                notify_by_monitor.setdefault(sym(notify_mon[r]), []).append(i)
+
+            add_kind(OpKind.NOTIFY, h_notify)
+            _, wait_mon = store.column(OpKind.WAIT, "monitor")
+            _, wait_ticket = store.column(OpKind.WAIT, "ticket")
+
+            def h_wait(i: int, r: int) -> None:
+                ticket = wait_ticket[r]
+                if ticket >= 0 and ticket in notify_by_ticket:
+                    edge(notify_by_ticket[ticket], i, RULE_SIGNAL_WAIT)
+                else:
+                    # No pairing information: apply the rule as written —
+                    # every earlier notify of the monitor orders the wait.
+                    for n in notify_by_monitor.get(sym(wait_mon[r]), ()):
+                        edge(n, i, RULE_SIGNAL_WAIT)
+
+            add_kind(OpKind.WAIT, h_wait)
         if config.listener:
-            wanted += [OpKind.REGISTER, OpKind.PERFORM]
+            _, reg_listener = store.column(OpKind.REGISTER, "listener")
+
+            def h_register(i: int, r: int) -> None:
+                registers.setdefault(sym(reg_listener[r]), []).append(i)
+
+            add_kind(OpKind.REGISTER, h_register)
+            _, perf_listener = store.column(OpKind.PERFORM, "listener")
+
+            def h_perform(i: int, r: int) -> None:
+                for x in registers.get(sym(perf_listener[r]), ()):
+                    edge(x, i, RULE_LISTENER)
+
+            add_kind(OpKind.PERFORM, h_perform)
         if config.send_begin:
-            wanted += [OpKind.SEND, OpKind.SEND_AT_FRONT]
+            _, send_event = store.column(OpKind.SEND, "event")
+
+            def h_send(i: int, r: int) -> None:
+                begin = state.task_begin.get(sym(send_event[r]))
+                if begin is not None:
+                    edge(i, begin, RULE_SEND)
+
+            add_kind(OpKind.SEND, h_send)
+            _, front_event = store.column(OpKind.SEND_AT_FRONT, "event")
+
+            def h_front(i: int, r: int) -> None:
+                begin = state.task_begin.get(sym(front_event[r]))
+                if begin is not None:
+                    edge(i, begin, RULE_SEND_AT_FRONT)
+
+            add_kind(OpKind.SEND_AT_FRONT, h_front)
         if config.ipc:
-            wanted += [
-                OpKind.IPC_CALL,
-                OpKind.IPC_HANDLE,
-                OpKind.IPC_REPLY,
-                OpKind.IPC_RETURN,
-            ]
+            _, call_txn = store.column(OpKind.IPC_CALL, "txn")
+
+            def h_call(i: int, r: int) -> None:
+                ipc_calls[call_txn[r]] = i
+
+            add_kind(OpKind.IPC_CALL, h_call)
+            _, handle_txn = store.column(OpKind.IPC_HANDLE, "txn")
+
+            def h_handle(i: int, r: int) -> None:
+                call = ipc_calls.get(handle_txn[r])
+                if call is not None:
+                    edge(call, i, RULE_IPC_CALL)
+
+            add_kind(OpKind.IPC_HANDLE, h_handle)
+            _, reply_txn = store.column(OpKind.IPC_REPLY, "txn")
+
+            def h_reply(i: int, r: int) -> None:
+                ipc_replies[reply_txn[r]] = i
+
+            add_kind(OpKind.IPC_REPLY, h_reply)
+            _, return_txn = store.column(OpKind.IPC_RETURN, "txn")
+
+            def h_return(i: int, r: int) -> None:
+                reply = ipc_replies.get(return_txn[r])
+                if reply is not None:
+                    edge(reply, i, RULE_IPC_REPLY)
+
+            add_kind(OpKind.IPC_RETURN, h_return)
         if config.lock_edges:
-            wanted += [OpKind.RELEASE, OpKind.ACQUIRE]
-        op_of = store.op
-        for i in store.indices_of(*wanted):
-            step(i, op_of(i))
+            _, release_lock = store.column(OpKind.RELEASE, "lock")
+
+            def h_release(i: int, r: int) -> None:
+                last_release[sym(release_lock[r])] = i
+
+            add_kind(OpKind.RELEASE, h_release)
+            _, acquire_lock = store.column(OpKind.ACQUIRE, "lock")
+
+            def h_acquire(i: int, r: int) -> None:
+                rel = last_release.get(sym(acquire_lock[r]))
+                if rel is not None:
+                    edge(rel, i, RULE_LOCK)
+
+            add_kind(OpKind.ACQUIRE, h_acquire)
+        entries.sort()
+        for i, tag, r in entries:
+            handlers[tag](i, r)
 
     if config.external_input:
         external = trace.external_events()
@@ -456,13 +632,13 @@ def _seed_queue_rule_1_chains(state: _BuildState, graph: KeyGraph) -> None:
     edges added are ordinary rule-1 conclusions.
     """
     per_task_queue: Dict[Tuple[str, str], List[EventRecord]] = {}
+    task_of = state.trace.task_of
     for rec in state.events.values():
         if rec.send_index is None or rec.at_front or not rec.dispatched:
             continue
-        op = state.trace[rec.send_index]
         if not rec.queue:
             continue
-        per_task_queue.setdefault((op.task, rec.queue), []).append(rec)
+        per_task_queue.setdefault((task_of(rec.send_index), rec.queue), []).append(rec)
     for recs in per_task_queue.values():
         recs.sort(key=lambda r: r.send_index)  # type: ignore[arg-type, return-value]
         for i, rec in enumerate(recs):

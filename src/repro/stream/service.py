@@ -1,14 +1,14 @@
 """The online streaming detection service.
 
 :class:`StreamAnalyzer` is the long-running counterpart of the batch
-pipeline: v2-format records go in (file tail, stdin, or the in-process
-:meth:`~StreamAnalyzer.append` feed), race reports come out as the
-analysis catches up — without ever holding more than the active *epoch*
-of the session in memory.
+pipeline: trace records go in (v1/v2 text or v3 binary — file tail,
+stdin, or the in-process :meth:`~StreamAnalyzer.append` feed), race
+reports come out as the analysis catches up — without ever holding more
+than the active *epoch* of the session in memory.
 
 Ingestion path::
 
-    bytes/lines ──> TraceStreamDecoder ──> columnar TraceStore
+    bytes/lines ──> AnyTraceDecoder ──> columnar TraceStore
                                    │
                  per-op drive      ▼
         IncrementalHB (CAFA model)   ─ live closure, dirty-driven fixpoint
@@ -51,7 +51,7 @@ from typing import List, Optional, Set
 
 from ..detect import AccessExtractor, DetectorOptions, UseFreeDetector
 from ..detect.report import RaceReport
-from ..trace import OpKind, Trace, TraceStreamDecoder
+from ..trace import AnyTraceDecoder, OpKind, Trace
 from ..trace.trace import TaskInfo
 from .incremental import IncrementalHB
 
@@ -131,7 +131,7 @@ class StreamAnalyzer:
         self.gc = gc
         self.poll_every = poll_every
         self.profile = StreamProfile()
-        self.decoder = TraceStreamDecoder(
+        self.decoder = AnyTraceDecoder(
             expect_version=expect_version, columnar=True, strict=strict
         )
         self.epochs: List[EpochSummary] = []

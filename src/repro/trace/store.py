@@ -326,6 +326,57 @@ class TraceStore:
         ops.append(i)
         return i
 
+    def adopt_batch(
+        self,
+        kinds: bytes,
+        times: array,
+        task_ids: array,
+        bucket_columns: Dict[int, List[array]],
+    ) -> None:
+        """Bulk-append one decoded column batch (the v3 reader's path).
+
+        ``kinds`` holds local kind codes, ``times``/``task_ids`` are
+        typed arrays of the same length, and ``bucket_columns`` maps a
+        kind code to its payload columns (store typecodes, raw interned
+        ids) covering exactly the batch's rows of that kind, in order.
+        The caller guarantees the symbol/address tables already contain
+        every id referenced — the decoder interns side-table frames in
+        lockstep — so the columns are adopted wholesale and only the
+        derived indices (``rows``, bucket index arrays, the per-task
+        index) are computed here, in one scatter pass.
+        """
+        base = len(self.kinds)
+        self.kinds.frombytes(kinds)
+        self.times.extend(times)
+        self.task_ids.extend(task_ids)
+        buckets = self._buckets
+        task_ops = self._task_ops
+        rows_append = self.rows.append
+        cursor: Dict[int, list] = {}
+        i = base
+        for code, tid in zip(kinds, task_ids):
+            ent = cursor.get(code)
+            if ent is None:
+                bucket = buckets[code]
+                if bucket is None:
+                    bucket = buckets[code] = _KindBucket(_SCHEMA_LIST[code])
+                ent = cursor[code] = [len(bucket.indices), bucket.indices.append]
+            row = ent[0]
+            ent[0] = row + 1
+            rows_append(row)
+            ent[1](i)
+            ops = task_ops.get(tid)
+            if ops is None:
+                ops = task_ops[tid] = array("i")
+            ops.append(i)
+            i += 1
+        for code, columns in bucket_columns.items():
+            bucket = buckets[code]
+            if bucket is None:
+                bucket = buckets[code] = _KindBucket(_SCHEMA_LIST[code])
+            for col, extra in zip(bucket.columns, columns):
+                col.extend(extra)
+
     # -- materialization --------------------------------------------------
 
     def op(self, i: int) -> Operation:
@@ -376,6 +427,31 @@ class TraceStore:
             if name == field:
                 return bucket.indices, col
         raise KeyError(f"{kind} has no column {field!r}")
+
+    def field_of(self, i: int, field: str, default: Any = None) -> Any:
+        """Decoded payload field ``field`` of op ``i``, or ``default``
+        when op ``i``'s kind has no such field — one-off column access
+        without materializing the operation."""
+        code = self.kinds[i]
+        bucket = self._buckets[code]
+        if bucket is None:
+            return default
+        for (name, typ), col in zip(bucket.schema, bucket.columns):
+            if name != field:
+                continue
+            raw = col[self.rows[i]]
+            if typ == STR:
+                return self.symbols.value(raw)
+            if typ == OPT_INT:
+                return None if raw == _NONE else raw
+            if typ == ADDR:
+                return self.addresses.value(raw)
+            if typ == BOOL:
+                return bool(raw)
+            if typ == ENUM:
+                return _BRANCH_KINDS[raw]
+            return raw
+        return default
 
     # -- index views ------------------------------------------------------
 
@@ -466,6 +542,49 @@ class TraceStore:
 
 
 @dataclass(frozen=True)
+class DecodeStats:
+    """Per-format decode counters of one load, surfaced by
+    ``python -m repro stats`` next to the size profile.
+
+    The text formats (v1/v2) count lines as frames and decode every op
+    row by row; the binary v3 format counts real frames and reports how
+    many ops were adopted wholesale by column ``frombytes`` versus
+    decoded row by row, plus — for column-sparse :class:`SegmentReader`
+    scans — how many payload bytes were never read at all.
+    """
+
+    #: trace format version the stream declared
+    version: int
+    #: frames read (v3) or lines consumed (v1/v2)
+    frames: int = 0
+    #: logical records decoded (ops + interning defs + task infos)
+    records: int = 0
+    #: v3 op batches decoded
+    batches: int = 0
+    #: ops loaded by one-shot column adoption (``array.frombytes``)
+    ops_adopted: int = 0
+    #: ops decoded row by row (text formats, or the v3 fallback path)
+    ops_decoded: int = 0
+    #: columns adopted or mmapped without row-by-row decode
+    columns_adopted: int = 0
+    #: stream bytes consumed by the decode
+    bytes_read: int = 0
+    #: file bytes skipped entirely (column-sparse scans only)
+    bytes_skipped: int = 0
+
+    def format(self) -> str:
+        lines = [
+            f"decode [v{self.version}]: {self.frames} frames, "
+            f"{self.records} records, {self.batches} batches",
+            f"  ops adopted {self.ops_adopted} "
+            f"(columns {self.columns_adopted}), "
+            f"row-decoded {self.ops_decoded}",
+            f"  bytes read {self.bytes_read}, skipped {self.bytes_skipped}",
+        ]
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
 class TraceProfile:
     """Size report of one trace's in-memory representation, surfaced by
     ``python -m repro stats`` and the trace-store benchmarks."""
@@ -482,6 +601,8 @@ class TraceProfile:
     memory_bytes: int
     #: serialized size of the file the trace came from / went to, if known
     disk_bytes: Optional[int] = None
+    #: counters of the decode that produced the trace, if it was loaded
+    decode: Optional[DecodeStats] = None
 
     @property
     def bytes_per_op(self) -> float:
@@ -497,6 +618,8 @@ class TraceProfile:
         ]
         if self.disk_bytes is not None:
             lines.append(f"on disk: {self.disk_bytes} bytes")
+        if self.decode is not None:
+            lines.append(self.decode.format())
         return "\n".join(lines)
 
 
@@ -510,6 +633,7 @@ def trace_profile(trace, disk_bytes: Optional[int] = None) -> TraceProfile:
     columnar-vs-object comparisons favor the object path.
     """
     store = getattr(trace, "store", None)
+    decode = getattr(trace, "decode_stats", None)
     if store is not None:
         return TraceProfile(
             backend="columnar",
@@ -519,6 +643,7 @@ def trace_profile(trace, disk_bytes: Optional[int] = None) -> TraceProfile:
             addresses=len(store.addresses),
             memory_bytes=store.memory_bytes(),
             disk_bytes=disk_bytes,
+            decode=decode,
         )
     ops = trace.ops
     total = sys.getsizeof(ops)
@@ -532,4 +657,5 @@ def trace_profile(trace, disk_bytes: Optional[int] = None) -> TraceProfile:
         addresses=0,
         memory_bytes=total,
         disk_bytes=disk_bytes,
+        decode=decode,
     )

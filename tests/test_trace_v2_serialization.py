@@ -15,6 +15,7 @@ from repro.trace import (
     Trace,
     TraceError,
     dumps_trace,
+    dumps_trace_bytes,
     load_trace,
     load_trace_file,
     loads_trace,
@@ -41,8 +42,8 @@ class TestPropertyRoundTrips:
         self, ops, version, write_columnar, read_columnar
     ):
         trace = bare_trace(ops, columnar=write_columnar)
-        text = dumps_trace(trace, version=version)
-        back = loads_trace(text, columnar=read_columnar)
+        blob = dumps_trace_bytes(trace, version=version)
+        back = loads_trace(blob, columnar=read_columnar)
         assert list(back.ops) == ops
         assert back.columnar is read_columnar
 
@@ -74,8 +75,8 @@ class TestVersionNegotiation:
     @pytest.mark.parametrize("version", SUPPORTED_VERSIONS)
     def test_expect_version_accepts_matching_stream(self, version):
         trace = sample_trace()
-        text = dumps_trace(trace, version=version)
-        back = loads_trace(text, expect_version=version)
+        blob = dumps_trace_bytes(trace, version=version)
+        back = loads_trace(blob, expect_version=version)
         assert back.ops == trace.ops
 
     def test_expect_version_rejects_mismatch(self):
@@ -85,6 +86,12 @@ class TestVersionNegotiation:
 
     def test_unwritable_version_rejected(self):
         with pytest.raises(TraceError, match="cannot write"):
+            dumps_trace(sample_trace(), version=99)
+
+    def test_v3_rejected_on_text_stream(self):
+        # v3 is binary: the text entry point refuses rather than
+        # emitting mojibake into a str stream.
+        with pytest.raises(TraceError, match="cannot write trace version 3"):
             dumps_trace(sample_trace(), version=3)
 
     def test_header_kind_table_drives_decoding(self):
