@@ -1,0 +1,129 @@
+"""Experiment P8 — sharded daemon throughput scaling.
+
+A sessions x shards ingest matrix: the same 24-session fleet (one
+enveloped mux stream, consistent-hashed across shards) is driven
+through :class:`~repro.stream.SessionRouter` at 1, 2, and 4 shards.
+
+Two gates, recorded in ``bounds_pr8.json``:
+
+* **Fidelity at every shard count.**  The per-session reports must be
+  identical across all shard counts (and to the 1-shard run) — the
+  consistent-hash router never splits a session across processes, so
+  shard count must be invisible in the output.  This is exact and
+  machine-independent; it always runs.
+
+* **Near-linear scaling.**  Aggregate ingest throughput at 4 shards
+  must be at least ``min_speedup_at_4_shards`` (2.5x) the 1-shard
+  throughput.  Speedup needs real cores, so this gate only arms on
+  machines with at least ``min_cpus_for_speedup_gate`` CPUs (CI
+  runners have 4); the measured matrix is recorded in the benchmark
+  JSON either way.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.analysis import bench_scale
+from repro.apps import make_app
+from repro.stream import SessionRouter, concat_sessions
+from repro.trace import dumps_trace_bytes, encode_mux_header, encode_session
+
+BOUNDS = json.loads(
+    (Path(__file__).parent / "bounds_pr8.json").read_text(encoding="utf-8")
+)
+
+STREAM_SCALE = bench_scale(default=0.02)
+
+
+def _fleet_stream(bounds):
+    """One mux stream: ``sessions`` interleaved sessions (v3
+    payloads), each under its own session id.  Every session is a
+    ``copies_per_session``-long synthetic soak so per-session analysis
+    work dominates routing and worker-startup overheads."""
+    trace = make_app(
+        bounds["app"], scale=STREAM_SCALE, seed=bounds["seed"]
+    ).run().trace
+    payload = dumps_trace_bytes(
+        concat_sessions(trace, bounds["copies_per_session"])
+    )
+    frame_lists = [
+        encode_session(f"device-{k}", payload, chunk_size=1 << 14)
+        for k in range(bounds["sessions"])
+    ]
+    buf = bytearray(encode_mux_header())
+    for i in range(max(len(frames) for frames in frame_lists)):
+        for frames in frame_lists:
+            if i < len(frames):
+                buf += frames[i]
+    return bytes(buf), len(payload) * bounds["sessions"]
+
+
+def _ingest(stream, shards):
+    # The pool spawns in the constructor, before the clock starts:
+    # throughput measures steady-state ingest, not process startup.
+    router = SessionRouter(shards)
+    start = time.perf_counter()
+    for i in range(0, len(stream), 1 << 16):
+        router.feed(stream[i : i + (1 << 16)])
+    report = router.drain()
+    seconds = time.perf_counter() - start
+    return report, seconds
+
+
+def test_sharding_scales_ingest_throughput(benchmark):
+    bounds = BOUNDS["throughput_scaling"]
+    stream, payload_bytes = _fleet_stream(bounds)
+
+    matrix = {}
+
+    def run():
+        for shards in bounds["shard_counts"]:
+            matrix[shards] = _ingest(stream, shards)
+        return matrix
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Fidelity gate: shard count is invisible in the per-session
+    # output — identical sessions, reports, and op counts everywhere.
+    baseline_report, _baseline_seconds = matrix[bounds["shard_counts"][0]]
+    fingerprint = {
+        sid: (session.reports, session.ops, session.ended)
+        for sid, session in baseline_report.sessions.items()
+    }
+    assert len(fingerprint) == bounds["sessions"]
+    for shards, (report, _seconds) in matrix.items():
+        assert {
+            sid: (s.reports, s.ops, s.ended)
+            for sid, s in report.sessions.items()
+        } == fingerprint, f"reports diverged at {shards} shard(s)"
+
+    throughput = {
+        shards: payload_bytes / seconds
+        for shards, (_report, seconds) in matrix.items()
+    }
+    benchmark.extra_info["cpus"] = os.cpu_count()
+    benchmark.extra_info["payload_bytes"] = payload_bytes
+    benchmark.extra_info["throughput_bytes_per_s"] = {
+        str(shards): round(rate) for shards, rate in throughput.items()
+    }
+    speedups = {
+        shards: throughput[shards] / throughput[bounds["shard_counts"][0]]
+        for shards in bounds["shard_counts"]
+    }
+    benchmark.extra_info["speedup_vs_1_shard"] = {
+        str(shards): round(value, 3) for shards, value in speedups.items()
+    }
+
+    # Scaling gate: only meaningful with real cores under the shards.
+    cpus = os.cpu_count() or 1
+    if cpus >= bounds["min_cpus_for_speedup_gate"]:
+        top = max(bounds["shard_counts"])
+        assert speedups[top] >= bounds["min_speedup_at_4_shards"], (
+            f"aggregate ingest throughput at {top} shards is only "
+            f"{speedups[top]:.2f}x the 1-shard baseline "
+            f"(bound: {bounds['min_speedup_at_4_shards']}x; "
+            f"matrix: {benchmark.extra_info['throughput_bytes_per_s']}); "
+            "sharding is no longer scaling near-linearly"
+        )

@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""Daemon soak: drive `repro serve` over a Unix socket end to end.
+
+Spawns the sharded daemon as a subprocess listening on a socket,
+uploads three synthetic sessions concurrently (each its own
+connection, each wrapped in the cafa-mux session envelope), sends a
+FINISH frame, and checks the drained report: three sessions, no
+errors, every per-session report set identical to a single-process
+``StreamAnalyzer`` run of the same bytes.
+
+This is the CI smoke for the serve path; it exits non-zero on any
+divergence.
+
+Run with:  PYTHONPATH=src python examples/daemon_soak.py
+"""
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+from repro.apps import make_app
+from repro.stream import StreamAnalyzer
+from repro.trace import (
+    dumps_trace_bytes,
+    encode_finish_frame,
+    encode_mux_header,
+    encode_session,
+)
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.02"))
+SESSIONS = 3
+SHARDS = 2
+
+
+def upload(path: str, sid: str, payload: bytes, finish: bool) -> None:
+    client = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    client.connect(path)
+    try:
+        client.sendall(encode_mux_header())
+        if payload:
+            for frame in encode_session(sid, payload, chunk_size=4096):
+                client.sendall(frame)
+        if finish:
+            client.sendall(encode_finish_frame())
+    finally:
+        client.close()
+
+
+def main() -> int:
+    trace = make_app("connectbot", scale=SCALE, seed=1).run().trace
+    payload = dumps_trace_bytes(trace)
+
+    analyzer = StreamAnalyzer()
+    analyzer.feed(payload)
+    expected = [str(r) for r in analyzer.finish()]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        sock_path = os.path.join(tmp, "cafa.sock")
+        json_path = os.path.join(tmp, "daemon.json")
+        daemon = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--socket", sock_path,
+                "--shards", str(SHARDS),
+                "--json", json_path,
+            ],
+        )
+        try:
+            for _ in range(100):
+                if os.path.exists(sock_path):
+                    break
+                time.sleep(0.1)
+            else:
+                raise RuntimeError("daemon never opened its socket")
+
+            # Concurrent uploaders, then one more connection whose
+            # FINISH frame asks the daemon to drain.
+            threads = [
+                threading.Thread(
+                    target=upload,
+                    args=(sock_path, f"soak-{k}", payload, False),
+                )
+                for k in range(SESSIONS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            upload(sock_path, "soak-finisher", b"", True)
+
+            rc = daemon.wait(timeout=300)
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait()
+
+        if rc != 0:
+            print(f"soak: daemon exited {rc}", file=sys.stderr)
+            return 1
+        with open(json_path, "r", encoding="utf-8") as fp:
+            report = json.load(fp)
+
+    sessions = report["sessions"]
+    uploads = {f"soak-{k}" for k in range(SESSIONS)}
+    missing = uploads - set(sessions)
+    if missing:
+        print(f"soak: sessions lost in the drain: {sorted(missing)}",
+              file=sys.stderr)
+        return 1
+    failures = 0
+    for sid in sorted(uploads):
+        session = sessions[sid]
+        if session["error"] or not session["ended"]:
+            print(f"soak: {sid} did not close cleanly: {session['error']}",
+                  file=sys.stderr)
+            failures += 1
+        elif session["reports"] != expected:
+            print(f"soak: {sid} reports diverge from single-process run",
+                  file=sys.stderr)
+            failures += 1
+    if failures:
+        return 1
+    print(
+        f"soak OK: {SESSIONS} concurrent sessions over {SHARDS} shards, "
+        f"{len(expected)} reports each, clean drain"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,7 +10,7 @@ and aggregates the reports, quantifying that stability.
 
 The per-seed runs are independent, so ``explore_seeds(..., jobs=N)``
 fans them out across worker processes with the same contract as the
-rest of the pipeline (:mod:`repro.analysis.pipeline`): results are
+rest of the pipeline (:mod:`repro.parallel`): results are
 aggregated in seed order regardless of completion order, ``jobs < 1``
 is rejected, and a worker crash is re-raised naming the seed that
 failed.
@@ -24,7 +24,8 @@ from typing import Dict, List, Sequence, Tuple, Type
 
 from ..apps.base import AppModel
 from ..detect import RaceSiteKey, detect_use_free_races
-from .pipeline import _fan_out, _validate_jobs
+from ..parallel import fan_out as _fan_out
+from ..parallel import validate_jobs as _validate_jobs
 
 
 @dataclass

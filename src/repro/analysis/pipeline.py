@@ -13,20 +13,23 @@ returned in app order, regardless of which worker finishes first.
 
 Worker failures are re-raised in the caller with the originating app's
 name attached, so a crash inside a pool process is as diagnosable as a
-serial one.
+serial one.  The pool machinery itself lives in :mod:`repro.parallel`
+(shared with the per-seed exploration, the report generator, and the
+sharded streaming daemon); this module only contributes the per-app
+worker functions.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import os
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, Dict, List, Optional, Sequence, Type, TypeVar
+from typing import Dict, List, Optional, Sequence, Type
 
 from ..apps.base import AppModel, Table1Row
 from ..apps.catalog import ALL_APPS
 from ..detect import DetectorOptions
+from ..parallel import fan_out as _fan_out  # shared executor (repro.parallel)
+from ..parallel import validate_jobs as _validate_jobs
 from .performance import (
     ScalingPoint,
     SlowdownResult,
@@ -34,8 +37,6 @@ from .performance import (
     measure_slowdown,
 )
 from .precision import AppEvaluation, Table1, evaluate_run
-
-T = TypeVar("T")
 
 #: environment variable overriding the default benchmark scale
 SCALE_ENV_VAR = "REPRO_BENCH_SCALE"
@@ -55,15 +56,6 @@ def bench_scale(default: float = 0.1) -> float:
     return value
 
 
-def _validate_jobs(jobs: int) -> int:
-    """Reject non-positive or non-integral worker counts loudly."""
-    if isinstance(jobs, bool) or not isinstance(jobs, int):
-        raise ValueError(f"jobs must be a positive integer, got {jobs!r}")
-    if jobs < 1:
-        raise ValueError(f"jobs must be >= 1, got {jobs}")
-    return jobs
-
-
 def _evaluate_app(
     app_cls: Type[AppModel],
     scale: float,
@@ -74,56 +66,6 @@ def _evaluate_app(
     """One app's simulate → detect → classify pipeline (pool worker)."""
     run = app_cls(scale=scale, seed=seed).run(columnar=columnar)
     return evaluate_run(run, options)
-
-
-def _fan_out(
-    fn: Callable[..., T],
-    items: Sequence,
-    args: tuple,
-    jobs: int,
-    label: str,
-    describe: Optional[Callable[[object], str]] = None,
-) -> List[T]:
-    """Run ``fn(item, *args)`` for every item across ``jobs`` processes.
-
-    Results come back in item order.  A worker exception aborts the
-    fan-out and is re-raised as a ``RuntimeError`` naming the item
-    whose pipeline failed (chained to the original exception).  A
-    worker *process* that dies without raising — OOM-killed, segfaulted
-    native code, ``os._exit`` — surfaces as the same item-named
-    ``RuntimeError`` (chained to the ``BrokenProcessPool``) instead of
-    the pool's bare, item-less diagnostic.  Items default to app
-    classes — ``describe`` renders the item for that error message
-    (``"app 'music'"``); fan-outs over other domains (e.g. the
-    per-seed exploration) pass their own.
-    """
-    if describe is None:
-        describe = lambda item: f"app {item.name!r}"  # noqa: E731
-    results: List[T] = [None] * len(items)  # type: ignore[list-item]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
-        futures = [
-            (i, item, pool.submit(fn, item, *args))
-            for i, item in enumerate(items)
-        ]
-        for i, item, future in futures:
-            try:
-                results[i] = future.result()
-            except BrokenProcessPool as exc:
-                # The pool cannot tell which process died; the first
-                # future to observe the breakage is the best available
-                # attribution, and every sibling was aborted with it.
-                raise RuntimeError(
-                    f"{label} worker process for {describe(item)} died "
-                    "before returning a result (killed by the operating "
-                    "system — e.g. out of memory — or crashed without "
-                    "raising); the remaining items were aborted. "
-                    "Rerun with jobs=1 to isolate the failure."
-                ) from exc
-            except Exception as exc:
-                raise RuntimeError(
-                    f"{label} worker for {describe(item)} failed: {exc}"
-                ) from exc
-    return results
 
 
 def reproduce_table1(

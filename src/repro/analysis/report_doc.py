@@ -24,7 +24,8 @@ from ..apps.base import AppModel
 from ..apps.catalog import ALL_APPS
 from ..detect import LowLevelDetector, UseFreeDetector
 from .performance import measure_slowdown
-from .pipeline import _fan_out, _validate_jobs
+from ..parallel import fan_out as _fan_out
+from ..parallel import validate_jobs as _validate_jobs
 from .precision import evaluate_run
 from .tables import _t1_line, _T1_HEADER  # noqa: F401  (reuse the layout)
 from .witness import WitnessError, build_witness

@@ -19,6 +19,10 @@ Commands:
   ``--follow``, or stdin) and emit race reports as epochs retire;
   ``--selftest`` replays a stock app record-by-record and checks
   online ≡ offline;
+* ``serve`` — the sharded multi-session daemon: demultiplex
+  session-enveloped streams (file, stdin, Unix/TCP socket) across
+  worker processes, one online analyzer per session; ``--json`` saves
+  the daemon report for ``stats --daemon`` aggregation;
 * ``convert <src> <dst>`` — transcode a trace file between any two
   supported versions (v1/v2/v3, ``.gz`` transparent), streaming with
   constant memory; ``--salvage`` converts the valid prefix of a
@@ -224,6 +228,20 @@ def _cmd_stats(args) -> int:
 
     from .hb import build_happens_before, hb_stats
 
+    if args.daemon:
+        # Aggregate a daemon run's JSON report (repro serve --json):
+        # per-session outcomes plus the shard-merged stream profile.
+        import json
+
+        from .stream import DaemonReport
+
+        with open(args.trace, "r", encoding="utf-8") as fp:
+            report = DaemonReport.from_dict(json.load(fp))
+        print(report.format())
+        for profile in report.worker_profiles:
+            print(profile.format())
+        return 0
+
     trace = _load_input_trace(args)
     print(trace.profile(disk_bytes=os.path.getsize(args.trace)).format())
     hb = build_happens_before(
@@ -329,10 +347,17 @@ def _cmd_stream(args) -> int:
                 analyzer.feed(chunk)
                 printed = _print_new_epochs(analyzer, printed)
         else:
-            import time
-
+            from .stream.transport import DEFAULT_BACKOFF_INITIAL, Backoff
             from .trace.serialization import _STREAM_DAMAGE, _open_binary_for
 
+            # --follow tails with capped exponential backoff: an idle
+            # file costs ever-fewer wakeups (up to --poll-interval
+            # apart) instead of a fixed-rate busy poll, and any new
+            # data snaps the delay back down.
+            cap = max(args.poll_interval, 0.001)
+            backoff = Backoff(
+                initial=min(DEFAULT_BACKOFF_INITIAL, cap), cap=cap
+            )
             with _open_binary_for(args.trace, "r") as fp:
                 read = getattr(fp, "read1", fp.read)
                 while True:
@@ -342,12 +367,13 @@ def _cmd_stream(args) -> int:
                         analyzer.decoder.mark_damaged(exc)
                         break
                     if chunk:
+                        backoff.reset()
                         analyzer.feed(chunk)
                         printed = _print_new_epochs(analyzer, printed)
                         continue
                     if not args.follow or analyzer.decoder.degraded:
                         break
-                    time.sleep(args.poll_interval)
+                    backoff.wait()
         analyzer.finish()
     except TraceFormatError as exc:
         print(f"stream: {exc} (use --salvage to analyze the valid prefix)",
@@ -362,6 +388,110 @@ def _cmd_stream(args) -> int:
         )
     print(analyzer.profile.format())
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from .stream import SessionRouter, SocketSource
+    from .trace import TraceError, TraceFormatError
+
+    expect = _FORMAT_VERSIONS[args.format] if args.format else None
+    router = SessionRouter(
+        args.shards,
+        gc=not args.no_gc,
+        strict=not args.salvage,
+        expect_version=expect,
+    )
+    source = None
+    try:
+        if args.socket or args.tcp:
+            if args.socket:
+                source = SocketSource.unix(args.socket)
+                where = args.socket
+            else:
+                host, _, port = args.tcp.rpartition(":")
+                source = SocketSource.tcp(host or "127.0.0.1", int(port))
+                where = "%s:%d" % source.address
+            print(f"serving on {where} ({args.shards} shard(s); "
+                  "send a FINISH frame to drain)", flush=True)
+            import time
+
+            channels = {}
+            accepted = 0
+            # Once a FINISH frame arrives, connections still flushing
+            # their kernel buffers get a grace period to close before
+            # the drain proceeds without them.
+            finish_deadline = None
+            for event in source.events():
+                if event is not None:
+                    tag = event[0]
+                    if tag == "open":
+                        accepted += 1
+                        channels[event[1]] = router.channel(event[1])
+                    elif tag == "chunk":
+                        channel = channels.get(event[1])
+                        if channel is None:
+                            continue  # connection's envelope is damaged
+                        try:
+                            channel.feed(event[2])
+                        except (TraceFormatError, TraceError) as exc:
+                            print(f"serve: {event[1]}: {exc}",
+                                  file=sys.stderr)
+                            channels[event[1]] = None
+                    elif tag == "close":
+                        channel = channels.pop(event[1], None)
+                        if channel is not None:
+                            try:
+                                channel.close()
+                            except (TraceFormatError, TraceError) as exc:
+                                print(f"serve: {event[1]}: {exc}",
+                                      file=sys.stderr)
+                if router.finish_requested:
+                    if finish_deadline is None:
+                        finish_deadline = time.monotonic() + 10.0
+                    if not channels or time.monotonic() > finish_deadline:
+                        break
+                if args.once and accepted and not channels:
+                    break
+        else:
+            channel = router.channel(args.input or "stdin")
+            try:
+                if not args.input or args.input == "-":
+                    while True:
+                        chunk = sys.stdin.buffer.read1(1 << 16)
+                        if not chunk:
+                            break
+                        channel.feed(chunk)
+                else:
+                    from .trace.serialization import _open_binary_for
+
+                    with _open_binary_for(args.input, "r") as fp:
+                        read = getattr(fp, "read1", fp.read)
+                        while True:
+                            chunk = read(1 << 16)
+                            if not chunk:
+                                break
+                            channel.feed(chunk)
+                channel.close()
+            except (TraceFormatError, TraceError) as exc:
+                print(f"serve: {exc}", file=sys.stderr)
+                router.terminate()
+                return 1
+    except KeyboardInterrupt:
+        print("serve: interrupted, draining", file=sys.stderr)
+    finally:
+        if source is not None:
+            source.stop()
+    report = router.drain()
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as fp:
+            json.dump(report.as_dict(), fp, indent=2)
+            fp.write("\n")
+        print(f"wrote {args.json}")
+    print(report.format())
+    degraded = [s for s, r in report.sessions.items() if r.error]
+    return 1 if degraded and not args.salvage else 0
 
 
 def _cmd_convert(args) -> int:
@@ -546,6 +676,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="also column-sparse-scan the file as a v3 segment "
         "(mmap) and report bytes read vs skipped",
     )
+    stats.add_argument(
+        "--daemon",
+        action="store_true",
+        help="treat the positional argument as a daemon report JSON "
+        "(from `repro serve --json`) and print its per-session and "
+        "shard-aggregated statistics",
+    )
     _add_format(stats, writing=False)
     _add_store_options(stats)
     _add_memo_capacity(stats)
@@ -574,7 +711,9 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.5,
         metavar="SECONDS",
-        help="sleep between --follow polls of the file (default: 0.5)",
+        help="ceiling of the --follow poll backoff: an idle file is "
+        "polled with exponentially growing sleeps capped here "
+        "(default: 0.5)",
     )
     stream.add_argument(
         "--salvage",
@@ -607,6 +746,64 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_format(stream, writing=False)
     stream.set_defaults(fn=_cmd_stream)
+
+    serve = sub.add_parser(
+        "serve",
+        help="sharded multi-session streaming daemon: demultiplex "
+        "session-enveloped trace streams across worker processes "
+        "(see docs/streaming.md)",
+    )
+    serve.add_argument(
+        "input",
+        nargs="?",
+        help="enveloped (or plain single-session) stream file, or '-' "
+        "for stdin (omit with --socket/--tcp)",
+    )
+    serve.add_argument(
+        "--socket",
+        metavar="PATH",
+        help="listen on a Unix-domain socket at PATH (one session "
+        "stream, enveloped or plain, per connection)",
+    )
+    serve.add_argument(
+        "--tcp",
+        metavar="HOST:PORT",
+        help="listen on a TCP socket (port 0 picks a free port, "
+        "printed at startup)",
+    )
+    serve.add_argument(
+        "--shards",
+        type=_nonnegative_int,
+        default=1,
+        help="worker processes to consistent-hash sessions across "
+        "(0 = analyze inline in the serving process; default: 1)",
+    )
+    serve.add_argument(
+        "--once",
+        action="store_true",
+        help="socket modes: drain and exit once every accepted "
+        "connection has closed (instead of waiting for a FINISH "
+        "frame or Ctrl-C)",
+    )
+    serve.add_argument(
+        "--no-gc",
+        action="store_true",
+        help="disable per-session epoch retirement",
+    )
+    serve.add_argument(
+        "--salvage",
+        action="store_true",
+        help="tolerate damaged session streams: analyze each valid "
+        "prefix and exit 0 even when sessions degrade",
+    )
+    serve.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also write the daemon report as JSON (aggregate later "
+        "with `repro stats --daemon PATH`)",
+    )
+    _add_format(serve, writing=False)
+    serve.set_defaults(fn=_cmd_serve)
 
     convert = sub.add_parser(
         "convert",

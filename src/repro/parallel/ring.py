@@ -1,0 +1,66 @@
+"""Deterministic consistent hashing of keys onto shard indexes.
+
+The streaming daemon routes every session to exactly one shard so the
+per-session analysis never crosses a process boundary.  The ring must
+be *stable*: the same session id maps to the same shard in the router,
+in tests, and across interpreter runs — which rules out the built-in
+``hash`` (salted per process by ``PYTHONHASHSEED``).  ``blake2b``
+digests are used instead.
+
+A classic ring with virtual nodes (rather than ``digest % shards``)
+keeps the mapping roughly balanced and minimizes session movement
+when a deployment is re-provisioned with a different shard count:
+only the keys nearest the new shard's points move.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Sequence
+
+#: virtual nodes per shard; 64 keeps the max/min load ratio small
+#: without making ring construction or lookup noticeable
+DEFAULT_VNODES = 64
+
+
+def _point(label: bytes) -> int:
+    return int.from_bytes(hashlib.blake2b(label, digest_size=8).digest(), "big")
+
+
+class ShardRing:
+    """Consistent-hash ring mapping string keys to ``0..shards-1``."""
+
+    def __init__(self, shards: int, vnodes: int = DEFAULT_VNODES) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.shards = shards
+        self.vnodes = vnodes
+        points: List[int] = []
+        owners: List[int] = []
+        pairs = sorted(
+            (_point(b"shard-%d/vnode-%d" % (shard, v)), shard)
+            for shard in range(shards)
+            for v in range(vnodes)
+        )
+        for point, shard in pairs:
+            points.append(point)
+            owners.append(shard)
+        self._points = points
+        self._owners = owners
+
+    def shard_of(self, key: str) -> int:
+        """The shard owning ``key`` (deterministic across processes)."""
+        if self.shards == 1:
+            return 0
+        point = _point(key.encode("utf-8"))
+        i = bisect.bisect_right(self._points, point)
+        if i == len(self._points):
+            i = 0
+        return self._owners[i]
+
+    def assign(self, keys: Sequence[str]) -> Dict[str, int]:
+        """Map every key to its shard in one call (test/debug helper)."""
+        return {key: self.shard_of(key) for key in keys}

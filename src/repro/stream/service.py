@@ -93,6 +93,23 @@ class StreamProfile:
         return "\n".join(lines)
 
 
+def merge_profiles(profiles) -> StreamProfile:
+    """Aggregate many analyzers' profiles into one (the daemon's
+    per-shard and whole-fleet views).
+
+    Every counter is summed — including the ``peak_closure_bytes``
+    fields, which makes the merged peak a *conservative upper bound*
+    on the aggregate's true simultaneous peak (sessions on one shard
+    run concurrently only epoch-interleaved, so their individual peaks
+    rarely coincide).
+    """
+    merged = StreamProfile()
+    for profile in profiles:
+        for name in StreamProfile.__dataclass_fields__:
+            setattr(merged, name, getattr(merged, name) + getattr(profile, name))
+    return merged
+
+
 @dataclass
 class EpochSummary:
     """One retired (or final) epoch: its extent and its reports."""

@@ -19,6 +19,7 @@ scenario ``bounds_pr6.json`` pins.
 from __future__ import annotations
 
 import dataclasses
+from typing import Optional, Sequence
 
 from ..trace import TaskInfo, Trace
 from ..trace.store import ADDR, SCHEMAS, STR
@@ -26,6 +27,26 @@ from ..trace.store import ADDR, SCHEMAS, STR
 #: external_seq / ticket / txn offset between consecutive sessions —
 #: far above anything a single app trace allocates
 SESSION_ID_STRIDE = 1_000_000
+
+
+class DuplicateSessionError(ValueError):
+    """Two sessions in one concatenation share a session id.
+
+    Duplicate ids would silently merge the copies' task namespaces,
+    making the concatenation's analysis *not* decompose into the
+    per-session analyses — the property everything downstream (epoch
+    GC soaks, the sharding benchmarks, the daemon differential tests)
+    relies on.
+    """
+
+    def __init__(self, session: str) -> None:
+        super().__init__(
+            f"duplicate session id {session!r}: every session in a "
+            "concatenation must have a distinct id, or the copies' "
+            "task namespaces collide and the per-session analyses "
+            "are no longer independent"
+        )
+        self.session = session
 
 #: INT payload fields that are *identities* (pairing keys) rather than
 #: quantities, and so must be offset per session; delay/pc/target stay
@@ -61,14 +82,37 @@ def _renamed_info(info: TaskInfo, prefix: str, offset: int) -> TaskInfo:
     )
 
 
-def concat_sessions(trace: Trace, sessions: int, columnar: bool = True) -> Trace:
-    """``sessions`` disjoint renamed copies of ``trace``, back to back."""
+def concat_sessions(
+    trace: Trace,
+    sessions: int,
+    columnar: bool = True,
+    ids: Optional[Sequence[str]] = None,
+) -> Trace:
+    """``sessions`` disjoint renamed copies of ``trace``, back to back.
+
+    ``ids`` overrides the default ``s0 .. s{k-1}`` session ids (one per
+    session, each becoming the copy's ``"{id}:"`` task-namespace
+    prefix).  Ids must be distinct — a repeat raises
+    :class:`DuplicateSessionError`, because colliding prefixes would
+    silently merge two copies into one malformed session.
+    """
     if not 1 <= sessions <= 10:
         raise ValueError("sessions must be in 1..10 (single-digit prefixes)")
+    if ids is None:
+        ids = [f"s{k}" for k in range(sessions)]
+    elif len(ids) != sessions:
+        raise ValueError(
+            f"expected {sessions} session ids, got {len(ids)}"
+        )
+    seen = set()
+    for session in ids:
+        if session in seen:
+            raise DuplicateSessionError(session)
+        seen.add(session)
     out = Trace(columnar=columnar)
     span = (max((op.time for op in trace.ops), default=0)) + 1
-    for k in range(sessions):
-        prefix = f"s{k}:"
+    for k, session in enumerate(ids):
+        prefix = f"{session}:"
         offset = k * SESSION_ID_STRIDE
         for info in trace.tasks.values():
             out.add_task(_renamed_info(info, prefix, offset))

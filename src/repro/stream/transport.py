@@ -1,0 +1,239 @@
+"""Ingestion transports: file tail, stdin, and socket servers.
+
+Three ways bytes reach the streaming layer, all producing plain
+``bytes`` chunks for a decoder/router to consume:
+
+* :func:`tail_chunks` — drain a file (or any ``read``-able) and,
+  under ``follow=True``, keep polling it for growth.  Polling backs
+  off **exponentially** (:class:`Backoff`) between empty reads instead
+  of busy-spinning at a fixed interval: an idle tail costs a handful
+  of wakeups per doubling period, and the first byte of new data
+  resets the delay so a busy tail stays responsive.
+* :class:`SocketSource` — a Unix-domain or TCP listener accepting
+  many concurrent connections (one per uploading device, say), each
+  read by its own thread; chunks surface on a single bounded event
+  queue in arrival order, tagged with their connection id.  The
+  bounded queue is the transport end of the daemon's backpressure
+  chain: when the router stalls, reader threads stall, and the kernel
+  socket buffers throttle the senders.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import socket
+import threading
+import time
+from typing import Callable, Iterator, Optional, Tuple
+
+#: first sleep of an idle tail; short enough that a just-written byte
+#: is picked up promptly
+DEFAULT_BACKOFF_INITIAL = 0.05
+#: ceiling of the exponential backoff
+DEFAULT_BACKOFF_CAP = 0.5
+
+
+class Backoff:
+    """Exponential sleep schedule with a cap, counted for tests.
+
+    ``wait`` sleeps the current delay and doubles it (up to ``cap``);
+    ``reset`` drops back to ``initial``.  :attr:`sleep_count` and
+    :attr:`slept_total` expose exactly how much polling happened —
+    the busy-poll regression test counts them.
+    """
+
+    def __init__(
+        self,
+        initial: float = DEFAULT_BACKOFF_INITIAL,
+        cap: float = DEFAULT_BACKOFF_CAP,
+        factor: float = 2.0,
+    ) -> None:
+        if initial <= 0:
+            raise ValueError(f"initial must be > 0, got {initial}")
+        if cap < initial:
+            raise ValueError(f"cap {cap} must be >= initial {initial}")
+        if factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {factor}")
+        self.initial = initial
+        self.cap = cap
+        self.factor = factor
+        self.current = initial
+        self.sleep_count = 0
+        self.slept_total = 0.0
+
+    def wait(self, sleep: Callable[[float], None] = time.sleep) -> float:
+        """Sleep the current delay; returns it and advances the schedule."""
+        delay = self.current
+        sleep(delay)
+        self.sleep_count += 1
+        self.slept_total += delay
+        self.current = min(self.current * self.factor, self.cap)
+        return delay
+
+    def reset(self) -> None:
+        self.current = self.initial
+
+
+def tail_chunks(
+    read: Callable[[int], bytes],
+    follow: bool = False,
+    backoff: Optional[Backoff] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    should_stop: Optional[Callable[[], bool]] = None,
+    chunk_size: int = 1 << 16,
+) -> Iterator[bytes]:
+    """Yield non-empty chunks from ``read(chunk_size)``.
+
+    Without ``follow`` the generator ends at the first empty read
+    (EOF).  With it, an empty read sleeps the backoff schedule and
+    retries — the ``tail -f`` shape — until ``should_stop()`` goes
+    true.  Any data resets the backoff.  Read errors propagate to the
+    caller (the stream CLI turns stream damage into salvage there).
+    """
+    if backoff is None:
+        backoff = Backoff()
+    while True:
+        chunk = read(chunk_size)
+        if chunk:
+            backoff.reset()
+            yield chunk
+            continue
+        if not follow:
+            return
+        if should_stop is not None and should_stop():
+            return
+        backoff.wait(sleep)
+
+
+# ---------------------------------------------------------------------------
+# Socket ingestion
+# ---------------------------------------------------------------------------
+
+
+#: events surfaced by SocketSource: ("open", conn_id) / ("chunk",
+#: conn_id, bytes) / ("close", conn_id)
+SocketEvent = Tuple
+
+
+class SocketSource:
+    """Accepts connections on one listening socket; merges their bytes
+    into a single bounded event queue (see the module docstring).
+
+    Construct via :meth:`unix` or :meth:`tcp`, iterate
+    :meth:`events`, and :meth:`stop` to tear down.  ``conn_id`` values
+    are ``"conn-1"``, ``"conn-2"``, ... in accept order.
+    """
+
+    def __init__(self, listener: socket.socket, unlink: Optional[str] = None,
+                 queue_events: int = 1024) -> None:
+        self._listener = listener
+        self._unlink = unlink
+        self._events: "queue.Queue[SocketEvent]" = queue.Queue(
+            maxsize=queue_events
+        )
+        self._threads: list = []
+        self._stopping = threading.Event()
+        self._next_id = 0
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, daemon=True, name="socket-accept"
+        )
+        self._accept_thread.start()
+
+    # -- constructors --------------------------------------------------
+
+    @classmethod
+    def unix(cls, path: str, backlog: int = 16) -> "SocketSource":
+        """Listen on a Unix-domain socket at ``path`` (replaced if a
+        stale socket file is present)."""
+        if os.path.exists(path):
+            os.unlink(path)
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(path)
+        listener.listen(backlog)
+        listener.settimeout(0.2)
+        return cls(listener, unlink=path)
+
+    @classmethod
+    def tcp(cls, host: str, port: int, backlog: int = 16) -> "SocketSource":
+        """Listen on ``host:port`` (port 0 picks a free port; see
+        :attr:`address`)."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((host, port))
+        listener.listen(backlog)
+        listener.settimeout(0.2)
+        return cls(listener)
+
+    @property
+    def address(self):
+        """The bound address (``(host, port)`` for TCP, path for Unix)."""
+        return self._listener.getsockname()
+
+    # -- the accept / reader threads -----------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed under us during stop()
+            self._next_id += 1
+            conn_id = f"conn-{self._next_id}"
+            self._events.put(("open", conn_id))
+            thread = threading.Thread(
+                target=self._reader_loop,
+                args=(conn, conn_id),
+                daemon=True,
+                name=f"socket-read-{conn_id}",
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    def _reader_loop(self, conn: socket.socket, conn_id: str) -> None:
+        try:
+            conn.settimeout(0.2)
+            while not self._stopping.is_set():
+                try:
+                    chunk = conn.recv(1 << 16)
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                if not chunk:
+                    break
+                self._events.put(("chunk", conn_id, chunk))
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            self._events.put(("close", conn_id))
+
+    # -- consumer surface ----------------------------------------------
+
+    def events(self, timeout: float = 0.2) -> Iterator[SocketEvent]:
+        """Blocking event iterator; yields ``None`` every ``timeout``
+        seconds of silence so the caller can check stop conditions."""
+        while True:
+            try:
+                yield self._events.get(timeout=timeout)
+            except queue.Empty:
+                yield None
+
+    def stop(self) -> None:
+        self._stopping.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        if self._unlink and os.path.exists(self._unlink):
+            try:
+                os.unlink(self._unlink)
+            except OSError:
+                pass
+        self._accept_thread.join(timeout=2.0)
+        for thread in self._threads:
+            thread.join(timeout=2.0)

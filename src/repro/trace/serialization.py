@@ -566,15 +566,19 @@ class TraceStreamDecoder:
 
 
 class AnyTraceDecoder:
-    """Format-sniffing push decoder: text v1/v2 or binary v3, one API.
+    """Format-sniffing push decoder: text v1/v2, binary v3, or a
+    single-session mux envelope — one API.
 
     The first payload byte decides: ``0x93`` (the v3 magic's first
     byte, invalid as UTF-8 and as JSON) selects the binary decoder,
-    anything else the text decoder — so callers tail files and pipes
-    without knowing what was recorded into them.  :meth:`feed` accepts
-    ``bytes`` (sniffed; text is decoded incrementally as UTF-8) or
-    ``str`` (text formats only, e.g. a line-mode stdin);
-    :meth:`feed_line` is text-only.
+    ``0x9e`` (the session-envelope magic, :mod:`repro.trace.envelope`)
+    selects the envelope adapter — which unwraps a *single* session's
+    frames transparently and errors on a multiplexed stream, pointing
+    at ``repro serve`` — and anything else the text decoder.  Callers
+    therefore tail files and pipes without knowing what was recorded
+    into them.  :meth:`feed` accepts ``bytes`` (sniffed; text is
+    decoded incrementally as UTF-8) or ``str`` (text formats only,
+    e.g. a line-mode stdin); :meth:`feed_line` is text-only.
 
     The facade owns :attr:`trace` from construction — before the first
     byte arrives there is already a live (empty) trace to attach
@@ -620,13 +624,28 @@ class AnyTraceDecoder:
             )
         return self._inner
 
+    def _make_mux_inner(self):
+        """A single-session envelope adapter over a nested facade."""
+        from .envelope import SingleSessionMuxAdapter
+
+        nested = AnyTraceDecoder(
+            expect_version=self._expect_version,
+            columnar=self._columnar,
+            strict=self._strict,
+            sink=self._sink,
+        )
+        nested.trace = self._trace
+        self._inner = SingleSessionMuxAdapter(nested, strict=self._strict)
+        return self._inner
+
     def _text_inner(self):
         inner = self._inner
         if inner is None:
             inner = self._make_inner(binary=False)
         elif self._utf8 is None:
             raise TraceError(
-                "cannot feed text into a binary v3 trace stream"
+                "cannot feed text into a binary (v3 or enveloped) "
+                "trace stream"
             )
         return inner
 
@@ -669,6 +688,18 @@ class AnyTraceDecoder:
             return None
         return self._utf8 is None
 
+    @property
+    def multiplexed(self) -> bool:
+        """True once sniffed as a session-envelope (mux) stream."""
+        from .envelope import SingleSessionMuxAdapter
+
+        return isinstance(self._inner, SingleSessionMuxAdapter)
+
+    @property
+    def session(self) -> Optional[str]:
+        """The envelope's session id (mux streams only, once seen)."""
+        return getattr(self._inner, "session", None)
+
     def decode_stats(self) -> Optional[DecodeStats]:
         return self._inner.decode_stats() if self._inner is not None else None
 
@@ -682,7 +713,11 @@ class AnyTraceDecoder:
             return 0
         inner = self._inner
         if inner is None:
-            inner = self._make_inner(binary=chunk[:1] == b"\x93")
+            first = chunk[:1]
+            if first == b"\x9e":  # session envelope (repro.trace.envelope)
+                inner = self._make_mux_inner()
+            else:
+                inner = self._make_inner(binary=first == b"\x93")
         if self._utf8 is None:
             return inner.feed(bytes(chunk))
         return inner.feed(self._utf8.decode(bytes(chunk)))

@@ -1,0 +1,230 @@
+"""The session-frame envelope (cafa-mux): frame round-trips, the
+single-session ``AnyTraceDecoder`` path, and the demux property —
+arbitrary interleavings of session frames decode to per-session traces
+identical to separate decodes (v1, v2, and v3 payloads)."""
+
+import random
+
+import pytest
+
+from repro.testing import TraceBuilder
+from repro.trace import (
+    AnyTraceDecoder,
+    MUX_MAGIC,
+    MuxDecoder,
+    SessionDemuxer,
+    TraceError,
+    TraceFormatError,
+    dumps_trace,
+    dumps_trace_bytes,
+    encode_data_frame,
+    encode_end_frame,
+    encode_finish_frame,
+    encode_mux_header,
+    encode_session,
+    loads_trace,
+)
+
+
+def make_trace(spin: int):
+    """A small but non-trivial trace; ``spin`` varies the content so
+    sessions in one mux stream are distinguishable."""
+    b = TraceBuilder()
+    b.looper("L")
+    b.thread("T")
+    b.event("E", looper="L", external=True)
+    b.begin("T")
+    for i in range(spin + 1):
+        b.write("T", f"x{i}", site=f"s{spin}")
+    b.send("T", "E", delay=spin)
+    b.end("T")
+    b.begin("E")
+    b.ptr_read("E", ("obj", 4 + spin, "p"), object_id=8, method="onE", pc=1)
+    b.ptr_write(
+        "E", ("obj", 4 + spin, "p"), value=None, container=4, method="onE", pc=2
+    )
+    b.end("E")
+    return b.build()
+
+
+def serialized(trace, version: int) -> bytes:
+    return dumps_trace_bytes(trace, version=version)
+
+
+def canonical(trace) -> str:
+    """Comparable rendering: the v2 re-serialization of a trace."""
+    return dumps_trace(trace)
+
+
+class TestFrameRoundTrip:
+    def test_encode_session_decodes_to_the_same_payload(self):
+        payload = bytes(range(256)) * 5
+        decoder = MuxDecoder()
+        events = decoder.feed(
+            encode_mux_header()
+            + b"".join(encode_session("dev-1", payload, chunk_size=97))
+        )
+        assert events[-1] == ("end", "dev-1")
+        assert b"".join(e[2] for e in events[:-1]) == payload
+        decoder.flush()
+        assert not decoder.degraded
+
+    def test_any_chunking_yields_the_same_events(self):
+        payload = b"hello cafa" * 40
+        stream = (
+            encode_mux_header()
+            + b"".join(encode_session("s", payload, chunk_size=64))
+            + encode_finish_frame()
+        )
+        whole = MuxDecoder().feed(stream)
+        for step in (1, 3, 7, len(stream)):
+            decoder = MuxDecoder()
+            events = []
+            for i in range(0, len(stream), step):
+                events.extend(decoder.feed(stream[i : i + step]))
+            assert events == whole
+            assert decoder.finished
+
+    def test_bad_magic_is_a_hard_error(self):
+        with pytest.raises(TraceError, match="envelope magic"):
+            MuxDecoder().feed(b"\x9e" + b"not the magic here!")
+
+    def test_truncated_frame_is_ruled_at_flush(self):
+        decoder = MuxDecoder()
+        frame = encode_data_frame("s", b"payload bytes")
+        decoder.feed(encode_mux_header() + frame[:-4])
+        with pytest.raises(TraceFormatError, match="dangling"):
+            decoder.flush()
+
+    def test_salvage_mode_records_damage_instead_of_raising(self):
+        decoder = MuxDecoder(strict=False)
+        stream = encode_mux_header() + encode_data_frame("s", b"ok") + b"\xff"
+        events = decoder.feed(stream)
+        assert [e[0] for e in events] == ["data"]
+        assert decoder.degraded
+        assert "unknown mux frame tag" in str(decoder.error)
+
+    def test_bytes_after_finish_are_damage(self):
+        decoder = MuxDecoder()
+        decoder.feed(encode_mux_header() + encode_finish_frame())
+        with pytest.raises(TraceFormatError, match="after the mux FINISH"):
+            decoder.feed(encode_data_frame("s", b"late"))
+
+    def test_empty_session_id_rejected(self):
+        with pytest.raises(TraceError, match="non-empty"):
+            encode_data_frame("", b"x")
+
+
+class TestSingleSessionDecoder:
+    """AnyTraceDecoder sniffs the envelope from the first byte and
+    unwraps single-session streams transparently."""
+
+    @pytest.mark.parametrize("version", [1, 2, 3])
+    def test_enveloped_equals_plain(self, version):
+        trace = make_trace(0)
+        payload = serialized(trace, version)
+        stream = encode_mux_header() + b"".join(
+            encode_session("device-7", payload, chunk_size=113)
+        )
+        decoder = AnyTraceDecoder()
+        for i in range(0, len(stream), 50):
+            decoder.feed(stream[i : i + 50])
+        back = decoder.finish()
+        assert canonical(back) == canonical(loads_trace(payload))
+        assert decoder.multiplexed
+        assert decoder.session == "device-7"
+
+    def test_loads_trace_accepts_enveloped_bytes(self):
+        trace = make_trace(1)
+        payload = serialized(trace, 2)
+        stream = encode_mux_header() + b"".join(
+            encode_session("one", payload)
+        )
+        assert canonical(loads_trace(stream)) == canonical(trace)
+
+    def test_two_sessions_point_at_the_daemon(self):
+        a = serialized(make_trace(0), 2)
+        b = serialized(make_trace(1), 2)
+        stream = (
+            encode_mux_header()
+            + encode_data_frame("a", a)
+            + encode_data_frame("b", b)
+        )
+        decoder = AnyTraceDecoder()
+        with pytest.raises(TraceError, match="repro serve"):
+            decoder.feed(stream)
+
+
+def interleave(rng, per_session_frames):
+    """One arbitrary interleaving: merge the sessions' frame lists,
+    preserving each session's own frame order."""
+    cursors = {sid: 0 for sid in per_session_frames}
+    out = []
+    while cursors:
+        sid = rng.choice(sorted(cursors))
+        frames = per_session_frames[sid]
+        out.append(frames[cursors[sid]])
+        cursors[sid] += 1
+        if cursors[sid] == len(frames):
+            del cursors[sid]
+    return out
+
+
+class TestDemuxProperty:
+    """The satellite property: for arbitrary record interleavings
+    across sessions, demuxed per-session traces are identical to
+    separate decodes — for every trace format version."""
+
+    @pytest.mark.parametrize("version", [1, 2, 3])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_interleavings_decode_like_separate_streams(self, version, seed):
+        rng = random.Random(seed * 31 + version)
+        sessions = {f"dev-{k}": make_trace(k) for k in range(3)}
+        payloads = {
+            sid: serialized(trace, version)
+            for sid, trace in sessions.items()
+        }
+        frames = {
+            sid: encode_session(
+                sid, payload, chunk_size=rng.randrange(7, 200)
+            )
+            for sid, payload in payloads.items()
+        }
+        stream = encode_mux_header() + b"".join(interleave(rng, frames))
+        demux = SessionDemuxer()
+        pos = 0
+        while pos < len(stream):
+            step = rng.randrange(1, 500)
+            demux.feed(stream[pos : pos + step])
+            pos += step
+        traces = demux.finish()
+        assert sorted(traces) == sorted(sessions)
+        for sid, payload in payloads.items():
+            assert canonical(traces[sid]) == canonical(loads_trace(payload))
+
+    def test_sessions_may_mix_format_versions(self):
+        rng = random.Random(17)
+        payloads = {
+            "text1": serialized(make_trace(0), 1),
+            "text2": serialized(make_trace(1), 2),
+            "binary": serialized(make_trace(2), 3),
+        }
+        frames = {
+            sid: encode_session(sid, payload, chunk_size=128)
+            for sid, payload in payloads.items()
+        }
+        stream = encode_mux_header() + b"".join(interleave(rng, frames))
+        demux = SessionDemuxer()
+        demux.feed(stream)
+        traces = demux.finish()
+        for sid, payload in payloads.items():
+            assert canonical(traces[sid]) == canonical(loads_trace(payload))
+
+    def test_frame_after_end_is_rejected(self):
+        payload = serialized(make_trace(0), 2)
+        demux = SessionDemuxer()
+        demux.feed(
+            encode_mux_header() + b"".join(encode_session("s", payload))
+        )
+        with pytest.raises(TraceFormatError, match="after its END"):
+            demux.feed(encode_data_frame("s", b"{}"))
