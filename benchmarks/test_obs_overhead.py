@@ -1,0 +1,126 @@
+"""Experiment P9 — telemetry instrumentation overhead.
+
+The same 24-session fleet as the sharding benchmark (``bounds_pr8``)
+is ingested through a sharded :class:`~repro.stream.SessionRouter`
+twice: once with metrics + span tracing fully enabled (per-shard
+telemetry shipping, feed-latency stamping, span recording) and once
+with telemetry off.  Two gates, recorded in ``bounds_pr9.json``:
+
+* **Overhead bound.**  Enabled-mode ingest throughput must be at
+  least ``min_throughput_ratio`` (0.9x) of disabled-mode throughput.
+  Each config takes the best of ``runs_per_config`` runs so a single
+  scheduler hiccup on a small runner cannot fail the gate; the ratio
+  compares two runs on the same machine, so the gate arms everywhere.
+
+* **Fidelity.**  The per-session reports from the enabled and
+  disabled runs must be identical — telemetry observes the pipeline,
+  it never participates in it.  Exact, machine-independent, always
+  runs.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.analysis import bench_scale
+from repro.apps import make_app
+from repro.obs import disable_tracing, enable_tracing
+from repro.stream import SessionRouter, concat_sessions
+from repro.trace import dumps_trace_bytes, encode_mux_header, encode_session
+
+BOUNDS = json.loads(
+    (Path(__file__).parent / "bounds_pr9.json").read_text(encoding="utf-8")
+)
+
+STREAM_SCALE = bench_scale(default=0.02)
+
+
+def _fleet_stream(bounds):
+    trace = make_app(
+        bounds["app"], scale=STREAM_SCALE, seed=bounds["seed"]
+    ).run().trace
+    payload = dumps_trace_bytes(
+        concat_sessions(trace, bounds["copies_per_session"])
+    )
+    frame_lists = [
+        encode_session(f"device-{k}", payload, chunk_size=1 << 14)
+        for k in range(bounds["sessions"])
+    ]
+    buf = bytearray(encode_mux_header())
+    for i in range(max(len(frames) for frames in frame_lists)):
+        for frames in frame_lists:
+            if i < len(frames):
+                buf += frames[i]
+    return bytes(buf), len(payload) * bounds["sessions"]
+
+
+def _ingest(stream, shards, metrics):
+    if metrics:
+        enable_tracing()
+    try:
+        router = SessionRouter(shards, metrics=metrics)
+        start = time.perf_counter()
+        for i in range(0, len(stream), 1 << 16):
+            router.feed(stream[i : i + (1 << 16)])
+        if metrics:
+            # Exercise the scrape path the live endpoints would drive.
+            router.metrics_snapshot()
+        report = router.drain()
+        seconds = time.perf_counter() - start
+    finally:
+        disable_tracing()
+    return report, seconds
+
+
+def _fingerprint(report):
+    return {
+        sid: (session.reports, session.ops, session.ended)
+        for sid, session in report.sessions.items()
+    }
+
+
+def test_telemetry_overhead_is_bounded(benchmark):
+    bounds = BOUNDS["instrumentation_overhead"]
+    stream, payload_bytes = _fleet_stream(bounds)
+
+    results = {}
+
+    def run():
+        for metrics in (False, True):
+            runs = [
+                _ingest(stream, bounds["shards"], metrics)
+                for _ in range(bounds["runs_per_config"])
+            ]
+            results[metrics] = (
+                runs[0][0],
+                min(seconds for _report, seconds in runs),
+            )
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Fidelity gate: telemetry is invisible in the analysis output.
+    baseline = _fingerprint(results[False][0])
+    assert len(baseline) == bounds["sessions"]
+    assert _fingerprint(results[True][0]) == baseline, (
+        "session reports diverged between telemetry-on and telemetry-off"
+    )
+
+    throughput = {
+        metrics: payload_bytes / seconds
+        for metrics, (_report, seconds) in results.items()
+    }
+    ratio = throughput[True] / throughput[False]
+    benchmark.extra_info["payload_bytes"] = payload_bytes
+    benchmark.extra_info["throughput_bytes_per_s"] = {
+        "disabled": round(throughput[False]),
+        "enabled": round(throughput[True]),
+    }
+    benchmark.extra_info["enabled_over_disabled_ratio"] = round(ratio, 3)
+
+    assert ratio >= bounds["min_throughput_ratio"], (
+        f"telemetry-enabled ingest throughput is {ratio:.2f}x the "
+        f"disabled baseline (bound: {bounds['min_throughput_ratio']}x; "
+        f"{benchmark.extra_info['throughput_bytes_per_s']}); "
+        "instrumentation is no longer near-zero-cost"
+    )

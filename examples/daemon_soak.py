@@ -1,12 +1,15 @@
 #!/usr/bin/env python
 """Daemon soak: drive `repro serve` over a Unix socket end to end.
 
-Spawns the sharded daemon as a subprocess listening on a socket,
-uploads three synthetic sessions concurrently (each its own
-connection, each wrapped in the cafa-mux session envelope), sends a
-FINISH frame, and checks the drained report: three sessions, no
-errors, every per-session report set identical to a single-process
-``StreamAnalyzer`` run of the same bytes.
+Spawns the sharded daemon as a subprocess listening on a socket with
+its ``--metrics-port`` endpoint up, uploads three synthetic sessions
+concurrently (each its own connection, each wrapped in the cafa-mux
+session envelope), scrapes ``/status.json`` mid-soak until the
+session counters settle, sends a FINISH frame, and checks the drained
+report: three sessions, no errors, every per-session report set
+identical to a single-process ``StreamAnalyzer`` run of the same
+bytes, and the scraped session/ops counters equal to what the final
+``DaemonReport`` records.
 
 This is the CI smoke for the serve path; it exits non-zero on any
 divergence.
@@ -22,6 +25,7 @@ import sys
 import tempfile
 import threading
 import time
+import urllib.request
 
 from repro.apps import make_app
 from repro.stream import StreamAnalyzer
@@ -35,6 +39,30 @@ from repro.trace import (
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.02"))
 SESSIONS = 3
 SHARDS = 2
+
+
+def free_port() -> int:
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+def scrape_status(port: int) -> dict:
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}/status.json", timeout=10
+    ) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def counter_total(doc: dict, name: str) -> float:
+    """Sum a counter family across its shard-labeled samples."""
+    return sum(
+        value
+        for key, value in doc.get("counters", {}).items()
+        if key.split("{", 1)[0] == name
+    )
 
 
 def upload(path: str, sid: str, payload: bytes, finish: bool) -> None:
@@ -62,12 +90,14 @@ def main() -> int:
     with tempfile.TemporaryDirectory() as tmp:
         sock_path = os.path.join(tmp, "cafa.sock")
         json_path = os.path.join(tmp, "daemon.json")
+        metrics_port = free_port()
         daemon = subprocess.Popen(
             [
                 sys.executable, "-m", "repro", "serve",
                 "--socket", sock_path,
                 "--shards", str(SHARDS),
                 "--json", json_path,
+                "--metrics-port", str(metrics_port),
             ],
         )
         try:
@@ -91,6 +121,25 @@ def main() -> int:
                 thread.start()
             for thread in threads:
                 thread.join()
+
+            # Mid-soak scrape: every upload is in the daemon; poll the
+            # live endpoint until the per-shard finished counter settles
+            # at the session count, then keep that last scrape to check
+            # against the final DaemonReport after the drain.
+            deadline = time.monotonic() + 120
+            while True:
+                status = scrape_status(metrics_port)
+                if counter_total(
+                    status, "repro_shard_sessions_finished_total"
+                ) >= SESSIONS:
+                    break
+                if time.monotonic() > deadline:
+                    print("soak: session counters never settled; last "
+                          f"scrape: {status.get('counters')}",
+                          file=sys.stderr)
+                    return 1
+                time.sleep(0.2)
+
             upload(sock_path, "soak-finisher", b"", True)
 
             rc = daemon.wait(timeout=300)
@@ -125,9 +174,39 @@ def main() -> int:
             failures += 1
     if failures:
         return 1
+
+    # The mid-soak scrape must agree with the drained report: same
+    # session count, same total ops ingested, and the queue gauges of
+    # every shard were being exported with their configured bound.
+    scraped_finished = counter_total(
+        status, "repro_shard_sessions_finished_total"
+    )
+    ended_sessions = sum(1 for s in sessions.values() if s["ended"])
+    if scraped_finished != ended_sessions:
+        print(f"soak: scraped finished counter {scraped_finished:.0f} != "
+              f"{ended_sessions} ended sessions in the drained report",
+              file=sys.stderr)
+        return 1
+    scraped_ops = counter_total(status, "repro_shard_ops_ingested_total")
+    report_ops = sum(s["ops"] for s in sessions.values())
+    if scraped_ops != report_ops:
+        print(f"soak: scraped ops counter {scraped_ops:.0f} != "
+              f"{report_ops} ops in the drained report", file=sys.stderr)
+        return 1
+    bounds = [
+        value
+        for key, value in status.get("gauges", {}).items()
+        if key.split("{", 1)[0] == "repro_shard_queue_bound"
+    ]
+    if len(bounds) != SHARDS or any(bound <= 0 for bound in bounds):
+        print(f"soak: expected {SHARDS} positive queue-bound gauges, "
+              f"got {bounds}", file=sys.stderr)
+        return 1
+
     print(
         f"soak OK: {SESSIONS} concurrent sessions over {SHARDS} shards, "
-        f"{len(expected)} reports each, clean drain"
+        f"{len(expected)} reports each, clean drain; mid-soak scrape "
+        f"matched the drained report ({scraped_ops:.0f} ops)"
     )
     return 0
 

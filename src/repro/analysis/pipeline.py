@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Sequence, Type
 from ..apps.base import AppModel, Table1Row
 from ..apps.catalog import ALL_APPS
 from ..detect import DetectorOptions
+from ..obs.spans import span
 from ..parallel import fan_out as _fan_out  # shared executor (repro.parallel)
 from ..parallel import validate_jobs as _validate_jobs
 from .performance import (
@@ -64,8 +65,9 @@ def _evaluate_app(
     columnar: bool = True,
 ) -> AppEvaluation:
     """One app's simulate → detect → classify pipeline (pool worker)."""
-    run = app_cls(scale=scale, seed=seed).run(columnar=columnar)
-    return evaluate_run(run, options)
+    with span("pipeline.app", app=app_cls.name):
+        run = app_cls(scale=scale, seed=seed).run(columnar=columnar)
+        return evaluate_run(run, options)
 
 
 def reproduce_table1(

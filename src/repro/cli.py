@@ -227,6 +227,7 @@ def _cmd_stats(args) -> int:
     import os
 
     from .hb import build_happens_before, hb_stats
+    from .obs.spans import enable_tracing, span
 
     if args.daemon:
         # Aggregate a daemon run's JSON report (repro serve --json):
@@ -242,15 +243,23 @@ def _cmd_stats(args) -> int:
             print(profile.format())
         return 0
 
+    recorder = enable_tracing() if args.trace_out else None
+
     trace = _load_input_trace(args)
-    print(trace.profile(disk_bytes=os.path.getsize(args.trace)).format())
+    trace_profile = trace.profile(disk_bytes=os.path.getsize(args.trace))
+    if not args.json:
+        print(trace_profile.format())
     hb = build_happens_before(
         trace, memo_capacity=args.memo_capacity, dense_bits=args.dense_bits
     )
     # Run the detector so the query-side counters describe a real
     # workload rather than an idle relation.
-    UseFreeDetector(trace, hb=hb).detect()
-    print(hb_stats(trace, hb).format())
+    with span("detect.usefree", ops=len(trace)):
+        UseFreeDetector(trace, hb=hb).detect()
+    stats = hb_stats(trace, hb)
+    if not args.json:
+        print(stats.format())
+    stream_profile = None
     if args.stream:
         from .stream import StreamAnalyzer
         from .trace.serialization import _open_binary_for
@@ -264,7 +273,10 @@ def _cmd_stats(args) -> int:
                     break
                 analyzer.feed(chunk)
         analyzer.finish()
-        print(analyzer.profile.format())
+        stream_profile = analyzer.profile
+        if not args.json:
+            print(stream_profile.format())
+    sparse_stats = None
     if args.sparse:
         from .trace import SegmentReader, TraceError
 
@@ -272,13 +284,35 @@ def _cmd_stats(args) -> int:
             with SegmentReader(args.trace) as reader:
                 for name in ("kinds", "times", "task_ids"):
                     reader.global_column(name)
-                stats = reader.stats()
+                sparse_stats = reader.stats()
         except TraceError as exc:
             print(f"sparse scan: not a v3 segment file ({exc})",
                   file=sys.stderr)
             return 1
-        print("column-sparse scan (global columns only):")
-        print(stats.format())
+        if not args.json:
+            print("column-sparse scan (global columns only):")
+            print(sparse_stats.format())
+    if args.json:
+        import json
+
+        from .obs import stats_document
+
+        print(
+            json.dumps(
+                stats_document(
+                    trace_profile=trace_profile,
+                    hb_stats=stats,
+                    stream_profile=stream_profile,
+                    sparse_stats=sparse_stats,
+                ),
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    if recorder is not None:
+        recorder.dump(args.trace_out)
+        print(f"wrote {args.trace_out} ({len(recorder)} spans)",
+              file=sys.stderr)
     return 0
 
 
@@ -391,8 +425,15 @@ def _cmd_stream(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    from .obs import configure, configure_json_logging, get_logger
+    from .parallel import WorkerCrash
     from .stream import SessionRouter, SocketSource
     from .trace import TraceError, TraceFormatError
+
+    metrics_on = not args.no_metrics
+    configure(enabled=metrics_on)
+    configure_json_logging()
+    log = get_logger("serve")
 
     expect = _FORMAT_VERSIONS[args.format] if args.format else None
     router = SessionRouter(
@@ -400,8 +441,47 @@ def _cmd_serve(args) -> int:
         gc=not args.no_gc,
         strict=not args.salvage,
         expect_version=expect,
+        metrics=metrics_on,
     )
     source = None
+    metrics_server = None
+    status_server = None
+
+    def provider():
+        """The daemon-wide snapshot every scrape observes: router +
+        shard metrics plus the transport-level connection counters."""
+        snap = router.metrics_snapshot()
+        if source is not None:
+            snap.counter("repro_connections_total",
+                         float(source.connections_accepted),
+                         help="transport connections accepted")
+            snap.gauge("repro_connections_open",
+                       float(source.connections_open),
+                       help="transport connections currently open")
+            snap.counter("repro_transport_chunks_total",
+                         float(source.chunks_received),
+                         help="byte chunks read off connections")
+            snap.counter("repro_transport_bytes_total",
+                         float(source.bytes_received),
+                         help="bytes read off connections")
+        return snap
+
+    if args.metrics_port is not None:
+        from .obs.export import MetricsServer
+
+        metrics_server = MetricsServer(provider, port=args.metrics_port)
+        print(f"metrics on {metrics_server.url}/metrics", flush=True)
+    if args.status_socket:
+        from .obs.export import StatusSocketServer
+
+        status_server = StatusSocketServer(provider, args.status_socket)
+
+    def _stop_servers():
+        if metrics_server is not None:
+            metrics_server.stop()
+        if status_server is not None:
+            status_server.stop()
+
     try:
         if args.socket or args.tcp:
             if args.socket:
@@ -413,6 +493,9 @@ def _cmd_serve(args) -> int:
                 where = "%s:%d" % source.address
             print(f"serving on {where} ({args.shards} shard(s); "
                   "send a FINISH frame to drain)", flush=True)
+            log.info("daemon started",
+                     extra={"listen": str(where), "shards": args.shards,
+                            "metrics": metrics_on})
             import time
 
             channels = {}
@@ -427,6 +510,8 @@ def _cmd_serve(args) -> int:
                     if tag == "open":
                         accepted += 1
                         channels[event[1]] = router.channel(event[1])
+                        log.info("connection open",
+                                 extra={"connection": event[1]})
                     elif tag == "chunk":
                         channel = channels.get(event[1])
                         if channel is None:
@@ -434,17 +519,27 @@ def _cmd_serve(args) -> int:
                         try:
                             channel.feed(event[2])
                         except (TraceFormatError, TraceError) as exc:
-                            print(f"serve: {event[1]}: {exc}",
-                                  file=sys.stderr)
+                            log.warning(
+                                "session stream damaged",
+                                extra={"connection": event[1],
+                                       "error": str(exc),
+                                       "salvage": args.salvage},
+                            )
                             channels[event[1]] = None
                     elif tag == "close":
                         channel = channels.pop(event[1], None)
+                        log.info("connection closed",
+                                 extra={"connection": event[1]})
                         if channel is not None:
                             try:
                                 channel.close()
                             except (TraceFormatError, TraceError) as exc:
-                                print(f"serve: {event[1]}: {exc}",
-                                      file=sys.stderr)
+                                log.warning(
+                                    "session stream damaged at close",
+                                    extra={"connection": event[1],
+                                           "error": str(exc),
+                                           "salvage": args.salvage},
+                                )
                 if router.finish_requested:
                     if finish_deadline is None:
                         finish_deadline = time.monotonic() + 10.0
@@ -473,15 +568,44 @@ def _cmd_serve(args) -> int:
                             channel.feed(chunk)
                 channel.close()
             except (TraceFormatError, TraceError) as exc:
+                log.error("input stream damaged",
+                          extra={"input": args.input or "stdin",
+                                 "error": str(exc)})
                 print(f"serve: {exc}", file=sys.stderr)
                 router.terminate()
                 return 1
     except KeyboardInterrupt:
-        print("serve: interrupted, draining", file=sys.stderr)
+        log.info("interrupted, draining")
+    except WorkerCrash as exc:
+        log.error("worker crashed",
+                  extra={"worker": exc.worker, "error": str(exc),
+                         "remote_traceback": exc.detail})
+        print(f"serve: {exc}", file=sys.stderr)
+        router.terminate()
+        return 1
     finally:
         if source is not None:
             source.stop()
-    report = router.drain()
+        _stop_servers()
+    try:
+        report = router.drain()
+    except WorkerCrash as exc:
+        log.error("worker crashed during drain",
+                  extra={"worker": exc.worker, "error": str(exc),
+                         "remote_traceback": exc.detail})
+        print(f"serve: {exc}", file=sys.stderr)
+        return 1
+    log.info("daemon drained",
+             extra={"sessions": len(report.sessions),
+                    "frames": report.frames_routed,
+                    "bytes": report.bytes_routed})
+    for sid in sorted(report.sessions):
+        session = report.sessions[sid]
+        log.info("session end",
+                 extra={"session": sid, "shard": session.shard,
+                        "ops": session.ops, "reports": len(session.reports),
+                        "ended": session.ended, "degraded": session.degraded,
+                        "error": session.error})
     if args.json:
         import json
 
@@ -492,6 +616,145 @@ def _cmd_serve(args) -> int:
     print(report.format())
     degraded = [s for s, r in report.sessions.items() if r.error]
     return 1 if degraded and not args.salvage else 0
+
+
+def _sample_parts(key):
+    """Split ``name{k="v",...}`` into (name, labels); our label values
+    never contain commas or quotes."""
+    name, _, rest = key.partition("{")
+    labels = {}
+    if rest:
+        for part in rest[:-1].split(","):
+            k, _, v = part.partition("=")
+            labels[k] = v.strip('"')
+    return name, labels
+
+
+def _render_status(doc: dict, prev: Optional[dict], dt: float) -> str:
+    """One refresh of the ``repro top`` terminal view from a
+    ``repro-metrics/1`` status document (plus rates vs. the previous
+    scrape when one is given)."""
+    counters = doc.get("counters", {})
+    gauges = doc.get("gauges", {})
+    histograms = doc.get("histograms", {})
+
+    def total(section: dict, name: str) -> float:
+        return sum(
+            value for key, value in section.items()
+            if _sample_parts(key)[0] == name
+        )
+
+    def rate(name: str) -> str:
+        if prev is None or dt <= 0:
+            return "-"
+        delta = total(counters, name) - total(prev.get("counters", {}), name)
+        return f"{delta / dt:,.0f}/s"
+
+    lines = [
+        "repro daemon status",
+        f"  shards {total(gauges, 'repro_router_shards'):.0f}"
+        f"  sessions routed {total(counters, 'repro_router_sessions_total'):.0f}"
+        f"  active {total(gauges, 'repro_shard_sessions_active'):.0f}"
+        f"  finished {total(counters, 'repro_shard_sessions_finished_total'):.0f}"
+        f"  failed {total(counters, 'repro_shard_sessions_failed_total'):.0f}",
+        f"  frames {total(counters, 'repro_router_frames_total'):.0f}"
+        f" ({rate('repro_router_frames_total')})"
+        f"  bytes {total(counters, 'repro_router_bytes_total'):.0f}"
+        f" ({rate('repro_router_bytes_total')})"
+        f"  ops {total(counters, 'repro_shard_ops_ingested_total'):.0f}"
+        f" ({rate('repro_shard_ops_ingested_total')})",
+        f"  epochs retired {total(counters, 'repro_shard_epochs_retired_total'):.0f}"
+        f"  reports {total(counters, 'repro_shard_reports_emitted_total'):.0f}"
+        f"  connections open {total(gauges, 'repro_connections_open'):.0f}",
+    ]
+    for key, hist in sorted(histograms.items()):
+        name, _labels = _sample_parts(key)
+        if name != "repro_feed_latency_seconds" or not hist.get("count"):
+            continue
+        lines.append(
+            f"  feed-to-detect latency: p50 {hist['p50'] * 1e3:.1f} ms"
+            f"  p95 {hist['p95'] * 1e3:.1f} ms"
+            f"  p99 {hist['p99'] * 1e3:.1f} ms"
+            f"  ({hist['count']} frames)"
+        )
+
+    # Per-shard table keyed off whichever shard-labeled samples exist.
+    shards = sorted(
+        {
+            labels["shard"]
+            for section in (counters, gauges)
+            for key in section
+            for name, labels in (_sample_parts(key),)
+            if "shard" in labels
+        },
+        key=lambda s: int(s) if s.isdigit() else 0,
+    )
+    if shards:
+        lines.append("")
+        lines.append(
+            f"  {'shard':>5} {'active':>7} {'done':>6} {'failed':>6} "
+            f"{'ops':>10} {'frames':>8} {'queue':>9}"
+        )
+        for shard in shards:
+            def of(section, name, shard=shard):
+                return section.get(f'{name}{{shard="{shard}"}}', 0.0)
+
+            depth = of(gauges, "repro_shard_queue_depth")
+            bound = of(gauges, "repro_shard_queue_bound")
+            queue_cell = f"{depth:.0f}/{bound:.0f}" if bound else "-"
+            lines.append(
+                f"  {shard:>5} "
+                f"{of(gauges, 'repro_shard_sessions_active'):>7.0f} "
+                f"{of(counters, 'repro_shard_sessions_finished_total'):>6.0f} "
+                f"{of(counters, 'repro_shard_sessions_failed_total'):>6.0f} "
+                f"{of(counters, 'repro_shard_ops_ingested_total'):>10.0f} "
+                f"{of(counters, 'repro_shard_frames_handled_total'):>8.0f} "
+                f"{queue_cell:>9}"
+            )
+    return "\n".join(lines)
+
+
+def _cmd_top(args) -> int:
+    import time
+
+    from .obs.export import read_status_socket, scrape_http
+
+    if bool(args.url) == bool(args.status_socket):
+        print("top: provide exactly one of URL or --status-socket",
+              file=sys.stderr)
+        return 2
+
+    def scrape() -> dict:
+        if args.url:
+            url = args.url
+            if "://" not in url:
+                url = f"http://{url}"
+            return scrape_http(url, "/status.json")
+        return read_status_socket(args.status_socket)
+
+    try:
+        doc = scrape()
+    except OSError as exc:
+        print(f"top: cannot reach the daemon: {exc}", file=sys.stderr)
+        return 1
+    if args.once:
+        print(_render_status(doc, None, 0.0))
+        return 0
+    prev, prev_at = None, 0.0
+    try:
+        while True:
+            now = time.monotonic()
+            print("\x1b[2J\x1b[H", end="")
+            print(_render_status(doc, prev, now - prev_at))
+            prev, prev_at = doc, now
+            time.sleep(args.interval)
+            try:
+                doc = scrape()
+            except OSError as exc:
+                print(f"top: daemon gone: {exc}", file=sys.stderr)
+                return 0
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_convert(args) -> int:
@@ -683,6 +946,20 @@ def build_parser() -> argparse.ArgumentParser:
         "(from `repro serve --json`) and print its per-session and "
         "shard-aggregated statistics",
     )
+    stats.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one machine-readable JSON document (stable "
+        "repro-stats/1 schema) covering every computed section "
+        "instead of the human-readable text",
+    )
+    stats.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="record span tracing around the hot phases and write a "
+        "Chrome trace_event JSON (open in chrome://tracing or "
+        "Perfetto)",
+    )
     _add_format(stats, writing=False)
     _add_store_options(stats)
     _add_memo_capacity(stats)
@@ -802,8 +1079,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the daemon report as JSON (aggregate later "
         "with `repro stats --daemon PATH`)",
     )
+    serve.add_argument(
+        "--metrics-port",
+        type=_nonnegative_int,
+        default=None,
+        metavar="PORT",
+        help="serve live Prometheus /metrics and JSON /status.json on "
+        "this HTTP port (0 picks a free port, printed at startup)",
+    )
+    serve.add_argument(
+        "--status-socket",
+        metavar="PATH",
+        help="also serve the JSON status document over a Unix-domain "
+        "socket at PATH (one document per connection)",
+    )
+    serve.add_argument(
+        "--no-metrics",
+        action="store_true",
+        help="disable telemetry entirely: no latency recording, no "
+        "shard snapshots (the instrumentation-overhead escape hatch)",
+    )
     _add_format(serve, writing=False)
     serve.set_defaults(fn=_cmd_serve)
+
+    top = sub.add_parser(
+        "top",
+        help="live terminal view of a running daemon's metrics "
+        "(scrapes --metrics-port or --status-socket)",
+    )
+    top.add_argument(
+        "url",
+        nargs="?",
+        help="the daemon's metrics endpoint, e.g. 127.0.0.1:9100 "
+        "(omit with --status-socket)",
+    )
+    top.add_argument(
+        "--status-socket",
+        metavar="PATH",
+        help="scrape the daemon's Unix-domain status socket instead "
+        "of HTTP",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="refresh period (default: 2.0)",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="print one snapshot and exit (no screen clearing; "
+        "rates need two scrapes and show as '-')",
+    )
+    top.set_defaults(fn=_cmd_top)
 
     convert = sub.add_parser(
         "convert",

@@ -69,6 +69,7 @@ from ..trace import (
     Trace,
     Wait,
 )
+from ..obs.spans import span
 from ..trace.store import KIND_LIST
 from .bits import SparseBits
 from .config import CAFA_MODEL, DEFAULT_DENSE_BITS, ModelConfig
@@ -1085,45 +1086,49 @@ def build_happens_before(
     profile = BuildProfile()
     tick = time.perf_counter
     t0 = tick()
-    state = _BuildState(trace=trace, config=config)
-    _scan(state)
-    _check_one_looper_per_queue(state)
+    with span("hb.scan", ops=len(trace)):
+        state = _BuildState(trace=trace, config=config)
+        _scan(state)
+        _check_one_looper_per_queue(state)
     profile.scan_seconds = tick() - t0
 
     t0 = tick()
-    graph, task_key_positions, task_key_nodes = _build_key_graph(
-        state, incremental, dense_bits
-    )
-    _add_base_edges(state, graph)
+    with span("hb.base_edges"):
+        graph, task_key_positions, task_key_nodes = _build_key_graph(
+            state, incremental, dense_bits
+        )
+        _add_base_edges(state, graph)
     profile.base_seconds = tick() - t0
 
     # Build-time consistency check: close (and thereby cycle-check) the
     # base graph unconditionally, so a cyclic trace fails here rather
     # than from whichever ordered() query happens to run first.
     t0 = tick()
-    graph.close()
+    with span("hb.closure"):
+        graph.close()
     profile.closure_seconds += tick() - t0
 
     iterations = 0
     derived_edges = 0
     if not config.sequential_events and (config.atomicity or config.any_queue_rule):
         t0 = tick()
-        rules = _DerivedRules(state, graph)
-        graph.drain_dirty()  # the initial closure marked every node dirty
-        dirty: Optional[Set[int]] = None  # round one examines every group
-        while True:
-            iterations += 1
-            new_edges = rules.apply(dirty)
-            if not new_edges:
-                break
-            added = 0
-            for u, v, rule in new_edges:
-                if graph.add_edge(u, v, rule):
-                    added += 1
-            derived_edges += added
-            profile.edges_per_round.append(added)
-            # Only candidates whose reachability changed need another look.
-            dirty = graph.drain_dirty() if incremental else None
+        with span("hb.fixpoint"):
+            rules = _DerivedRules(state, graph)
+            graph.drain_dirty()  # the initial closure marked every node dirty
+            dirty: Optional[Set[int]] = None  # round one examines every group
+            while True:
+                iterations += 1
+                new_edges = rules.apply(dirty)
+                if not new_edges:
+                    break
+                added = 0
+                for u, v, rule in new_edges:
+                    if graph.add_edge(u, v, rule):
+                        added += 1
+                derived_edges += added
+                profile.edges_per_round.append(added)
+                # Only candidates whose reachability changed need another look.
+                dirty = graph.drain_dirty() if incremental else None
         profile.fixpoint_seconds = tick() - t0
         profile.groups_examined = rules.groups_examined
         profile.groups_skipped = rules.groups_skipped
@@ -1133,7 +1138,8 @@ def build_happens_before(
         # sure the final state is closed and cycle-checked.  A no-op for
         # incremental builds, whose closure is maintained live.
         t0 = tick()
-        graph.close()
+        with span("hb.closure"):
+            graph.close()
         profile.closure_seconds += tick() - t0
 
     profile.rounds = iterations

@@ -49,6 +49,26 @@ class HBStats:
     #: query-side work counters (prefix masks, memoization)
     query_profile: Optional[QueryProfile] = None
 
+    def build_section(self) -> Dict[str, object]:
+        """The ``build`` section of the ``repro-stats/1`` document
+        (:mod:`repro.obs.statsdoc`) — stable keys, JSON-safe values."""
+        from dataclasses import asdict
+
+        return {
+            "key_nodes": self.key_nodes,
+            "edges": self.edges,
+            "rule_counts": dict(sorted(self.rule_counts.items())),
+            "fixpoint_iterations": self.fixpoint_iterations,
+            "derived_edges": self.derived_edges,
+            "events": self.events,
+            "loopers": self.loopers,
+            "threads": self.threads,
+            "closure_recomputations": self.closure_recomputations,
+            "bits_propagated": self.bits_propagated,
+            "edges_per_round": list(self.edges_per_round),
+            "profile": asdict(self.profile) if self.profile else None,
+        }
+
     def format(self) -> str:
         lines = [
             f"happens-before graph: {self.key_nodes} key nodes, "

@@ -1,0 +1,194 @@
+"""Live export of metrics snapshots: HTTP and Unix-socket endpoints.
+
+:class:`MetricsServer` is the scrape surface of a running ``repro
+serve`` (``--metrics-port``): a small threaded HTTP server with two
+routes —
+
+* ``GET /metrics`` — the plaintext Prometheus exposition of the
+  daemon-wide merged snapshot;
+* ``GET /status.json`` — the same snapshot as one JSON document
+  (stable ``repro-metrics/1`` schema, histograms with derived
+  p50/p95/p99), the feed ``repro top`` renders.
+
+:class:`StatusSocketServer` (``--status-socket``) serves the JSON
+document over a Unix-domain socket instead — one document per
+connection, then close — for scrape clients that must not open a TCP
+port.
+
+Both servers pull from a ``provider`` callable returning the current
+:class:`~repro.obs.metrics.MetricsSnapshot`; they never cache, so
+every scrape observes fresh counters.  Provider errors surface as
+HTTP 500 (or a closed socket) without killing the serving thread.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Optional
+
+from .metrics import MetricsSnapshot, render_prometheus
+
+#: content type of the Prometheus exposition format
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+SnapshotProvider = Callable[[], MetricsSnapshot]
+
+
+def status_document(snapshot: MetricsSnapshot) -> dict:
+    """The ``/status.json`` body for one snapshot."""
+    return snapshot.as_dict()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-metrics/1"
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        provider: SnapshotProvider = self.server._provider  # type: ignore
+        path = self.path.split("?", 1)[0]
+        if path not in ("/metrics", "/status.json", "/"):
+            self.send_error(404, "try /metrics or /status.json")
+            return
+        try:
+            snapshot = provider()
+            if path == "/metrics":
+                body = render_prometheus(snapshot).encode("utf-8")
+                content_type = PROMETHEUS_CONTENT_TYPE
+            else:
+                body = (
+                    json.dumps(status_document(snapshot), sort_keys=True)
+                    + "\n"
+                ).encode("utf-8")
+                content_type = "application/json"
+        except Exception as exc:  # surface, don't kill the server
+            self.send_error(500, f"snapshot failed: {exc}")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args) -> None:
+        pass  # scrapes are not lifecycle events; keep stderr clean
+
+
+class MetricsServer:
+    """Threaded HTTP scrape endpoint (see module docs).
+
+    ``port=0`` binds an ephemeral port; read :attr:`port` after
+    construction.  The server thread is a daemon: it never blocks
+    process exit, but call :meth:`stop` for a deterministic teardown.
+    """
+
+    def __init__(self, provider: SnapshotProvider,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd._provider = provider  # type: ignore[attr-defined]
+        self._httpd.daemon_threads = True
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.2},
+            daemon=True,
+            name="metrics-http",
+        )
+        self._thread.start()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=2.0)
+
+
+class StatusSocketServer:
+    """One JSON status document per Unix-socket connection."""
+
+    def __init__(self, provider: SnapshotProvider, path: str) -> None:
+        if os.path.exists(path):
+            os.unlink(path)
+        self.path = path
+        self._provider = provider
+        self._listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._listener.bind(path)
+        self._listener.listen(8)
+        self._listener.settimeout(0.2)
+        self._stopping = threading.Event()
+        self._thread = threading.Thread(
+            target=self._serve, daemon=True, name="status-socket"
+        )
+        self._thread.start()
+
+    def _serve(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            try:
+                body = (
+                    json.dumps(
+                        status_document(self._provider()), sort_keys=True
+                    )
+                    + "\n"
+                ).encode("utf-8")
+                conn.sendall(body)
+            except Exception:
+                pass  # a failed scrape must not kill the server
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+    def stop(self) -> None:
+        self._stopping.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        if os.path.exists(self.path):
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+        self._thread.join(timeout=2.0)
+
+
+def read_status_socket(path: str, timeout: float = 5.0) -> dict:
+    """Scrape one JSON status document from a :class:`StatusSocketServer`."""
+    client = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    client.settimeout(timeout)
+    try:
+        client.connect(path)
+        chunks = []
+        while True:
+            chunk = client.recv(1 << 16)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    finally:
+        client.close()
+    return json.loads(b"".join(chunks).decode("utf-8"))
+
+
+def scrape_http(url: str, path: str = "/status.json",
+                timeout: float = 5.0):
+    """Fetch one endpoint document over HTTP; returns parsed JSON for
+    ``/status.json`` and text for ``/metrics`` (stdlib only)."""
+    from urllib.request import urlopen
+
+    with urlopen(url.rstrip("/") + path, timeout=timeout) as response:
+        body = response.read().decode("utf-8")
+    if path == "/metrics":
+        return body
+    return json.loads(body)

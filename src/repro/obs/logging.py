@@ -1,0 +1,98 @@
+"""Structured logging for the daemon: one JSON line per lifecycle event.
+
+The daemon's lifecycle events — connection open/close, session end,
+worker crashes with their remote tracebacks, salvage decisions — used
+to be bare ``print(..., file=sys.stderr)`` calls; a fleet operator
+cannot grep, ship, or alert on those.  :class:`JsonLogFormatter` turns
+every stdlib ``logging`` record into a single JSON object carrying the
+event name, the standard severity fields, and whatever structured
+context the call site attached via ``extra=`` (session and shard ids,
+byte counts, error strings, remote tracebacks).
+
+Usage::
+
+    from repro.obs.logging import configure_json_logging, get_logger
+    configure_json_logging()              # stderr, INFO, JSON lines
+    log = get_logger("repro.serve")
+    log.info("connection open", extra={"connection": conn_id})
+
+Context keys are emitted at the top level of the JSON object (not
+nested) so ``jq .session`` works; collisions with the reserved record
+fields are prefixed with ``ctx_``.  Timestamps are ISO-8601 UTC.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import logging
+import sys
+from typing import Optional
+
+#: the logger namespace every repro component logs under
+ROOT_LOGGER = "repro"
+
+#: LogRecord attributes that are plumbing, not event context
+_RESERVED = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+class JsonLogFormatter(logging.Formatter):
+    """Format every record as one JSON line (see module docs)."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        stamp = datetime.datetime.fromtimestamp(
+            record.created, tz=datetime.timezone.utc
+        )
+        doc = {
+            "ts": stamp.isoformat(timespec="milliseconds"),
+            "level": record.levelname,
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key in _RESERVED or key.startswith("_"):
+                continue
+            if key in doc:
+                key = f"ctx_{key}"
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                value = repr(value)
+            doc[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            doc["traceback"] = self.formatException(record.exc_info)
+        return json.dumps(doc, sort_keys=False)
+
+
+def get_logger(name: str = ROOT_LOGGER) -> logging.Logger:
+    """A logger under the shared ``repro`` namespace."""
+    if name != ROOT_LOGGER and not name.startswith(ROOT_LOGGER + "."):
+        name = f"{ROOT_LOGGER}.{name}"
+    return logging.getLogger(name)
+
+
+def configure_json_logging(
+    stream=None,
+    level: int = logging.INFO,
+    logger: Optional[logging.Logger] = None,
+) -> logging.Handler:
+    """Route the ``repro`` logger tree through one JSON handler.
+
+    Idempotent per target logger: a previous handler installed by this
+    function is replaced, not duplicated, so re-entrant CLI calls (and
+    tests) do not multiply output lines.  Returns the handler so a
+    caller can detach it (``logger.removeHandler``).
+    """
+    target = logger if logger is not None else logging.getLogger(ROOT_LOGGER)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonLogFormatter())
+    handler._repro_json_handler = True  # type: ignore[attr-defined]
+    for existing in list(target.handlers):
+        if getattr(existing, "_repro_json_handler", False):
+            target.removeHandler(existing)
+    target.addHandler(handler)
+    target.setLevel(level)
+    target.propagate = False
+    return handler

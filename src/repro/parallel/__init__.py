@@ -34,14 +34,17 @@ from .executor import (
 from .ring import ShardRing
 from .workers import (
     DEFAULT_QUEUE_SIZE,
+    DEFAULT_TELEMETRY_INTERVAL,
     Worker,
     WorkerCrash,
     WorkerPool,
     WorkerProfile,
+    merge_worker_profiles,
 )
 
 __all__ = [
     "DEFAULT_QUEUE_SIZE",
+    "DEFAULT_TELEMETRY_INTERVAL",
     "FanOutProfile",
     "ItemProfile",
     "ShardRing",
@@ -52,6 +55,7 @@ __all__ = [
     "default_jobs",
     "fan_out",
     "fan_out_profiled",
+    "merge_worker_profiles",
     "pool_size",
     "validate_jobs",
 ]

@@ -21,8 +21,20 @@ one such process:
   all, runs its ``finish`` hook, and ships back its final result plus
   a :class:`WorkerProfile` (messages handled, busy seconds).
 
-The ``init``/``handle``/``finish`` callables run in the child and must
-be picklable (module-level functions).
+A worker constructed with a ``telemetry`` hook additionally ships
+periodic snapshots while it runs: whenever at least
+``telemetry_interval`` seconds have passed since the last shipment —
+after a handled message, or on waking from an idle inbox wait — the
+worker posts ``("metrics", name, telemetry(state))`` on its outbox, so
+a quiescent shard still reports fresh gauges.
+The parent pulls them with :meth:`Worker.poll_telemetry` (the router's
+live ``/metrics`` endpoint); the drain/crash paths skip telemetry
+items transparently, so observability never changes shutdown
+semantics.  A telemetry hook that raises is disabled for the rest of
+the worker's life rather than killing the analysis.
+
+The ``init``/``handle``/``finish``/``telemetry`` callables run in the
+child and must be picklable (module-level functions).
 """
 
 from __future__ import annotations
@@ -41,6 +53,9 @@ DEFAULT_QUEUE_SIZE = 256
 
 #: inbox sentinel asking the worker to finish up and report back
 _DRAIN = ("__drain__",)
+
+#: seconds between telemetry shipments from a worker with a hook
+DEFAULT_TELEMETRY_INTERVAL = 0.5
 
 
 class WorkerCrash(RuntimeError):
@@ -68,19 +83,60 @@ class WorkerProfile:
         )
 
 
-def _worker_main(name, init, init_args, handle, finish, inbox, outbox) -> None:
+def merge_worker_profiles(profiles) -> WorkerProfile:
+    """Aggregate many workers' accounting into one fleet-wide profile.
+
+    ``messages`` and ``busy_seconds`` sum — the merge is associative
+    and order-independent over those totals, with the empty merge as
+    identity — while the per-process identity fields collapse to the
+    neutral ``("merged", 0)``; re-merging merged profiles therefore
+    yields the same totals for any shard partition.
+    """
     messages = 0
     busy = 0.0
+    for profile in profiles:
+        messages += profile.messages
+        busy += profile.busy_seconds
+    return WorkerProfile(
+        name="merged", pid=0, messages=messages, busy_seconds=busy
+    )
+
+
+def _worker_main(name, init, init_args, handle, finish, inbox, outbox,
+                 telemetry=None, telemetry_interval=DEFAULT_TELEMETRY_INTERVAL
+                 ) -> None:
+    messages = 0
+    busy = 0.0
+    last_shipment = time.monotonic()
     try:
         state = init(name, *init_args)
         while True:
-            msg = inbox.get()
+            if telemetry is None:
+                msg = inbox.get()
+            else:
+                # Wake at the shipment cadence even when idle, so a
+                # quiescent shard still exports fresh telemetry.
+                try:
+                    msg = inbox.get(timeout=telemetry_interval)
+                except queue.Empty:
+                    msg = None
             if msg == _DRAIN:
                 break
-            start = time.perf_counter()
-            handle(state, msg)
-            busy += time.perf_counter() - start
-            messages += 1
+            if msg is not None:
+                start = time.perf_counter()
+                handle(state, msg)
+                busy += time.perf_counter() - start
+                messages += 1
+            if telemetry is not None:
+                now = time.monotonic()
+                if now - last_shipment >= telemetry_interval:
+                    last_shipment = now
+                    try:
+                        outbox.put(("metrics", name, telemetry(state)))
+                    except Exception:
+                        # A broken telemetry hook must not kill the
+                        # shard's analysis; stop shipping instead.
+                        telemetry = None
         start = time.perf_counter()
         result = finish(state)
         busy += time.perf_counter() - start
@@ -110,16 +166,27 @@ class Worker:
         finish: Callable,
         init_args: tuple = (),
         queue_size: int = DEFAULT_QUEUE_SIZE,
+        telemetry: Optional[Callable] = None,
+        telemetry_interval: float = DEFAULT_TELEMETRY_INTERVAL,
     ) -> None:
         if queue_size < 1:
             raise ValueError(f"queue_size must be >= 1, got {queue_size}")
+        if telemetry_interval <= 0:
+            raise ValueError(
+                f"telemetry_interval must be > 0, got {telemetry_interval}"
+            )
         self.name = name
+        self.queue_size = queue_size
+        #: the most recent telemetry payload pulled off the outbox
+        self.latest_telemetry: Any = None
+        self._pending_result: Any = None
         ctx = multiprocessing.get_context()
         self._inbox = ctx.Queue(maxsize=queue_size)
         self._outbox = ctx.Queue()
         self._process = ctx.Process(
             target=_worker_main,
-            args=(name, init, init_args, handle, finish, self._inbox, self._outbox),
+            args=(name, init, init_args, handle, finish, self._inbox,
+                  self._outbox, telemetry, telemetry_interval),
             daemon=True,
             name=name,
         )
@@ -138,9 +205,14 @@ class Worker:
         detail = None
         summary = None
         try:
-            item = self._outbox.get(timeout=0.5)
-            if item[0] == "error":
-                _tag, _name, summary, detail = item
+            while True:
+                item = self._outbox.get(timeout=0.5)
+                if item[0] == "metrics":
+                    self.latest_telemetry = item[2]
+                    continue
+                if item[0] == "error":
+                    _tag, _name, summary, detail = item
+                break
         except queue.Empty:
             pass
         if summary:
@@ -180,19 +252,58 @@ class Worker:
         self.send(_DRAIN)
         self._drained = True
 
+    # -- telemetry -----------------------------------------------------
+
+    def poll_telemetry(self) -> Any:
+        """Drain any shipped telemetry snapshots off the outbox and
+        return the most recent one (``None`` until the worker's first
+        shipment).  Non-blocking; a final result that surfaces here is
+        stashed for :meth:`collect`."""
+        while True:
+            try:
+                item = self._outbox.get_nowait()
+            except queue.Empty:
+                return self.latest_telemetry
+            if item[0] == "metrics":
+                self.latest_telemetry = item[2]
+            else:
+                self._pending_result = item
+                return self.latest_telemetry
+
+    def inbox_depth(self) -> int:
+        """Messages currently queued for this worker (the backpressure
+        gauge); ``-1`` where the platform cannot say (``qsize`` is
+        unimplemented on some BSDs)."""
+        try:
+            return self._inbox.qsize()
+        except NotImplementedError:  # pragma: no cover - platform gap
+            return -1
+
+    def _next_result_item(self, timeout: float) -> tuple:
+        """The next non-telemetry outbox item (telemetry is stashed);
+        raises ``queue.Empty`` on timeout like a bare ``get``."""
+        while True:
+            item = self._outbox.get(timeout=timeout)
+            if item[0] == "metrics":
+                self.latest_telemetry = item[2]
+                continue
+            return item
+
     def collect(self) -> Tuple[Any, WorkerProfile]:
         """Wait out a requested drain: the worker's final result and
         profile, with the process reaped."""
-        while True:
+        item = self._pending_result
+        self._pending_result = None
+        while item is None:
             try:
-                item = self._outbox.get(timeout=0.2)
+                item = self._next_result_item(timeout=0.2)
                 break
             except queue.Empty:
                 if not self._process.is_alive():
                     # One last non-blocking look: the worker may have
                     # posted its result (or error) just before exiting.
                     try:
-                        item = self._outbox.get(timeout=0.2)
+                        item = self._next_result_item(timeout=0.2)
                         break
                     except queue.Empty:
                         raise self._crash() from None
@@ -234,6 +345,8 @@ class WorkerPool:
         init_args: tuple = (),
         queue_size: int = DEFAULT_QUEUE_SIZE,
         name: str = "worker",
+        telemetry: Optional[Callable] = None,
+        telemetry_interval: float = DEFAULT_TELEMETRY_INTERVAL,
     ) -> None:
         if count < 1:
             raise ValueError(f"count must be >= 1, got {count}")
@@ -245,6 +358,8 @@ class WorkerPool:
                 finish,
                 init_args=init_args,
                 queue_size=queue_size,
+                telemetry=telemetry,
+                telemetry_interval=telemetry_interval,
             )
             for i in range(count)
         ]
@@ -254,6 +369,15 @@ class WorkerPool:
 
     def send(self, index: int, msg: Any) -> None:
         self.workers[index].send(msg)
+
+    def telemetry_snapshots(self) -> List[Any]:
+        """Latest telemetry per worker, in worker order (``None`` for
+        workers that have not shipped yet)."""
+        return [worker.poll_telemetry() for worker in self.workers]
+
+    def inbox_depths(self) -> List[int]:
+        """Per-worker inbox depths, in worker order."""
+        return [worker.inbox_depth() for worker in self.workers]
 
     def drain(self) -> List[Tuple[Any, WorkerProfile]]:
         """Drain every worker; results come back in worker order.

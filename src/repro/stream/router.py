@@ -34,12 +34,16 @@ corrupt uploader poison its neighbours.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..detect import DetectorOptions
+from ..obs.metrics import Histogram, MetricsSnapshot, merge_snapshots
+from ..obs.spans import span
 from ..parallel import (
     DEFAULT_QUEUE_SIZE,
+    DEFAULT_TELEMETRY_INTERVAL,
     ShardRing,
     WorkerPool,
     WorkerProfile,
@@ -184,6 +188,8 @@ class _ShardConfig:
     strict: bool = True
     expect_version: Optional[int] = None
     options: Optional[DetectorOptions] = None
+    #: record feed-to-detect latencies and ship telemetry snapshots
+    metrics: bool = False
 
 
 class _ShardState:
@@ -192,6 +198,12 @@ class _ShardState:
         self.config = config
         self.analyzers: Dict[str, StreamAnalyzer] = {}
         self.done: Dict[str, SessionReport] = {}
+        self.frames_handled = 0
+        #: dispatch-stamp to handled latency of data frames (queue wait
+        #: + decode + incremental analysis), the daemon's p50/p95/p99
+        self.feed_latency: Optional[Histogram] = (
+            Histogram() if config.metrics else None
+        )
 
 
 def _shard_init(name: str, config: _ShardConfig) -> _ShardState:
@@ -230,6 +242,7 @@ def _close_session(
 
 def _shard_handle(state: _ShardState, msg: tuple) -> None:
     tag, sid = msg[0], msg[1]
+    state.frames_handled += 1
     if tag == "data":
         analyzer = state.analyzers.get(sid)
         if analyzer is None:
@@ -265,6 +278,8 @@ def _shard_handle(state: _ShardState, msg: tuple) -> None:
                 error=str(exc),
                 profile=analyzer.profile,
             )
+        if state.feed_latency is not None and len(msg) > 3:
+            state.feed_latency.observe(time.monotonic() - msg[3])
     elif tag == "end":
         analyzer = state.analyzers.pop(sid, None)
         if analyzer is None:
@@ -293,6 +308,61 @@ def _shard_finish(state: _ShardState) -> Dict[str, SessionReport]:
     for sid in sorted(state.analyzers):
         _close_session(state, sid, state.analyzers.pop(sid), ended=False)
     return state.done
+
+
+def _shard_telemetry(state: _ShardState) -> MetricsSnapshot:
+    """One shard's live metrics snapshot (runs in the shard process;
+    shipped to the router by the worker telemetry loop and merged into
+    the daemon-wide ``/metrics`` view).
+
+    Counter families aggregate the shard's :class:`StreamProfile`
+    counters over *all* its sessions — open analyzers and closed
+    reports alike — so the exported totals are monotonic across a
+    session's whole lifecycle.
+    """
+    snap = MetricsSnapshot()
+    shard = {"shard": str(state.index)}
+    failed = sum(
+        1 for report in state.done.values()
+        if report.degraded or report.error
+    )
+    snap.gauge("repro_shard_sessions_active", float(len(state.analyzers)),
+               labels=shard, help="sessions with open analyzers")
+    snap.counter("repro_shard_sessions_finished_total",
+                 float(len(state.done) - failed), labels=shard,
+                 help="sessions closed without degradation")
+    snap.counter("repro_shard_sessions_failed_total", float(failed),
+                 labels=shard,
+                 help="sessions closed degraded or in error")
+    snap.counter("repro_shard_frames_handled_total",
+                 float(state.frames_handled), labels=shard,
+                 help="session frames (data + end) handled")
+    open_profiles = [a.profile for a in state.analyzers.values()]
+    merged = merge_profiles(
+        open_profiles + [r.profile for r in state.done.values()]
+    )
+    for name, help_text in (
+        ("ops_ingested", "trace operations analyzed"),
+        ("records_ingested", "stream records decoded"),
+        ("epochs_retired", "epochs dropped by quiescence GC"),
+        ("reports_emitted", "authoritative race reports"),
+        ("cross_epoch_accesses", "accesses to retired addresses"),
+    ):
+        snap.counter(f"repro_shard_{name}_total",
+                     float(getattr(merged, name)), labels=shard,
+                     help=help_text)
+    snap.gauge(
+        "repro_shard_closure_bytes",
+        float(sum(p.closure_bytes for p in open_profiles)),
+        labels=shard,
+        help="live closure memory of the shard's open sessions",
+    )
+    if state.feed_latency is not None:
+        snap.histogram(
+            "repro_feed_latency_seconds", state.feed_latency.data(),
+            help="dispatch-to-analyzed latency of session data frames",
+        )
+    return snap
 
 
 # ---------------------------------------------------------------------------
@@ -365,14 +435,19 @@ class SessionRouter:
         options: Optional[DetectorOptions] = None,
         queue_frames: int = DEFAULT_QUEUE_SIZE,
         vnodes: int = 64,
+        metrics: bool = False,
+        telemetry_interval: float = DEFAULT_TELEMETRY_INTERVAL,
     ) -> None:
         if shards < 0:
             raise ValueError(f"shards must be >= 0, got {shards}")
         self.shards = shards
+        self.metrics = metrics
         config = _ShardConfig(
-            gc=gc, strict=strict, expect_version=expect_version, options=options
+            gc=gc, strict=strict, expect_version=expect_version,
+            options=options, metrics=metrics,
         )
         self.ring = ShardRing(max(shards, 1), vnodes=vnodes)
+        self.queue_frames = queue_frames
         self.frames_routed = 0
         self.bytes_routed = 0
         self.sessions_seen: set = set()
@@ -393,6 +468,8 @@ class SessionRouter:
                 init_args=(config,),
                 queue_size=queue_frames,
                 name="shard",
+                telemetry=_shard_telemetry if metrics else None,
+                telemetry_interval=telemetry_interval,
             )
 
     # -- channel / dispatch surface ------------------------------------
@@ -410,14 +487,22 @@ class SessionRouter:
     def _dispatch(self, sid: str, msg: tuple) -> None:
         self.sessions_seen.add(sid)
         self.frames_routed += 1
-        if self._inline is not None:
-            _shard_handle(self._inline, msg)
-        else:
-            self._pool.send(self.ring.shard_of(sid), msg)
+        with span("daemon.dispatch"):
+            if self._inline is not None:
+                _shard_handle(self._inline, msg)
+            else:
+                self._pool.send(self.ring.shard_of(sid), msg)
 
     def _data(self, sid: str, payload: bytes) -> None:
         self.bytes_routed += len(payload)
-        self._dispatch(sid, ("data", sid, payload))
+        if self.metrics:
+            # The dispatch stamp rides the message so the shard can
+            # observe queue-wait + analysis latency end to end
+            # (CLOCK_MONOTONIC is system-wide, so cross-process deltas
+            # are meaningful).
+            self._dispatch(sid, ("data", sid, payload, time.monotonic()))
+        else:
+            self._dispatch(sid, ("data", sid, payload))
 
     def _end(self, sid: str) -> None:
         self._dispatch(sid, ("end", sid))
@@ -428,6 +513,51 @@ class SessionRouter:
 
     def end_session(self, sid: str) -> None:
         self._end(sid)
+
+    # -- live telemetry ------------------------------------------------
+
+    def metrics_snapshot(self) -> MetricsSnapshot:
+        """The daemon-wide metrics view: router-level counters merged
+        with the latest snapshot each shard shipped (or, inline,
+        computed on the spot) plus the parent-side backpressure gauges
+        (inbox depth vs. bound per shard).
+
+        Shard counters lag by at most the telemetry interval; the
+        router counters are exact at call time.  With ``metrics=False``
+        the shard sections are absent and only the router counters
+        (which cost nothing extra to keep) are reported.
+        """
+        snap = MetricsSnapshot()
+        snap.counter("repro_router_frames_total", float(self.frames_routed),
+                     help="session frames dispatched (data + end)")
+        snap.counter("repro_router_bytes_total", float(self.bytes_routed),
+                     help="session payload bytes dispatched")
+        snap.counter("repro_router_sessions_total",
+                     float(len(self.sessions_seen)),
+                     help="distinct session ids routed")
+        snap.gauge("repro_router_shards", float(self.shards),
+                   help="configured shard worker processes")
+        parts = [snap]
+        if not self.metrics:
+            return snap
+        if self._inline is not None:
+            parts.append(_shard_telemetry(self._inline))
+        elif self._pool is not None:
+            for index, worker in enumerate(self._pool.workers):
+                shard = {"shard": str(index)}
+                telemetry = worker.poll_telemetry()
+                if telemetry is not None:
+                    parts.append(telemetry)
+                depth = worker.inbox_depth()
+                if depth >= 0:
+                    snap.gauge("repro_shard_queue_depth", float(depth),
+                               labels=shard,
+                               help="frames waiting in the shard inbox")
+                snap.gauge("repro_shard_queue_bound",
+                           float(worker.queue_size), labels=shard,
+                           help="bounded inbox capacity (backpressure "
+                           "threshold)")
+        return merge_snapshots(parts)
 
     # -- shutdown ------------------------------------------------------
 
@@ -444,19 +574,20 @@ class SessionRouter:
         sessions: Dict[str, SessionReport] = {}
         shard_profiles: List[StreamProfile] = []
         worker_profiles: List[WorkerProfile] = []
-        if self._inline is not None:
-            done = _shard_finish(self._inline)
-            sessions.update(done)
-            shard_profiles.append(
-                merge_profiles(r.profile for r in done.values())
-            )
-        else:
-            for done, profile in self._pool.drain():
+        with span("daemon.drain"):
+            if self._inline is not None:
+                done = _shard_finish(self._inline)
                 sessions.update(done)
                 shard_profiles.append(
                     merge_profiles(r.profile for r in done.values())
                 )
-                worker_profiles.append(profile)
+            else:
+                for done, profile in self._pool.drain():
+                    sessions.update(done)
+                    shard_profiles.append(
+                        merge_profiles(r.profile for r in done.values())
+                    )
+                    worker_profiles.append(profile)
         return DaemonReport(
             shards=self.shards,
             sessions=sessions,

@@ -51,6 +51,7 @@ from typing import List, Optional, Set
 
 from ..detect import AccessExtractor, DetectorOptions, UseFreeDetector
 from ..detect.report import RaceReport
+from ..obs.spans import span
 from ..trace import AnyTraceDecoder, OpKind, Trace
 from ..trace.trace import TaskInfo
 from .incremental import IncrementalHB
@@ -268,15 +269,16 @@ class StreamAnalyzer:
 
     def _detect(self) -> List[RaceReport]:
         """Run the batch detector over the current epoch's live state."""
-        self._poll()
-        detector = UseFreeDetector(
-            self.trace,
-            self.options,
-            hb=self.cafa.relation(),
-            accesses=self.extractor.index(),
-            conventional_hb=self.conventional.relation(),
-        )
-        return detector.detect().reports
+        with span("stream.detect", epoch=self._epoch_index):
+            self._poll()
+            detector = UseFreeDetector(
+                self.trace,
+                self.options,
+                hb=self.cafa.relation(),
+                accesses=self.extractor.index(),
+                conventional_hb=self.conventional.relation(),
+            )
+            return detector.detect().reports
 
     def detect_now(self) -> List[RaceReport]:
         """Provisional reports for the *open* epoch (see module docs:
@@ -302,6 +304,10 @@ class StreamAnalyzer:
         return summary
 
     def _retire_epoch(self) -> None:
+        with span("stream.epoch_retire", epoch=self._epoch_index):
+            self._retire_epoch_inner()
+
+    def _retire_epoch_inner(self) -> None:
         self._close_epoch(retired=True)
         self.profile.epochs_retired += 1
         # Remember the epoch's pointer slots so a (model-violating)

@@ -135,6 +135,13 @@ class SocketSource:
         self._threads: list = []
         self._stopping = threading.Event()
         self._next_id = 0
+        #: transport counters for the live metrics endpoint; guarded by
+        #: one lock because accept and reader threads all write them
+        self._stats_lock = threading.Lock()
+        self.connections_accepted = 0
+        self.connections_open = 0
+        self.chunks_received = 0
+        self.bytes_received = 0
         self._accept_thread = threading.Thread(
             target=self._accept_loop, daemon=True, name="socket-accept"
         )
@@ -182,6 +189,9 @@ class SocketSource:
                 return  # listener closed under us during stop()
             self._next_id += 1
             conn_id = f"conn-{self._next_id}"
+            with self._stats_lock:
+                self.connections_accepted += 1
+                self.connections_open += 1
             self._events.put(("open", conn_id))
             thread = threading.Thread(
                 target=self._reader_loop,
@@ -204,12 +214,17 @@ class SocketSource:
                     break
                 if not chunk:
                     break
+                with self._stats_lock:
+                    self.chunks_received += 1
+                    self.bytes_received += len(chunk)
                 self._events.put(("chunk", conn_id, chunk))
         finally:
             try:
                 conn.close()
             except OSError:
                 pass
+            with self._stats_lock:
+                self.connections_open -= 1
             self._events.put(("close", conn_id))
 
     # -- consumer surface ----------------------------------------------

@@ -41,6 +41,7 @@ import zlib
 from pathlib import Path
 from typing import IO, Any, Dict, List, Optional, Union
 
+from ..obs.spans import span
 from .operations import BranchKind, OpKind, operation_from_dict
 from .store import (
     ADDR,
@@ -705,22 +706,23 @@ class AnyTraceDecoder:
 
     def feed(self, chunk: Union[bytes, bytearray, str]) -> int:
         """Sniff (on first data) and decode; returns ops appended."""
-        if isinstance(chunk, str):
+        with span("trace.decode", bytes=len(chunk)):
+            if isinstance(chunk, str):
+                if not chunk:
+                    return 0
+                return self._text_inner().feed(chunk)
             if not chunk:
                 return 0
-            return self._text_inner().feed(chunk)
-        if not chunk:
-            return 0
-        inner = self._inner
-        if inner is None:
-            first = chunk[:1]
-            if first == b"\x9e":  # session envelope (repro.trace.envelope)
-                inner = self._make_mux_inner()
-            else:
-                inner = self._make_inner(binary=first == b"\x93")
-        if self._utf8 is None:
-            return inner.feed(bytes(chunk))
-        return inner.feed(self._utf8.decode(bytes(chunk)))
+            inner = self._inner
+            if inner is None:
+                first = chunk[:1]
+                if first == b"\x9e":  # session envelope (repro.trace.envelope)
+                    inner = self._make_mux_inner()
+                else:
+                    inner = self._make_inner(binary=first == b"\x93")
+            if self._utf8 is None:
+                return inner.feed(bytes(chunk))
+            return inner.feed(self._utf8.decode(bytes(chunk)))
 
     def feed_line(self, line: str) -> int:
         """Decode one complete text line (text formats only)."""

@@ -1,0 +1,82 @@
+"""Tests for the structured JSON logging layer (repro.obs.logging)."""
+
+import io
+import json
+import logging
+
+from repro.obs import configure_json_logging, get_logger
+from repro.obs.logging import ROOT_LOGGER
+
+
+def _fresh_logger(name: str) -> logging.Logger:
+    logger = logging.getLogger(name)
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    return logger
+
+
+class TestJsonFormatter:
+    def _log_one(self, emit):
+        stream = io.StringIO()
+        logger = _fresh_logger(f"{ROOT_LOGGER}.t{id(emit)}")
+        configure_json_logging(stream=stream, logger=logger)
+        emit(logger)
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 1
+        return json.loads(lines[0])
+
+    def test_core_fields(self):
+        doc = self._log_one(lambda log: log.info("connection open"))
+        assert doc["event"] == "connection open"
+        assert doc["level"] == "INFO"
+        assert doc["ts"].endswith("+00:00")  # ISO-8601 UTC
+
+    def test_extra_context_is_top_level(self):
+        doc = self._log_one(
+            lambda log: log.warning(
+                "session stream damaged",
+                extra={"session": "s-1", "shard": 2, "error": "bad frame"},
+            )
+        )
+        assert doc["session"] == "s-1"
+        assert doc["shard"] == 2
+        assert doc["error"] == "bad frame"
+
+    def test_reserved_key_collisions_get_prefixed(self):
+        doc = self._log_one(
+            lambda log: log.info("x", extra={"event": "shadow"})
+        )
+        assert doc["event"] == "x"
+        assert doc["ctx_event"] == "shadow"
+
+    def test_non_json_values_fall_back_to_repr(self):
+        doc = self._log_one(
+            lambda log: log.info("x", extra={"payload": b"\x93"})
+        )
+        assert doc["payload"] == repr(b"\x93")
+
+    def test_exceptions_carry_a_traceback(self):
+        def emit(log):
+            try:
+                raise RuntimeError("boom")
+            except RuntimeError:
+                log.error("worker crashed", exc_info=True)
+
+        doc = self._log_one(emit)
+        assert "RuntimeError: boom" in doc["traceback"]
+
+
+class TestConfiguration:
+    def test_configure_is_idempotent(self):
+        logger = _fresh_logger(f"{ROOT_LOGGER}.idem")
+        stream = io.StringIO()
+        configure_json_logging(stream=stream, logger=logger)
+        configure_json_logging(stream=stream, logger=logger)
+        assert len(logger.handlers) == 1
+        logger.info("once")
+        assert len(stream.getvalue().splitlines()) == 1
+
+    def test_get_logger_namespaces_under_repro(self):
+        assert get_logger("serve").name == f"{ROOT_LOGGER}.serve"
+        assert get_logger(f"{ROOT_LOGGER}.serve").name == f"{ROOT_LOGGER}.serve"
+        assert get_logger().name == ROOT_LOGGER
