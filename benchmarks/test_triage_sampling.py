@@ -1,0 +1,150 @@
+"""Experiment P10 — sampled triage throughput and fidelity.
+
+The sampled detector (``repro triage``) is the corpus-throughput
+answer: a budgeted no-closure screen decides per trace whether the
+happens-before closure is worth building at all.  Three gates,
+recorded in ``bounds_pr10.json``:
+
+* **Speedup bound.**  Screen-mode triage of the ten stock apps at the
+  recorded budget must be at least ``min_speedup`` (5x) faster than
+  full detection of the same traces.  Both sides take the best of
+  ``runs_per_config`` runs on the same machine, so the gate arms on
+  any runner.
+
+* **Recall / subset fidelity.**  At the recorded budget every racy
+  app must be flagged (recall 1.0) and confirm-mode sampling must
+  never report a race full detection does not report.  Exact and
+  machine-independent.
+
+* **Recorded curve.**  The precision/recall-vs-budget sweep committed
+  in the bounds file (and tabulated in ``docs/sampling.md``) must be
+  reproduced column for column — the fidelity columns are
+  deterministic in (scale, seed, sample seed, budget).
+
+The gates run at the *recorded* scale regardless of
+``REPRO_BENCH_SCALE``: the fidelity columns are only meaningful
+against the traces they were recorded on (the pinned-floor idiom of
+``test_analysis_scaling``).
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.analysis import budget_curve
+from repro.apps import ALL_APPS
+from repro.detect import SamplerOptions, UseFreeDetector, detect_sampled
+
+BOUNDS = json.loads(
+    (Path(__file__).parent / "bounds_pr10.json").read_text(encoding="utf-8")
+)
+
+_TRACES = None
+
+
+def recorded_traces():
+    global _TRACES
+    if _TRACES is None:
+        _TRACES = {
+            app.name: app(
+                scale=BOUNDS["scale"], seed=BOUNDS["app_seed"]
+            ).run().trace
+            for app in ALL_APPS
+        }
+    return _TRACES
+
+
+def screen_options():
+    return SamplerOptions(
+        budget=BOUNDS["recorded_budget"], seed=BOUNDS["sample_seed"]
+    )
+
+
+def test_triage_speedup_gate(benchmark):
+    traces = recorded_traces()
+    options = screen_options()
+
+    def triage_pass():
+        return [detect_sampled(trace, options) for trace in traces.values()]
+
+    def full_pass():
+        return [UseFreeDetector(trace).detect() for trace in traces.values()]
+
+    def best_of(fn):
+        best = float("inf")
+        for _ in range(BOUNDS["runs_per_config"]):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    triage_seconds = best_of(triage_pass)
+    full_seconds = best_of(full_pass)
+    benchmark.pedantic(triage_pass, rounds=1, iterations=1)
+
+    speedup = full_seconds / triage_seconds
+    benchmark.extra_info["scale"] = BOUNDS["scale"]
+    benchmark.extra_info["budget"] = BOUNDS["recorded_budget"]
+    benchmark.extra_info["triage_seconds"] = triage_seconds
+    benchmark.extra_info["full_seconds"] = full_seconds
+    benchmark.extra_info["speedup"] = speedup
+    assert speedup >= BOUNDS["min_speedup"], (
+        f"triage speedup {speedup:.1f}x fell below the "
+        f"{BOUNDS['min_speedup']}x gate "
+        f"(triage {triage_seconds:.3f}s, full {full_seconds:.3f}s)"
+    )
+
+
+def test_recall_and_subset_at_recorded_budget():
+    confirm = SamplerOptions(
+        budget=BOUNDS["recorded_budget"],
+        seed=BOUNDS["sample_seed"],
+        confirm=True,
+    )
+    for name, trace in recorded_traces().items():
+        full_keys = {r.key for r in UseFreeDetector(trace).detect().reports}
+        screen = detect_sampled(trace, screen_options())
+        if full_keys:
+            assert screen.flagged, f"{name}: racy app not flagged (recall)"
+        confirmed = detect_sampled(trace, confirm)
+        sampled_keys = {r.key for r in confirmed.races}
+        assert sampled_keys <= full_keys, (
+            f"{name}: sampled races are not a subset of full detection"
+        )
+        if confirmed.profile.exhaustive:
+            assert sampled_keys == full_keys, name
+
+
+def test_recorded_curve_is_reproduced(benchmark):
+    def sweep():
+        return budget_curve(
+            budgets=BOUNDS["budgets"],
+            scale=BOUNDS["scale"],
+            seed=BOUNDS["app_seed"],
+            sample_seed=BOUNDS["sample_seed"],
+        )
+
+    curve = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    fidelity = [
+        {
+            "budget": p.budget,
+            "racy_apps": p.racy_apps,
+            "flagged_apps": p.flagged_apps,
+            "flagged_racy": p.flagged_racy,
+            "recall": round(p.recall, 4),
+            "trace_precision": round(p.trace_precision, 4),
+            "pairs_sampled": p.pairs_sampled,
+            "suspects": p.suspects,
+            "confirmed": p.confirmed,
+            "pair_precision": round(p.pair_precision, 4),
+        }
+        for p in curve.points
+    ]
+    assert fidelity == BOUNDS["curve"], (
+        "the recorded precision/recall-vs-budget curve no longer "
+        "reproduces; update bounds_pr10.json and docs/sampling.md "
+        "together if the detector or the apps changed"
+    )
+    benchmark.extra_info["speedups"] = [
+        round(p.speedup, 2) for p in curve.points
+    ]

@@ -14,7 +14,8 @@ Schema (``repro-stats/1``)::
       "build":  {graph summary + BuildProfile fields} | null,
       "query":  {QueryProfile fields} | null,
       "stream": {StreamProfile fields} | null,
-      "sparse": {column-sparse scan DecodeStats fields} | null
+      "sparse": {column-sparse scan DecodeStats fields} | null,
+      "sampling": {SampleProfile fields} | null
     }
 
 Every section is either present with its full field set or ``null`` —
@@ -29,7 +30,7 @@ from typing import Optional
 
 SCHEMA = "repro-stats/1"
 
-_SECTIONS = ("trace", "decode", "build", "query", "stream", "sparse")
+_SECTIONS = ("trace", "decode", "build", "query", "stream", "sparse", "sampling")
 
 
 def _asdict(obj) -> Optional[dict]:
@@ -43,6 +44,7 @@ def stats_document(
     hb_stats=None,
     stream_profile=None,
     sparse_stats=None,
+    sample_profile=None,
 ) -> dict:
     """Assemble the document from whatever sections were computed.
 
@@ -50,8 +52,11 @@ def stats_document(
     (its nested decode counters become the ``decode`` section),
     ``hb_stats`` an :class:`~repro.hb.stats.HBStats` (split into
     ``build`` and ``query``), ``stream_profile`` a
-    :class:`~repro.stream.StreamProfile`, and ``sparse_stats`` the
-    :class:`~repro.trace.store.DecodeStats` of a column-sparse scan.
+    :class:`~repro.stream.StreamProfile`, ``sparse_stats`` the
+    :class:`~repro.trace.store.DecodeStats` of a column-sparse scan,
+    and ``sample_profile`` a
+    :class:`~repro.detect.sampling.SampleProfile` (the ``sampling``
+    section: budget, pairs sampled/screened/queried, flagged verdict).
     """
     doc = {"schema": SCHEMA}
     for section in _SECTIONS:
@@ -71,5 +76,8 @@ def stats_document(
 
     if sparse_stats is not None:
         doc["sparse"] = _asdict(sparse_stats)
+
+    if sample_profile is not None:
+        doc["sampling"] = _asdict(sample_profile)
 
     return doc

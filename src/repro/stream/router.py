@@ -38,7 +38,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..detect import DetectorOptions
+from ..detect import DetectorOptions, SamplerOptions
 from ..obs.metrics import Histogram, MetricsSnapshot, merge_snapshots
 from ..obs.spans import span
 from ..parallel import (
@@ -190,6 +190,10 @@ class _ShardConfig:
     options: Optional[DetectorOptions] = None
     #: record feed-to-detect latencies and ship telemetry snapshots
     metrics: bool = False
+    #: "full" or "sampled" — every session analyzer's detection mode
+    mode: str = "full"
+    #: sampled-mode budget/seed (None = the sampler's defaults)
+    sampling: Optional["SamplerOptions"] = None
 
 
 class _ShardState:
@@ -259,6 +263,8 @@ def _shard_handle(state: _ShardState, msg: tuple) -> None:
                 strict=config.strict,
                 gc=config.gc,
                 expect_version=config.expect_version,
+                mode=config.mode,
+                sampling=config.sampling,
             )
         try:
             analyzer.feed(msg[2])
@@ -437,14 +443,18 @@ class SessionRouter:
         vnodes: int = 64,
         metrics: bool = False,
         telemetry_interval: float = DEFAULT_TELEMETRY_INTERVAL,
+        mode: str = "full",
+        sampling: Optional[SamplerOptions] = None,
     ) -> None:
         if shards < 0:
             raise ValueError(f"shards must be >= 0, got {shards}")
+        if mode not in ("full", "sampled"):
+            raise ValueError(f"mode must be 'full' or 'sampled', got {mode!r}")
         self.shards = shards
         self.metrics = metrics
         config = _ShardConfig(
             gc=gc, strict=strict, expect_version=expect_version,
-            options=options, metrics=metrics,
+            options=options, metrics=metrics, mode=mode, sampling=sampling,
         )
         self.ring = ShardRing(max(shards, 1), vnodes=vnodes)
         self.queue_frames = queue_frames

@@ -1,0 +1,84 @@
+"""Property-based tests of the sampled detector on random pointer
+programs: sampled races are a subset of full detection for arbitrary
+traces, budgets, and seeds; identical seeds yield identical results;
+exhaustive screening never misses a racy trace."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.detect import (
+    DetectorOptions,
+    SamplerOptions,
+    UseFreeDetector,
+    detect_sampled,
+)
+from tests.test_property_detect_witness import (
+    pointer_program_specs,
+    run_pointer_program,
+)
+
+EXHAUSTIVE = 1 << 30
+
+budget_st = st.integers(min_value=1, max_value=64)
+seed_st = st.integers(min_value=0, max_value=2**16)
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=pointer_program_specs(), budget=budget_st, seed=seed_st)
+def test_sampled_races_subset_of_full(spec, budget, seed):
+    trace = run_pointer_program(spec)
+    full_keys = {r.key for r in UseFreeDetector(trace).detect().reports}
+    sampled = detect_sampled(
+        trace, SamplerOptions(budget=budget, seed=seed, confirm=True)
+    )
+    assert {r.key for r in sampled.races} <= full_keys
+    assert sampled.profile.pairs_sampled <= budget
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=pointer_program_specs(), budget=budget_st, seed=seed_st)
+def test_identical_seeds_identical_results(spec, budget, seed):
+    trace = run_pointer_program(spec)
+    options = SamplerOptions(budget=budget, seed=seed, confirm=True)
+    first = detect_sampled(trace, options)
+    second = detect_sampled(trace, options)
+    assert first.profile == second.profile
+    assert [
+        (u.read_index, f.index) for u, f, _ in first.suspects
+    ] == [(u.read_index, f.index) for u, f, _ in second.suspects]
+    assert [r.key for r in first.races] == [r.key for r in second.races]
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=pointer_program_specs())
+def test_exhaustive_screening_flags_every_racy_trace(spec):
+    # Recall is limited only by the budget: with the whole population
+    # inspected, a trace with full-detection reports is always flagged,
+    # and the confirm pass reproduces full detection exactly.
+    trace = run_pointer_program(spec)
+    full_keys = {r.key for r in UseFreeDetector(trace).detect().reports}
+    screen = detect_sampled(trace, SamplerOptions(budget=EXHAUSTIVE))
+    assert screen.profile.exhaustive
+    if full_keys:
+        assert screen.flagged
+    confirm = detect_sampled(
+        trace, SamplerOptions(budget=EXHAUSTIVE, confirm=True)
+    )
+    assert {r.key for r in confirm.races} == full_keys
+    assert confirm.flagged == bool(full_keys)
+
+
+@settings(max_examples=20, deadline=None)
+@given(spec=pointer_program_specs(), budget=budget_st, seed=seed_st)
+def test_subset_holds_without_lockset_filter(spec, budget, seed):
+    detector = DetectorOptions(lockset_filter=False)
+    trace = run_pointer_program(spec)
+    full_keys = {
+        r.key for r in UseFreeDetector(trace, detector).detect().reports
+    }
+    sampled = detect_sampled(
+        trace,
+        SamplerOptions(
+            budget=budget, seed=seed, confirm=True, detector=detector
+        ),
+    )
+    assert {r.key for r in sampled.races} <= full_keys

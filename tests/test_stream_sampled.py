@@ -1,0 +1,154 @@
+"""Sampled streaming mode: screen-at-epoch-close triage with
+escalation to full detection, equal to full mode at ample budget and a
+subset at starved budgets, through both the single-session analyzer
+and the session router/daemon."""
+
+import pytest
+
+from repro.apps import ALL_APPS, make_app
+from repro.cli import main
+from repro.detect import SamplerOptions
+from repro.stream import SessionRouter, StreamAnalyzer
+from repro.trace import dumps_trace
+
+from tests.test_stream_daemon import app_payloads, mux_stream
+
+SCALE = 0.02
+SEED = 1
+AMPLE = SamplerOptions(budget=1 << 30)
+STARVED = SamplerOptions(budget=1)
+
+_TRACES = {}
+
+
+def app_trace(name):
+    if name not in _TRACES:
+        _TRACES[name] = make_app(name, scale=SCALE, seed=SEED).run().trace
+    return _TRACES[name]
+
+
+def run_mode(trace, mode, sampling=None, **kwargs):
+    analyzer = StreamAnalyzer(mode=mode, sampling=sampling, **kwargs)
+    for line in dumps_trace(trace, version=2).splitlines():
+        analyzer.feed_line(line)
+    reports = [str(r) for r in analyzer.finish()]
+    return analyzer, reports
+
+
+class TestSampledAnalyzer:
+    @pytest.mark.parametrize(
+        "name", [a.name for a in ALL_APPS[:4]]
+    )
+    def test_ample_budget_matches_full_mode(self, name):
+        trace = app_trace(name)
+        _, full = run_mode(trace, "full")
+        sampled_analyzer, sampled = run_mode(trace, "sampled", AMPLE)
+        assert sampled == full
+        profile = sampled_analyzer.profile
+        assert profile.sampled_pairs > 0
+        if full:
+            assert profile.escalations >= 1
+
+    def test_starved_budget_reports_a_subset(self):
+        trace = app_trace(ALL_APPS[0].name)
+        _, full = run_mode(trace, "full")
+        _, sampled = run_mode(trace, "sampled", STARVED)
+        assert set(sampled) <= set(full)
+
+    def test_sampled_mode_never_builds_a_closure(self):
+        analyzer, _ = run_mode(app_trace(ALL_APPS[0].name), "sampled", AMPLE)
+        profile = analyzer.profile
+        assert analyzer.cafa is None
+        assert analyzer.conventional is None
+        assert profile.polls == 0
+        assert profile.fixpoint_rounds == 0
+
+    def test_clean_session_skips_escalation(self):
+        from repro.runtime import AndroidSystem
+
+        system = AndroidSystem(seed=1)
+        app = system.process("clean")
+        app.thread("t", lambda ctx: ctx.write("x", 1))
+        system.run()
+        analyzer, reports = run_mode(system.trace(), "sampled", AMPLE)
+        assert reports == []
+        assert analyzer.profile.escalations == 0
+
+    def test_detector_options_stay_coherent(self):
+        # The analyzer forces the sampler's wrapped detector options to
+        # its own, so triage and escalation judge the same model.
+        analyzer = StreamAnalyzer(mode="sampled", sampling=AMPLE)
+        assert analyzer.sampling.detector is analyzer.options
+
+    def test_mode_is_validated(self):
+        with pytest.raises(ValueError):
+            StreamAnalyzer(mode="turbo")
+
+
+class TestSampledRouter:
+    def test_inline_router_matches_full_mode(self):
+        payloads = dict(list(app_payloads().items())[:4])
+        stream = mux_stream(payloads)
+
+        def drain(mode, sampling=None):
+            router = SessionRouter(0, mode=mode, sampling=sampling)
+            router.feed(stream)
+            return router.drain()
+
+        full = drain("full")
+        sampled = drain("sampled", AMPLE)
+        for sid in payloads:
+            assert (
+                sampled.sessions[sid].reports == full.sessions[sid].reports
+            ), sid
+        merged = sampled.merged
+        assert merged.sampled_pairs > 0
+        assert merged.escalations >= 1
+
+    def test_sharded_router_matches_inline(self):
+        payloads = dict(list(app_payloads().items())[:4])
+        stream = mux_stream(payloads)
+        inline = SessionRouter(0, mode="sampled", sampling=AMPLE)
+        inline.feed(stream)
+        inline_report = inline.drain()
+        sharded = SessionRouter(2, mode="sampled", sampling=AMPLE)
+        sharded.feed(stream)
+        sharded_report = sharded.drain()
+        for sid in payloads:
+            assert (
+                sharded_report.sessions[sid].reports
+                == inline_report.sessions[sid].reports
+            ), sid
+
+    def test_mode_is_validated(self):
+        with pytest.raises(ValueError):
+            SessionRouter(0, mode="turbo")
+
+
+class TestServeSampledCli:
+    def test_serve_mode_sampled_matches_full(self, tmp_path, capsys):
+        import json
+
+        from repro.stream import DaemonReport
+
+        payloads = dict(list(app_payloads().items())[:2])
+        mux_path = tmp_path / "fleet.mux"
+        mux_path.write_bytes(mux_stream(payloads))
+
+        def serve(*extra):
+            json_path = tmp_path / f"daemon-{len(extra)}.json"
+            rc = main(
+                ["serve", str(mux_path), "--shards", "0", "--json",
+                 str(json_path), *extra]
+            )
+            assert rc == 0
+            capsys.readouterr()
+            return DaemonReport.from_dict(
+                json.loads(json_path.read_text(encoding="utf-8"))
+            )
+
+        full = serve()
+        sampled = serve("--mode", "sampled", "--budget", "1048576")
+        for sid in payloads:
+            assert sampled.sessions[sid].reports == full.sessions[sid].reports
+        assert sampled.merged.sampled_pairs > 0
